@@ -1,0 +1,52 @@
+"""Ablation benches for the design choices called out in DESIGN.md §5:
+
+* buffer capacitance sweep (4.7 mF .. 470 mF),
+* control-mode ablation (DVFS only / hot-plug only / combined),
+* threshold-quantisation ablation (ideal vs MCP4131 7-bit thresholds).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.evaluation import (
+    ablation_capacitance,
+    ablation_control_modes,
+    ablation_threshold_quantisation,
+)
+
+from _bench_utils import emit, print_header
+
+
+def test_ablation_capacitance(benchmark):
+    data = benchmark.pedantic(
+        ablation_capacitance,
+        kwargs=dict(capacitances_f=(4.7e-3, 15.4e-3, 47e-3, 141e-3), duration_s=300.0),
+        iterations=1,
+        rounds=1,
+    )
+    print_header("Ablation — buffer capacitance sweep", data["paper_reference"])
+    emit(format_table(data["rows"]))
+    by_c = {round(row["capacitance_mf"], 1): row for row in data["rows"]}
+    # The paper's chosen 47 mF keeps the system alive; going an order of
+    # magnitude smaller starts to cost robustness or stability.
+    assert by_c[47.0]["brownouts"] == 0
+
+
+def test_ablation_control_modes(benchmark):
+    data = benchmark.pedantic(
+        ablation_control_modes, kwargs=dict(duration_s=420.0), iterations=1, rounds=1
+    )
+    print_header("Ablation — DVFS-only vs hot-plug-only vs combined control", data["paper_reference"])
+    emit(format_table(data["rows"]))
+    instructions = {row["mode"]: row["instructions_g"] for row in data["rows"]}
+    # The combined (proposed) mode completes at least as much work as the
+    # DVFS-only precursor approach.
+    assert instructions["DVFS + hot-plug (proposed)"] >= 0.95 * instructions["DVFS only"]
+
+
+def test_ablation_threshold_quantisation(benchmark):
+    data = benchmark.pedantic(
+        ablation_threshold_quantisation, kwargs=dict(duration_s=420.0), iterations=1, rounds=1
+    )
+    print_header("Ablation — ideal vs MCP4131-quantised thresholds", data["paper_reference"])
+    emit(format_table(data["rows"]))
+    fractions = [row["fraction_within_5pct"] for row in data["rows"]]
+    assert min(fractions) > 0.4

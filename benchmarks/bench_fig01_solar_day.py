@@ -1,0 +1,34 @@
+"""Fig. 1 — power output of a 250 cm² solar cell over a day.
+
+Regenerates the daily power trace (macro diurnal envelope + micro cloud
+variability) from the synthetic irradiance generator and the calibrated small
+cell, and prints the series the figure plots.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.experiments.characterisation import fig1_solar_day
+
+from _bench_utils import emit, print_header
+
+
+def test_fig01_solar_day(benchmark):
+    data = benchmark(fig1_solar_day, dt_s=30.0, seed=3)
+
+    print_header(
+        "Fig. 1 — daily power output of a 250 cm² monocrystalline cell",
+        {"peak_power_w": 1.0, "character": "macro (diurnal) + micro (shadowing) variability"},
+    )
+    hours = data["series"]["hours"]
+    power = data["series"]["power_w"]
+    emit(format_series("cell power", hours * 3600.0, power, n_points=16, units="W"))
+    emit(f"peak power            : {data['peak_power_w']:.3f} W")
+    emit(f"daily energy          : {data['energy_wh']:.2f} Wh")
+    emit(f"sunrise / peak (hours): {data['macro_variability']['sunrise_h']:.1f} / "
+          f"{data['macro_variability']['peak_h']:.1f}")
+    emit(f"max short-term drop   : {100 * data['micro_variability']['max_short_term_drop']:.0f} % "
+          f"(micro variability)")
+
+    assert 0.5 < data["peak_power_w"] < 1.3
+    assert data["micro_variability"]["max_short_term_drop"] > 0.1

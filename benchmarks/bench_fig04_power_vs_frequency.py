@@ -1,0 +1,29 @@
+"""Fig. 4 — board power vs operating frequency for the eight core configurations.
+
+Regenerates the calibrated power surface of the ODROID-XU4 model across the
+paper's eight DVFS frequencies and eight core configurations.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.characterisation import fig4_power_vs_frequency
+
+from _bench_utils import emit, print_header
+
+
+def test_fig04_power_vs_frequency(benchmark):
+    data = benchmark(fig4_power_vs_frequency)
+
+    print_header(
+        "Fig. 4 — board power vs frequency per core configuration",
+        data["paper_reference"],
+    )
+    # Print the two extreme configurations and one intermediate one in full.
+    interesting = {"1xA7", "4xA7", "4xA7+4xA15"}
+    rows = [r for r in data["rows"] if r["configuration"] in interesting]
+    emit(format_table(rows, title="selected configurations (all 64 points are computed)"))
+    emit(f"power envelope: {data['min_power_w']:.2f} W .. {data['max_power_w']:.2f} W "
+          f"(paper: ~1.8 W .. ~7 W)")
+
+    assert len(data["rows"]) == 64
+    assert data["min_power_w"] < 2.0
+    assert data["max_power_w"] > 6.5

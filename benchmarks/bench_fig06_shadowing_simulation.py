@@ -1,0 +1,60 @@
+"""Fig. 6 — simulated control behaviour under sudden shadowing, plus the
+Section III parameter selection.
+
+Two benches: the closed-loop shadowing simulation (with vs without the
+proposed control) and a reduced version of the V_width / V_q parameter sweep
+used to select the paper's tuned values.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series, format_table
+from repro.experiments.characterisation import (
+    fig6_parameter_selection,
+    fig6_shadowing_simulation,
+)
+
+from _bench_utils import emit, print_header
+
+
+def test_fig06_shadowing_simulation(benchmark):
+    data = benchmark(fig6_shadowing_simulation, duration_s=10.0)
+
+    print_header(
+        "Fig. 6 — closed-loop response to sudden shadowing",
+        data["paper_reference"],
+    )
+    ctrl = data["with_control"]
+    static = data["without_control"]
+    emit(format_series("V_C with control   ", ctrl["times"], ctrl["voltage"], units="V"))
+    emit(format_series("V_C without control", static["times"], static["voltage"], units="V"))
+    emit(format_series("frequency          ", ctrl["times"], ctrl["frequency_ghz"], units="GHz"))
+    emit(format_series("big cores online   ", ctrl["times"], ctrl["n_big"], units=""))
+    emit(f"controller parameters: {data['parameters']}")
+    emit(f"with control   : min V_C {ctrl['min_voltage_v']:.2f} V, {ctrl['brownouts']} brown-outs")
+    emit(f"without control: min V_C {static['min_voltage_v']:.2f} V, {static['brownouts']} brown-outs")
+
+    assert ctrl["brownouts"] == 0
+    assert static["brownouts"] >= 1 or static["min_voltage_v"] < data["minimum_operating_voltage"]
+
+
+def test_fig06_parameter_selection(benchmark):
+    data = benchmark(
+        fig6_parameter_selection,
+        duration_s=15.0,
+        v_width_values=(0.10, 0.144, 0.25),
+        v_q_values=(0.03, 0.0479, 0.10),
+    )
+
+    print_header(
+        "Section III — parameter selection by voltage-stability score",
+        data["paper_reference"],
+    )
+    emit(format_table(data["rows"], title="candidates ranked by fraction of time within 5% of target"))
+    best = data["best"]
+    emit(f"best candidate: V_width={best['v_width_mv']:.0f} mV, V_q={best['v_q_mv']:.1f} mV "
+          f"(paper: 144 mV, 47.9 mV)")
+
+    assert best is not None
+    assert best["survived"]
+    assert best["fraction_within"] > 0.5

@@ -1,0 +1,24 @@
+"""Fig. 7 — ray-trace performance (FPS) vs board power for every OPP."""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.characterisation import fig7_performance_vs_power
+
+from _bench_utils import emit, print_header
+
+
+def test_fig07_performance_vs_power(benchmark):
+    data = benchmark(fig7_performance_vs_power)
+
+    print_header(
+        "Fig. 7 — smallpt (5 spp) frame rate vs board power per OPP",
+        data["paper_reference"],
+    )
+    interesting = {"1xA7", "4xA7", "4xA7+1xA15", "4xA7+4xA15"}
+    rows = [r for r in data["rows"] if r["configuration"] in interesting]
+    emit(format_table(rows, title="selected configurations (all 64 points are computed)"))
+    emit(f"best LITTLE-only FPS : {data['max_fps_little_only']:.3f} (paper ~0.065)")
+    emit(f"best overall FPS     : {data['max_fps_overall']:.3f} (paper ~0.25)")
+    emit(f"maximum board power  : {data['max_power_w']:.2f} W")
+
+    assert abs(data["max_fps_little_only"] - 0.065) < 0.02
+    assert abs(data["max_fps_overall"] - 0.25) < 0.08

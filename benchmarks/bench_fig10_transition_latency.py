@@ -1,0 +1,28 @@
+"""Fig. 10 — DVFS and core hot-plug transition latencies."""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.characterisation import fig10_transition_latency
+
+from _bench_utils import emit, print_header
+
+
+def test_fig10_transition_latency(benchmark):
+    data = benchmark(fig10_transition_latency)
+
+    print_header(
+        "Fig. 10 — hot-plug latency (top) and DVFS latency (bottom)",
+        data["paper_reference"],
+    )
+    hotplug_200 = [r for r in data["hotplug_rows"] if r["frequency_ghz"] == 0.2]
+    hotplug_1400 = [r for r in data["hotplug_rows"] if r["frequency_ghz"] == 1.4]
+    emit(format_table(hotplug_200, title="hot-plug latency at 200 MHz"))
+    emit(format_table(hotplug_1400, title="hot-plug latency at 1.4 GHz"))
+    dvfs = [r for r in data["dvfs_rows"] if r["configuration"] in ("1xA7", "4xA7+4xA15")]
+    emit(format_table(dvfs, title="DVFS latency per step"))
+    emit(
+        f"mean hot-plug latency: {data['hotplug_latency_at_200mhz_ms']:.1f} ms @200 MHz vs "
+        f"{data['hotplug_latency_at_1400mhz_ms']:.1f} ms @1.4 GHz (paper: ~40 vs ~10 ms)"
+    )
+
+    assert data["hotplug_latency_at_200mhz_ms"] > 2 * data["hotplug_latency_at_1400mhz_ms"]
+    assert data["max_dvfs_latency_ms"] < 5.0

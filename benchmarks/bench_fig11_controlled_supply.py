@@ -1,0 +1,31 @@
+"""Fig. 11 — system response to a controlled variable-voltage supply.
+
+Verifies (as in Section V-A) that the governor modulates performance in
+correlation with the supply voltage, handling minor fluctuations with DVFS
+only ('A') and sudden reductions with core hot-plugging as well ('B').
+"""
+
+from repro.analysis.reporting import format_series
+from repro.experiments.evaluation import fig11_controlled_supply
+
+from _bench_utils import emit, print_header
+
+
+def test_fig11_controlled_supply(benchmark):
+    data = benchmark(fig11_controlled_supply, duration_s=170.0)
+
+    print_header(
+        "Fig. 11 — response to a controlled variable supply (V_width=335 mV, V_q=190 mV)",
+        data["paper_reference"],
+    )
+    series = data["series"]
+    emit(format_series("supply voltage", series["times"], series["supply_voltage"], units="V"))
+    emit(format_series("frequency     ", series["times"], series["frequency_mhz"], units="MHz"))
+    emit(format_series("active cores  ", series["times"], series["n_total"], units=""))
+    emit(f"DVFS transitions              : {data['dvfs_transitions']}")
+    emit(f"hot-plug transitions          : {data['hotplug_transitions']}")
+    emit(f"voltage-performance correlation: {data['voltage_performance_correlation']:.2f}")
+
+    assert data["brownouts"] == 0
+    assert data["voltage_performance_correlation"] > 0.0
+    assert data["dvfs_transitions"] > 3 * max(data["hotplug_transitions"], 1)

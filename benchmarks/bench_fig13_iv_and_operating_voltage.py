@@ -1,0 +1,34 @@
+"""Fig. 13 — PV array I-V characteristics and time spent at each operating voltage.
+
+Shows that the voltage-stabilised system operates at (or very near) the PV
+array's maximum power point, providing MPPT behaviour without dedicated MPPT
+hardware.
+"""
+
+from repro.analysis.reporting import format_kv, format_table
+from repro.experiments.evaluation import fig13_iv_and_operating_voltage
+
+from _bench_utils import emit, print_header
+
+
+def test_fig13_iv_and_operating_voltage(benchmark):
+    data = benchmark.pedantic(
+        fig13_iv_and_operating_voltage,
+        kwargs=dict(duration_s=900.0, seed=7),
+        iterations=1,
+        rounds=1,
+    )
+
+    print_header(
+        "Fig. 13 — array I-V curve and operating-voltage histogram",
+        data["paper_reference"],
+    )
+    iv_rows = data["iv_rows"][:: max(len(data["iv_rows"]) // 12, 1)]
+    emit(format_table(iv_rows, title="I-V / P-V curve (sampled)"))
+    emit(format_table(data["histogram_rows"], title="time spent at each operating voltage"))
+    emit(format_kv(data["mpp"], title="maximum power point"))
+    emit(format_kv(data["mppt"], title="MPP-tracking report"))
+
+    top_bin = max(data["histogram_rows"], key=lambda row: row["time_fraction"])
+    assert abs(top_bin["voltage_bin_v"] - data["mpp"]["voltage_v"]) < 0.5
+    assert data["mppt"]["extraction_efficiency"] > 0.8

@@ -1,0 +1,25 @@
+"""Fig. 14 — available (estimated) vs consumed power: the power-neutrality claim."""
+
+from repro.analysis.reporting import format_kv, format_series
+from repro.experiments.evaluation import fig14_power_tracking
+
+from _bench_utils import emit, print_header
+
+
+def test_fig14_power_tracking(benchmark):
+    data = benchmark.pedantic(
+        fig14_power_tracking, kwargs=dict(duration_s=1800.0, seed=7), iterations=1, rounds=1
+    )
+
+    print_header(
+        "Fig. 14 — available vs consumed power over the run",
+        data["paper_reference"],
+    )
+    series = data["series"]
+    emit(format_series("available power", series["times"], series["available_power_w"], units="W"))
+    emit(format_series("consumed power ", series["times"], series["consumed_power_w"], units="W"))
+    emit(format_kv(data["energy"], title="energy accounting"))
+    emit(format_kv(data["tracking"], title="tracking error"))
+
+    assert data["energy"]["harvest_utilisation"] > 0.8
+    assert data["tracking"]["rms_gap_w"] < 1.0

@@ -1,0 +1,27 @@
+"""Fig. 15 — CPU-time overhead of the power-budgeting software and the
+power draw of the external monitoring hardware."""
+
+from repro.analysis.reporting import format_kv
+from repro.experiments.evaluation import fig15_overhead
+
+from _bench_utils import emit, print_header
+
+
+def test_fig15_overhead(benchmark):
+    data = benchmark.pedantic(
+        fig15_overhead, kwargs=dict(duration_s=900.0, seed=7), iterations=1, rounds=1
+    )
+
+    print_header(
+        "Fig. 15 / Section V-D — overheads of the proposed approach",
+        data["paper_reference"],
+    )
+    emit(format_kv(data["overhead"]))
+    emit(f"threshold interrupts serviced : {data['interrupts']}")
+    emit(
+        f"CPU overhead {data['cpu_overhead_percent']:.3f} % (paper: 0.104 %); "
+        f"monitor power {data['overhead']['monitor_power_mw']:.2f} mW (paper: 1.61 mW)"
+    )
+
+    assert data["cpu_overhead_percent"] < 1.0
+    assert data["overhead"]["monitor_percent_of_min_power"] < 1.0

@@ -1,0 +1,32 @@
+"""Table I — worst-case OPP transition cost and required buffer capacitance.
+
+Evaluates the highest-to-lowest OPP transition under both orderings
+(frequency-then-cores vs cores-then-frequency) and derives the buffer
+capacitance each would require — the analysis behind the paper's 15.4 mF
+minimum and 47 mF component choice.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.characterisation import table1_buffer_capacitance
+
+from _bench_utils import emit, print_header
+
+
+def test_table1_buffer_capacitance(benchmark):
+    data = benchmark(table1_buffer_capacitance)
+
+    print_header(
+        "Table I — time and charge expended transitioning from highest to lowest OPP",
+        data["paper_reference"],
+    )
+    emit(format_table(data["rows"]))
+    emit(f"scenario (a)/(b) time ratio        : {data['advantage_time']:.1f}x "
+          f"(paper: 345.4/63.2 = 5.5x)")
+    emit(f"scenario (a)/(b) capacitance ratio : {data['advantage_capacitance']:.1f}x "
+          f"(paper: 84.2/15.4 = 5.5x)")
+    emit(f"component chosen in the paper      : {data['chosen_component_mf']:.0f} mF")
+
+    assert data["advantage_time"] > 2.0
+    assert data["advantage_capacitance"] > 1.4
+    rows = {r["scenario"]: r for r in data["rows"]}
+    assert rows["(b) Core, Frequency"]["transition_time_ms"] < rows["(a) Frequency, Core"]["transition_time_ms"]

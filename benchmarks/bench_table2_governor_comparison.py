@@ -1,0 +1,48 @@
+"""Table II — performance of power-management schemes on the same harvest.
+
+Runs the proposed governor against the Linux cpufreq governors (plus the
+single-core DFS and SolarTune-style baselines) on an identical synthetic
+full-sun trace and prints the Table II columns.  The paper's test lasted
+60 minutes; the bench uses a 15-minute window, which already fixes the shape
+(who survives, who wins and by roughly what factor).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.evaluation import table2_governor_comparison
+
+from _bench_utils import emit, print_header
+
+DURATION_S = 900.0
+
+
+def test_table2_governor_comparison(benchmark):
+    data = benchmark.pedantic(
+        table2_governor_comparison,
+        kwargs=dict(duration_s=DURATION_S, seed=11),
+        iterations=1,
+        rounds=1,
+    )
+
+    print_header(
+        f"Table II — power-management schemes over a {DURATION_S:.0f} s test",
+        data["paper_reference"],
+    )
+    emit(format_table(data["rows"]))
+    improvement = data["instruction_improvement_vs_powersave"]
+    emit(
+        f"\nproposed vs powersave instructions: +{100 * improvement:.1f} % "
+        f"(paper: +69.0 % over 60 minutes)"
+    )
+
+    rows = {r["scheme"]: r for r in data["rows"]}
+    # Shape assertions mirroring the paper's conclusions.
+    assert not rows["Linux Performance"]["survived"]
+    assert not rows["Linux Ondemand"]["survived"]
+    assert not rows["Linux Conservative"]["survived"]
+    assert rows["Linux Powersave"]["survived"]
+    assert rows["Proposed Approach"]["survived"]
+    assert (
+        rows["Proposed Approach"]["instructions_billions"]
+        > rows["Linux Powersave"]["instructions_billions"]
+    )
+    assert improvement > 0.3

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Ensures the in-tree package under ``src/`` is importable even when the
+package has not been pip-installed (e.g. on offline machines where the
+editable install cannot build its wheel).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e .``) work on environments whose
+setuptools predates PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""Maximum-power-point tracking analysis (paper Fig. 13).
+
+A side effect of stabilising the supply voltage at the PV array's calibrated
+maximum power point is that the proposed scheme performs MPPT "for free",
+without dedicated MPPT hardware.  This module quantifies that claim: how much
+of the time the operating voltage sat near the MPP voltage, and how much of
+the theoretically extractable energy was actually extracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..energy.pv_array import PVArray
+from ..sim.result import SimulationResult
+
+__all__ = ["MPPTReport", "mppt_report", "operating_voltage_histogram"]
+
+
+@dataclass(frozen=True)
+class MPPTReport:
+    """How well the run tracked the PV array's maximum power point."""
+
+    mpp_voltage: float
+    mpp_power_at_stc: float
+    mean_operating_voltage: float
+    fraction_near_mpp_voltage: float
+    extraction_efficiency: float
+
+    def as_dict(self) -> dict:
+        return {
+            "mpp_voltage_v": self.mpp_voltage,
+            "mpp_power_at_stc_w": self.mpp_power_at_stc,
+            "mean_operating_voltage_v": self.mean_operating_voltage,
+            "fraction_near_mpp_voltage": self.fraction_near_mpp_voltage,
+            "extraction_efficiency": self.extraction_efficiency,
+        }
+
+
+def operating_voltage_histogram(
+    result: SimulationResult, bin_width_v: float = 0.25, v_max: float = 7.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fraction of time spent at each operating voltage (the Fig. 13 bars).
+
+    Returns ``(bin_edges, fractions)`` where ``fractions`` sums to 1.
+    """
+    if bin_width_v <= 0:
+        raise ValueError("bin_width_v must be positive")
+    edges = np.arange(0.0, v_max + bin_width_v, bin_width_v)
+    fractions = result.time_at_voltage_histogram(edges)
+    return edges, fractions
+
+
+def mppt_report(
+    result: SimulationResult,
+    array: PVArray,
+    voltage_tolerance: float = 0.05,
+    stc_irradiance: float = 1000.0,
+) -> MPPTReport:
+    """Quantify MPP tracking for a run driven by the given PV array.
+
+    ``extraction_efficiency`` is harvested energy divided by the energy that
+    would have been harvested had the array been held exactly at its MPP for
+    the same irradiance profile (i.e. the integral of the available power).
+    """
+    if len(result.times) < 2:
+        raise ValueError("the simulation result contains too few samples")
+    mpp = array.maximum_power_point(stc_irradiance)
+    dt = np.diff(result.times)
+    weights = np.concatenate((dt, [dt[-1]]))
+    total = float(np.sum(weights))
+    mean_v = float(np.sum(result.supply_voltage * weights) / total)
+
+    lower = mpp.voltage * (1.0 - voltage_tolerance)
+    upper = mpp.voltage * (1.0 + voltage_tolerance)
+    near = (result.supply_voltage >= lower) & (result.supply_voltage <= upper)
+    fraction_near = float(np.sum(weights[near]) / total)
+
+    available_energy = float(np.trapezoid(result.available_power, result.times))
+    harvested_energy = float(np.trapezoid(result.harvested_power, result.times))
+    efficiency = harvested_energy / available_energy if available_energy > 0 else 0.0
+
+    return MPPTReport(
+        mpp_voltage=mpp.voltage,
+        mpp_power_at_stc=mpp.power,
+        mean_operating_voltage=mean_v,
+        fraction_near_mpp_voltage=fraction_near,
+        extraction_efficiency=min(efficiency, 1.0),
+    )

@@ -1,0 +1,64 @@
+"""Overhead analysis of the control scheme (paper Section V-D and Fig. 15).
+
+The paper reports two overheads for the proposed approach:
+
+* **CPU time**: the interrupt-driven power-budgeting software consumed on
+  average 0.104 % of CPU time over the full test;
+* **monitoring power**: the external threshold hardware draws 1.61 mW, which
+  is below 0.82 % of the minimum (and 0.01 % of the maximum) system power.
+
+Both are reproduced here from the governor's invocation accounting and the
+platform's power envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.monitor import MONITOR_POWER_W
+from ..sim.result import SimulationResult
+from ..soc.platform import SoCPlatform
+
+__all__ = ["OverheadReport", "overhead_report"]
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """CPU and power overheads of a power-management scheme."""
+
+    governor_invocations: int
+    governor_cpu_time_s: float
+    cpu_overhead_fraction: float
+    monitor_power_w: float
+    monitor_fraction_of_min_power: float
+    monitor_fraction_of_max_power: float
+
+    def as_dict(self) -> dict:
+        return {
+            "governor_invocations": self.governor_invocations,
+            "governor_cpu_time_s": self.governor_cpu_time_s,
+            "cpu_overhead_percent": 100.0 * self.cpu_overhead_fraction,
+            "monitor_power_mw": 1e3 * self.monitor_power_w,
+            "monitor_percent_of_min_power": 100.0 * self.monitor_fraction_of_min_power,
+            "monitor_percent_of_max_power": 100.0 * self.monitor_fraction_of_max_power,
+        }
+
+
+def overhead_report(
+    result: SimulationResult,
+    platform: SoCPlatform,
+    monitor_power_w: float = MONITOR_POWER_W,
+) -> OverheadReport:
+    """Compute the Section V-D overhead figures for a run."""
+    duration = result.duration_s
+    cpu_fraction = result.governor_cpu_time_s / duration if duration > 0 else 0.0
+    min_power = platform.power_model.power(platform.opp_table.lowest)
+    max_power = platform.power_model.power(platform.opp_table.highest)
+    return OverheadReport(
+        governor_invocations=result.governor_invocations,
+        governor_cpu_time_s=result.governor_cpu_time_s,
+        cpu_overhead_fraction=cpu_fraction,
+        monitor_power_w=monitor_power_w,
+        monitor_fraction_of_min_power=monitor_power_w / min_power if min_power > 0 else 0.0,
+        monitor_fraction_of_max_power=monitor_power_w / max_power if max_power > 0 else 0.0,
+    )

@@ -1,0 +1,89 @@
+"""Plain-text report formatting used by the CLI, examples and benchmarks.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers render lists of row dictionaries as aligned
+ASCII tables and numeric series as compact sparkline-style summaries, so the
+output is readable in a terminal and diff-able in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping], title: str | None = None) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_kv(values: Mapping, title: str | None = None) -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    if not values:
+        return f"{title}\n(empty)" if title else "(empty)"
+    width = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        lines.append(f"{str(key).ljust(width)} : {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    times: Iterable[float],
+    values: Iterable[float],
+    n_points: int = 12,
+    units: str = "",
+) -> str:
+    """Summarise a time series as a fixed number of resampled points.
+
+    Used by the figure-reproduction benches to print the *series* a figure
+    plots without dumping thousands of samples.
+    """
+    times = np.asarray(list(times), dtype=float)
+    values = np.asarray(list(values), dtype=float)
+    if len(times) == 0:
+        return f"{name}: (empty)"
+    if len(times) == 1:
+        return f"{name}: t={times[0]:.1f}s -> {values[0]:.3g}{units}"
+    sample_times = np.linspace(times[0], times[-1], n_points)
+    sampled = np.interp(sample_times, times, values)
+    points = ", ".join(f"{v:.3g}" for v in sampled)
+    return (
+        f"{name} [{units}] over t=[{times[0]:.0f}, {times[-1]:.0f}]s: "
+        f"min={values.min():.3g}, mean={values.mean():.3g}, max={values.max():.3g}\n"
+        f"  samples: {points}"
+    )

@@ -1,0 +1,100 @@
+"""Voltage-stability analysis (paper Fig. 12 and the Section III tuning metric).
+
+The paper's headline stability result is that the proposed scheme keeps the
+supply voltage within ±5 % of the 5.3 V target for 93.3 % of a six-hour
+full-sun run; the Section III parameter search also scores candidate
+parameter sets by "the proportion of time spent within 5 % of the target
+voltage".  This module computes those quantities from simulation results or
+raw traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.result import SimulationResult
+
+__all__ = ["StabilityReport", "fraction_within_tolerance", "voltage_stability_report"]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Summary statistics of supply-voltage stability over a run."""
+
+    target_voltage: float
+    tolerance: float
+    fraction_within: float
+    mean_voltage: float
+    min_voltage: float
+    max_voltage: float
+    std_voltage: float
+    fraction_below_minimum: float
+    minimum_operating_voltage: float
+
+    def as_dict(self) -> dict:
+        return {
+            "target_voltage_v": self.target_voltage,
+            "tolerance": self.tolerance,
+            "fraction_within": self.fraction_within,
+            "mean_voltage_v": self.mean_voltage,
+            "min_voltage_v": self.min_voltage,
+            "max_voltage_v": self.max_voltage,
+            "std_voltage_v": self.std_voltage,
+            "fraction_below_vmin": self.fraction_below_minimum,
+        }
+
+
+def fraction_within_tolerance(
+    times: np.ndarray,
+    voltage: np.ndarray,
+    target_voltage: float,
+    tolerance: float = 0.05,
+) -> float:
+    """Time-weighted fraction of samples within ±tolerance of the target."""
+    times = np.asarray(times, dtype=float)
+    voltage = np.asarray(voltage, dtype=float)
+    if len(times) != len(voltage):
+        raise ValueError("times and voltage must have the same length")
+    if len(times) < 2:
+        return 0.0
+    if target_voltage <= 0:
+        raise ValueError("target_voltage must be positive")
+    lower = target_voltage * (1.0 - tolerance)
+    upper = target_voltage * (1.0 + tolerance)
+    within = (voltage >= lower) & (voltage <= upper)
+    dt = np.diff(times)
+    weights = np.concatenate((dt, [dt[-1]]))
+    total = float(np.sum(weights))
+    if total <= 0:
+        return 0.0
+    return float(np.sum(weights[within]) / total)
+
+
+def voltage_stability_report(
+    result: SimulationResult,
+    target_voltage: float,
+    tolerance: float = 0.05,
+    minimum_operating_voltage: float = 4.1,
+) -> StabilityReport:
+    """Compute the Fig. 12-style stability report for a simulation run."""
+    times = result.times
+    voltage = result.supply_voltage
+    if len(times) < 2:
+        raise ValueError("the simulation result contains too few samples")
+    dt = np.diff(times)
+    weights = np.concatenate((dt, [dt[-1]]))
+    total = float(np.sum(weights))
+    below = voltage < minimum_operating_voltage
+    return StabilityReport(
+        target_voltage=target_voltage,
+        tolerance=tolerance,
+        fraction_within=fraction_within_tolerance(times, voltage, target_voltage, tolerance),
+        mean_voltage=float(np.sum(voltage * weights) / total),
+        min_voltage=float(np.min(voltage)),
+        max_voltage=float(np.max(voltage)),
+        std_voltage=float(np.sqrt(np.sum(weights * (voltage - np.sum(voltage * weights) / total) ** 2) / total)),
+        fraction_below_minimum=float(np.sum(weights[below]) / total),
+        minimum_operating_voltage=minimum_operating_voltage,
+    )

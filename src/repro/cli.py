@@ -1,0 +1,160 @@
+"""Command-line entry point: run the paper's experiments from a terminal.
+
+Examples
+--------
+Run the governor against a synthetic full-sun harvest for ten minutes::
+
+    repro-pns run --governor power-neutral --duration 600 --weather full_sun
+
+Reproduce Table II (shortened)::
+
+    repro-pns table2 --duration 900
+
+Reproduce a characterisation figure::
+
+    repro-pns figure fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis.reporting import format_kv, format_series, format_table
+from .core.governor import PowerNeutralGovernor
+from .core.parameters import PAPER_TUNED_PARAMETERS
+from .energy.irradiance import WeatherCondition
+from .experiments import characterisation, evaluation
+from .experiments.scenarios import run_pv_experiment
+from .governors.base import Governor
+from .governors.linux import (
+    ConservativeGovernor,
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from .governors.single_core_dfs import SingleCoreDFSGovernor
+from .governors.solartune import SolarTuneGovernor
+
+__all__ = ["main", "build_parser", "GOVERNOR_FACTORIES"]
+
+#: Governors selectable from the command line.
+GOVERNOR_FACTORIES: dict[str, Callable[[], Governor]] = {
+    "power-neutral": lambda: PowerNeutralGovernor(PAPER_TUNED_PARAMETERS),
+    "performance": PerformanceGovernor,
+    "powersave": PowersaveGovernor,
+    "ondemand": OndemandGovernor,
+    "conservative": ConservativeGovernor,
+    "interactive": InteractiveGovernor,
+    "single-core-dfs": SingleCoreDFSGovernor,
+    "solartune": SolarTuneGovernor,
+}
+
+#: Characterisation figure generators selectable from the command line.
+FIGURE_FUNCTIONS: dict[str, Callable[[], dict]] = {
+    "fig1": characterisation.fig1_solar_day,
+    "fig3": characterisation.fig3_concept,
+    "fig4": characterisation.fig4_power_vs_frequency,
+    "fig6": characterisation.fig6_shadowing_simulation,
+    "fig7": characterisation.fig7_performance_vs_power,
+    "fig10": characterisation.fig10_transition_latency,
+    "table1": characterisation.table1_buffer_capacitance,
+    "fig11": evaluation.fig11_controlled_supply,
+    "fig12": evaluation.fig12_voltage_stability,
+    "fig13": evaluation.fig13_iv_and_operating_voltage,
+    "fig14": evaluation.fig14_power_tracking,
+    "fig15": evaluation.fig15_overhead,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pns",
+        description="Power-neutral performance scaling for energy-harvesting MP-SoCs (DATE 2017) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one governor against a synthetic solar harvest")
+    run.add_argument("--governor", choices=sorted(GOVERNOR_FACTORIES), default="power-neutral")
+    run.add_argument("--duration", type=float, default=600.0, help="simulated duration in seconds")
+    run.add_argument(
+        "--weather",
+        choices=[w.value for w in WeatherCondition],
+        default=WeatherCondition.FULL_SUN.value,
+    )
+    run.add_argument("--seed", type=int, default=7, help="irradiance generator seed")
+    run.add_argument("--capacitance-mf", type=float, default=47.0, help="buffer capacitance in mF")
+
+    table2 = sub.add_parser("table2", help="reproduce the Table II governor comparison")
+    table2.add_argument("--duration", type=float, default=900.0)
+    table2.add_argument("--seed", type=int, default=11)
+
+    figure = sub.add_parser("figure", help="reproduce one characterisation/evaluation figure")
+    figure.add_argument("name", choices=sorted(FIGURE_FUNCTIONS))
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    governor = GOVERNOR_FACTORIES[args.governor]()
+    result = run_pv_experiment(
+        governor,
+        duration_s=args.duration,
+        weather=WeatherCondition(args.weather),
+        seed=args.seed,
+        capacitance_f=args.capacitance_mf * 1e-3,
+    )
+    print(format_kv(result.summary(), title=f"Run summary ({args.governor})"))
+    print()
+    print(format_series("V_C", result.times, result.supply_voltage, units="V"))
+    print(format_series("consumed power", result.times, result.consumed_power, units="W"))
+    return 0
+
+
+def _command_table2(args: argparse.Namespace) -> int:
+    data = evaluation.table2_governor_comparison(duration_s=args.duration, seed=args.seed)
+    print(format_table(data["rows"], title=f"Table II ({args.duration:.0f} s test)"))
+    if data["instruction_improvement_vs_powersave"] is not None:
+        print(
+            f"\nInstructions vs Linux Powersave: "
+            f"{100.0 * data['instruction_improvement_vs_powersave']:.1f}% more "
+            f"(paper: +69.0%)"
+        )
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    data = FIGURE_FUNCTIONS[args.name]()
+    for key, value in data.items():
+        if key.startswith("_"):
+            continue
+        if key.endswith("rows") and isinstance(value, list):
+            print(format_table(value, title=key))
+            print()
+        elif isinstance(value, dict) and "times" not in value:
+            print(format_kv(value, title=key))
+            print()
+        elif not isinstance(value, (list, dict)):
+            print(f"{key}: {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by the ``repro-pns`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "table2":
+        return _command_table2(args)
+    if args.command == "figure":
+        return _command_figure(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Linear DVFS response policy (paper Section II-B, first stage).
+
+On every threshold crossing the governor applies *linear control* to the
+operating frequency: the frequency moves exactly one step along the ladder of
+``N`` predefined operating frequencies — down when ``V_low`` was crossed
+(harvested power falling), up when ``V_high`` was crossed (harvested power
+rising).  DVFS is applied first because its latency is much lower than core
+hot-plugging, making it the right tool for the 'micro' variability of the
+harvested supply.
+"""
+
+from __future__ import annotations
+
+from ..hw.monitor import ThresholdCrossing
+from ..soc.opp import FrequencyLadder
+
+__all__ = ["LinearDVFSPolicy"]
+
+
+class LinearDVFSPolicy:
+    """Step the operating frequency one ladder position per crossing.
+
+    Parameters
+    ----------
+    ladder:
+        The platform's permitted DVFS frequencies.
+    steps_per_crossing:
+        Number of ladder positions to move per crossing.  The paper uses 1
+        ("migrated to the next lowest of N predefined operating frequency
+        levels"); larger values are exposed for ablation studies.
+    """
+
+    def __init__(self, ladder: FrequencyLadder, steps_per_crossing: int = 1):
+        if steps_per_crossing < 1:
+            raise ValueError("steps_per_crossing must be at least 1")
+        self.ladder = ladder
+        self.steps_per_crossing = steps_per_crossing
+
+    def respond(self, crossing: ThresholdCrossing, current_frequency_hz: float) -> float:
+        """Return the new operating frequency for a threshold crossing."""
+        if crossing is ThresholdCrossing.LOW:
+            return self.ladder.step_down(current_frequency_hz, self.steps_per_crossing)
+        return self.ladder.step_up(current_frequency_hz, self.steps_per_crossing)
+
+    def at_limit(self, crossing: ThresholdCrossing, current_frequency_hz: float) -> bool:
+        """Whether the frequency can move no further in the crossing's direction."""
+        if crossing is ThresholdCrossing.LOW:
+            return self.ladder.is_lowest(current_frequency_hz)
+        return self.ladder.is_highest(current_frequency_hz)

@@ -1,0 +1,261 @@
+"""The power-neutral performance-scaling governor (the paper's contribution).
+
+The governor ties together the three mechanisms described in Section II and
+the flowchart of Fig. 5:
+
+1. a :class:`~repro.core.thresholds.ThresholdTracker` owning the dynamic
+   ``V_high`` / ``V_low`` thresholds (eq. 1),
+2. a :class:`~repro.core.dvfs_policy.LinearDVFSPolicy` applying the linear
+   frequency response to every crossing,
+3. a :class:`~repro.core.hotplug_policy.DerivativeHotplugPolicy` applying the
+   derivative core hot-plugging response (eq. 2-3).
+
+It is interrupt driven: the simulator (standing in for the external
+comparator hardware of Fig. 9) calls :meth:`on_interrupt` whenever the supply
+voltage crosses one of the programmed thresholds.  Each invocation
+
+* measures ``τ``, the time since the previous crossing,
+* computes the DVFS step and the core-scaling response,
+* shifts both thresholds by ``V_q`` in the direction of the crossing,
+* returns the requested operating point (the platform model charges the
+  appropriate transition latency).
+
+The per-invocation CPU cost is modelled at 50 µs, which over a typical run
+reproduces the ~0.1 % CPU overhead reported in Section V-D.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..governors.base import Governor, GovernorDecision
+from ..hw.monitor import ThresholdCrossing
+from ..soc.cores import CoreConfig, CoreType
+from ..soc.opp import OperatingPoint
+from ..soc.platform import SoCPlatform
+from .dvfs_policy import LinearDVFSPolicy
+from .hotplug_policy import DerivativeHotplugPolicy
+from .parameters import ControllerParameters, PAPER_TUNED_PARAMETERS
+from .thresholds import ThresholdTracker
+
+__all__ = ["PowerNeutralGovernor"]
+
+
+class PowerNeutralGovernor(Governor):
+    """Power-neutral performance scaling through DVFS and core hot-plugging.
+
+    Parameters
+    ----------
+    parameters:
+        The four algorithmic parameters (``V_width``, ``V_q``, ``alpha``,
+        ``beta``) plus the ablation switches.  Defaults to the values tuned
+        through simulation in Section III.
+    target_voltage:
+        The calibrated target supply voltage (Section V-B sets it to the PV
+        array's maximum power point, 5.3 V).  The dynamic thresholds may
+        track downwards from here as far as the platform's minimum operating
+        voltage, but their upward travel is capped just above the target:
+        when more power is harvested than the present operating point
+        consumes, the governor keeps raising performance rather than letting
+        the node voltage drift towards open circuit, which is what pins
+        operation at (and MPP-tracks) the target.  Pass ``None`` to let the
+        thresholds roam the full operating window instead (used for the
+        controlled-supply verification of Fig. 11, where no PV MPP exists).
+    """
+
+    name = "power-neutral"
+    uses_voltage_monitor = True
+    sampling_interval_s = None
+    cpu_time_per_invocation_s = 50e-6
+
+    def __init__(
+        self,
+        parameters: ControllerParameters = PAPER_TUNED_PARAMETERS,
+        target_voltage: float | None = 5.3,
+    ):
+        super().__init__()
+        self.parameters = parameters
+        self.target_voltage = target_voltage
+        self._tracker: Optional[ThresholdTracker] = None
+        self._dvfs: Optional[LinearDVFSPolicy] = None
+        self._hotplug = DerivativeHotplugPolicy(
+            v_q=parameters.v_q, alpha=parameters.alpha, beta=parameters.beta
+        )
+        self._last_crossing_time: Optional[float] = None
+        self._last_crossing_type: Optional[ThresholdCrossing] = None
+        self._last_hotplug_time: float = float("-inf")
+        #: History of (time, crossing, tau, decision) tuples for analysis.
+        self.decision_log: list[tuple[float, ThresholdCrossing, float, OperatingPoint]] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialise(self, platform: SoCPlatform, time: float, supply_voltage: float) -> None:
+        """Calibrate the thresholds around the present supply voltage (eq. 1)."""
+        params = self.parameters
+        v_floor = params.v_floor if params.v_floor is not None else platform.spec.minimum_voltage
+        if params.v_ceiling is not None:
+            v_ceiling = params.v_ceiling
+        elif self.target_voltage is not None:
+            # Cap the upward travel of the threshold window just above the
+            # calibrated target (the PV maximum power point): surplus power is
+            # then absorbed by raising performance, not by letting V_C drift
+            # towards the open-circuit voltage.
+            v_ceiling = min(
+                self.target_voltage + params.v_width, platform.spec.maximum_voltage
+            )
+            v_ceiling = max(v_ceiling, v_floor + params.v_width)
+        else:
+            v_ceiling = platform.spec.maximum_voltage
+        self._tracker = ThresholdTracker(
+            v_width=params.v_width,
+            v_q=params.v_q,
+            v_floor=v_floor,
+            v_ceiling=v_ceiling,
+        )
+        self._tracker.calibrate(supply_voltage)
+        self._dvfs = LinearDVFSPolicy(platform.frequency_ladder)
+        self._last_crossing_time = time
+        self._last_crossing_type = None
+        self._last_hotplug_time = float("-inf")
+        self.decision_log.clear()
+
+    # ------------------------------------------------------------------
+    # Threshold reporting (consumed by the voltage monitor)
+    # ------------------------------------------------------------------
+    def thresholds(self) -> Optional[tuple[float, float]]:
+        if self._tracker is None:
+            return None
+        return self._tracker.as_tuple()
+
+    @property
+    def tracker(self) -> ThresholdTracker:
+        """The live threshold tracker (available after :meth:`initialise`)."""
+        if self._tracker is None:
+            raise RuntimeError("governor has not been initialised")
+        return self._tracker
+
+    # ------------------------------------------------------------------
+    # Interrupt handling (the Fig. 5 flowchart)
+    # ------------------------------------------------------------------
+    def on_interrupt(
+        self,
+        crossing: ThresholdCrossing,
+        time: float,
+        supply_voltage: float,
+        platform: SoCPlatform,
+    ) -> Optional[GovernorDecision]:
+        if self._tracker is None or self._dvfs is None:
+            raise RuntimeError("governor has not been initialised")
+        self._account_invocation()
+
+        # τ: time elapsed since the previous crossing of the *same* threshold
+        # (eq. 3 / Fig. 5 timer).  The gradient approximation dV_C/dt ≈ V_q/τ
+        # only holds between consecutive crossings in the same direction —
+        # that is when the tracked threshold has moved by exactly V_q.  When
+        # the previous crossing was of the opposite threshold the supply is
+        # merely hunting inside the window, the gradient estimate is
+        # undefined, and no core-scaling response is taken.
+        same_direction = self._last_crossing_type == crossing
+        if self._last_crossing_time is None or not same_direction:
+            tau = float("inf")
+        else:
+            tau = max(time - self._last_crossing_time, 0.0)
+        self._last_crossing_time = time
+        self._last_crossing_type = crossing
+
+        current = platform.current_opp
+
+        # Stage 1 — linear DVFS response.
+        if self.parameters.use_dvfs:
+            new_frequency = self._dvfs.respond(crossing, current.frequency_hz)
+        else:
+            new_frequency = current.frequency_hz
+
+        # Stage 2 — core hot-plugging (DPM) response.  Two rules engage it:
+        #
+        #   * the paper's derivative rule (eq. 2-3): a steep supply-voltage
+        #     gradient across consecutive same-direction crossings scales the
+        #     clusters immediately — this is the fast anti-brown-out path the
+        #     Table I capacitance is sized for;
+        #   * a saturation rule completing the Fig. 5 "keep responding while
+        #     V_C remains beyond the threshold" loop: when the frequency
+        #     ladder is exhausted in the crossing's direction and V_C is
+        #     still outside the window, the only response left is a core —
+        #     one is added/removed regardless of gradient.
+        #
+        # Core *additions* are separated by a hold-off so that DPM follows
+        # the macro trend rather than the micro hunting DVFS absorbs; core
+        # *removals* are never delayed — shedding load ahead of a collapsing
+        # supply is the anti-brown-out path the Table I capacitance is sized
+        # for.
+        new_config = current.config
+        if self.parameters.use_hotplug:
+            holdoff_elapsed = (
+                time - self._last_hotplug_time >= self.parameters.hotplug_holdoff_s
+            )
+            allowed = holdoff_elapsed or crossing is ThresholdCrossing.LOW
+            if allowed:
+                if same_direction:
+                    response = self._hotplug.respond(crossing, tau)
+                    new_config = self._apply_core_scaling(new_config, response.s_little, CoreType.LITTLE, platform)
+                    new_config = self._apply_core_scaling(new_config, response.s_big, CoreType.BIG, platform)
+                if new_config == current.config and self._dvfs_saturated(crossing, current.frequency_hz, platform):
+                    new_config = self._saturation_core_response(crossing, current.config, platform)
+                if new_config != current.config:
+                    self._last_hotplug_time = time
+
+        # Stage 3 — shift the thresholds to track the harvested supply.
+        if crossing is ThresholdCrossing.LOW:
+            self._tracker.on_low_crossing()
+        else:
+            self._tracker.on_high_crossing()
+
+        target = OperatingPoint(new_config, new_frequency)
+        if target == current:
+            return None
+        self.decision_log.append((time, crossing, tau, target))
+        return GovernorDecision(target=target, cores_first=self.parameters.cores_first)
+
+    def _dvfs_saturated(
+        self, crossing: ThresholdCrossing, frequency_hz: float, platform: SoCPlatform
+    ) -> bool:
+        """Whether the DVFS stage can respond no further in this direction."""
+        if not self.parameters.use_dvfs:
+            return True
+        ladder = platform.frequency_ladder
+        if crossing is ThresholdCrossing.LOW:
+            return ladder.is_lowest(frequency_hz)
+        return ladder.is_highest(frequency_hz)
+
+    def _saturation_core_response(
+        self, crossing: ThresholdCrossing, config: CoreConfig, platform: SoCPlatform
+    ) -> CoreConfig:
+        """One-core response used when only DPM can still follow the supply.
+
+        Additions bring a LITTLE core up first (the gentler power step) and
+        fall back to a big core once the LITTLE cluster is full; removals
+        shed a big core first and fall back to a LITTLE core.
+        """
+        table = platform.opp_table
+        if crossing is ThresholdCrossing.HIGH:
+            if config.can_add(CoreType.LITTLE, table.max_little, table.max_big):
+                return config.add(CoreType.LITTLE, table.max_little, table.max_big)
+            return config.add(CoreType.BIG, table.max_little, table.max_big)
+        if config.can_remove(CoreType.BIG):
+            return config.remove(CoreType.BIG)
+        return config.remove(CoreType.LITTLE)
+
+    @staticmethod
+    def _apply_core_scaling(
+        config: CoreConfig, factor: int, core_type: CoreType, platform: SoCPlatform
+    ) -> CoreConfig:
+        """Apply one ternary core-scaling factor, respecting cluster limits."""
+        if factor == 0:
+            return config
+        table = platform.opp_table
+        max_little = max(c.n_little for c in table.configs)
+        max_big = max(c.n_big for c in table.configs)
+        if factor > 0:
+            return config.add(core_type, max_little=max_little, max_big=max_big)
+        return config.remove(core_type)

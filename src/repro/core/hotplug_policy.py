@@ -1,0 +1,109 @@
+"""Derivative core hot-plugging response policy (paper Section II-B, eq. 2-3).
+
+The second stage of the governor's response deals with 'macro' variation in
+the harvested supply by adding or removing CPU cores.  The decision is
+*derivative*: it depends on how fast the supply voltage is changing.
+
+Measuring ``dV_C/dt`` continuously would cost CPU time, so the paper
+approximates it at each threshold crossing from the tracking quantum and the
+time since the previous crossing (eq. 3):
+
+    dV_C/dt  ≈  V_q / τ
+
+Two gradient thresholds ``alpha`` (LITTLE cores) and ``beta`` (big cores)
+convert the gradient into the ternary core-scaling factors ``S_L`` and
+``S_b`` of eq. 2: when the gradient magnitude exceeds ``beta`` a big core is
+added/removed, and when it exceeds ``alpha`` a LITTLE core is added/removed
+(``beta > alpha``, so a very steep change scales both clusters at once, as
+observed at point 'B' of Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.monitor import ThresholdCrossing
+
+__all__ = ["CoreScalingResponse", "DerivativeHotplugPolicy"]
+
+
+@dataclass(frozen=True)
+class CoreScalingResponse:
+    """The ternary core-scaling factors of eq. 2.
+
+    ``+1`` adds a core of that type, ``-1`` removes one, ``0`` leaves the
+    cluster unchanged.
+    """
+
+    s_little: int
+    s_big: int
+
+    def __post_init__(self) -> None:
+        if self.s_little not in (-1, 0, 1) or self.s_big not in (-1, 0, 1):
+            raise ValueError("core scaling factors must be -1, 0 or +1")
+
+    @property
+    def any_change(self) -> bool:
+        return self.s_little != 0 or self.s_big != 0
+
+
+class DerivativeHotplugPolicy:
+    """Decide core scaling from the approximated supply-voltage gradient.
+
+    Parameters
+    ----------
+    v_q:
+        Threshold tracking quantum (the ΔV of the gradient approximation).
+    alpha:
+        LITTLE-core gradient threshold in V/s.
+    beta:
+        big-core gradient threshold in V/s (``beta >= alpha``).
+    """
+
+    def __init__(self, v_q: float, alpha: float, beta: float):
+        if v_q <= 0:
+            raise ValueError("v_q must be positive")
+        if alpha <= 0 or beta <= 0:
+            raise ValueError("alpha and beta must be positive")
+        if beta < alpha:
+            raise ValueError("beta must be >= alpha")
+        self.v_q = v_q
+        self.alpha = alpha
+        self.beta = beta
+
+    # ------------------------------------------------------------------
+    # Gradient approximation (eq. 3)
+    # ------------------------------------------------------------------
+    def gradient_magnitude(self, tau: float) -> float:
+        """|dV_C/dt| approximated as V_q / τ (eq. 3)."""
+        if tau <= 0:
+            return float("inf")
+        return self.v_q / tau
+
+    @property
+    def tau_little(self) -> float:
+        """Crossing interval below which the LITTLE response triggers (V_q/α)."""
+        return self.v_q / self.alpha
+
+    @property
+    def tau_big(self) -> float:
+        """Crossing interval below which the big response triggers (V_q/β)."""
+        return self.v_q / self.beta
+
+    # ------------------------------------------------------------------
+    # Response (eq. 2)
+    # ------------------------------------------------------------------
+    def respond(self, crossing: ThresholdCrossing, tau: float) -> CoreScalingResponse:
+        """Core-scaling response for a crossing that happened ``tau`` seconds
+        after the previous one.
+
+        A ``LOW`` crossing with a steep gradient removes cores; a ``HIGH``
+        crossing with a steep gradient adds cores.  A gradual change (gradient
+        below ``alpha``) leaves the core configuration untouched and lets the
+        DVFS stage absorb the variation.
+        """
+        gradient = self.gradient_magnitude(tau)
+        direction = -1 if crossing is ThresholdCrossing.LOW else 1
+        s_big = direction if gradient > self.beta else 0
+        s_little = direction if gradient > self.alpha else 0
+        return CoreScalingResponse(s_little=s_little, s_big=s_big)

@@ -1,0 +1,146 @@
+"""Controller parameters of the power-neutral performance-scaling governor.
+
+The governor has four algorithmic parameters (paper Section II-A and Fig. 3):
+
+* ``v_width`` — the initial separation between the ``V_high`` and ``V_low``
+  thresholds bounding the supply voltage;
+* ``v_q``     — the amount by which both thresholds move each time one of
+  them is crossed (the tracking quantum);
+* ``alpha``   — the minimum |dV_C/dt| that warrants adding/removing a
+  'LITTLE' core;
+* ``beta``    — the minimum |dV_C/dt| that warrants adding/removing a 'big'
+  core (``beta > alpha`` because big cores are a larger power step).
+
+Three named parameter sets appear in the paper and are provided as constants:
+the values tuned through simulation in Section III, the illustrative values of
+the Fig. 6 simulation, and the deliberately exaggerated values used for the
+controlled-supply demonstration of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ControllerParameters",
+    "PAPER_TUNED_PARAMETERS",
+    "FIG6_PARAMETERS",
+    "FIG11_PARAMETERS",
+]
+
+
+@dataclass(frozen=True)
+class ControllerParameters:
+    """Tunable parameters of the power-neutral governor.
+
+    Attributes
+    ----------
+    v_width:
+        Initial threshold separation in volts.
+    v_q:
+        Threshold tracking quantum in volts.
+    alpha:
+        LITTLE-core gradient threshold in V/s.
+    beta:
+        big-core gradient threshold in V/s.
+    use_dvfs:
+        Enable the linear DVFS response (disable for DPM-only ablation).
+    use_hotplug:
+        Enable the derivative core hot-plugging response (disable for the
+        DVFS-only ablation, equivalent to generalising the single-core
+        approach of paper reference [11]).
+    cores_first:
+        Transition ordering used when a decision changes both the core
+        configuration and the frequency (paper Table I scenario (b) when
+        True).
+    hotplug_holdoff_s:
+        Minimum interval between successive core *additions*.  Hot-plugging
+        targets the 'macro' variation of the harvested supply (Section II-B);
+        rate-limiting additions keeps the DPM layer from reacting to the
+        'micro' variation that DVFS already absorbs, preventing add/remove
+        churn while the OPP settles around a new power level.  Core removals
+        are never delayed — shedding load to prevent brown-out is the
+        safety-critical path.  Set to 0 to disable (ablation).
+    v_floor:
+        Lowest value ``V_low`` may be driven down to while tracking; defaults
+        to the platform's minimum operating voltage when the governor is
+        initialised (``None`` means "use the platform minimum").
+    v_ceiling:
+        Highest value ``V_high`` may be driven up to (``None`` means "use the
+        platform maximum").
+    """
+
+    v_width: float
+    v_q: float
+    alpha: float
+    beta: float
+    use_dvfs: bool = True
+    use_hotplug: bool = True
+    cores_first: bool = True
+    hotplug_holdoff_s: float = 0.5
+    v_floor: float | None = None
+    v_ceiling: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.v_width <= 0:
+            raise ValueError("v_width must be positive")
+        if self.v_q <= 0:
+            raise ValueError("v_q must be positive")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.beta < self.alpha:
+            raise ValueError(
+                "beta (big-core gradient threshold) must be >= alpha "
+                "(LITTLE-core gradient threshold)"
+            )
+        if not (self.use_dvfs or self.use_hotplug):
+            raise ValueError("at least one of use_dvfs / use_hotplug must be enabled")
+        if self.hotplug_holdoff_s < 0:
+            raise ValueError("hotplug_holdoff_s must be non-negative")
+        if self.v_floor is not None and self.v_ceiling is not None:
+            if self.v_ceiling <= self.v_floor:
+                raise ValueError("v_ceiling must exceed v_floor")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def tau_big(self) -> float:
+        """Crossing interval below which a big-core response is taken: V_q / beta."""
+        return self.v_q / self.beta
+
+    @property
+    def tau_little(self) -> float:
+        """Crossing interval below which a LITTLE-core response is taken: V_q / alpha."""
+        return self.v_q / self.alpha
+
+    def with_overrides(self, **changes) -> "ControllerParameters":
+        """Return a copy with the given fields replaced (for sweeps/ablations)."""
+        return replace(self, **changes)
+
+
+#: Best-performing values found through the Section III simulation study.
+PAPER_TUNED_PARAMETERS = ControllerParameters(
+    v_width=0.144,
+    v_q=0.0479,
+    alpha=0.120,
+    beta=0.479,
+)
+
+#: Values used for the illustrative simulation of Fig. 6.
+FIG6_PARAMETERS = ControllerParameters(
+    v_width=0.200,
+    v_q=0.080,
+    alpha=0.100,
+    beta=0.120,
+)
+
+#: Deliberately large values used for clarity in the Fig. 11 demonstration.
+FIG11_PARAMETERS = ControllerParameters(
+    v_width=0.335,
+    v_q=0.190,
+    alpha=0.238,
+    beta=0.633,
+)

@@ -1,0 +1,120 @@
+"""Dynamic dual-threshold tracker (paper Section II-A, eq. 1).
+
+The tracker owns the two voltage thresholds ``V_high`` and ``V_low``.  They
+are calibrated at start-up to bound the present supply voltage with a
+separation of ``V_width`` (eq. 1), and thereafter move down by ``V_q`` every
+time ``V_low`` is crossed and up by ``V_q`` every time ``V_high`` is crossed,
+so that the pair "tracks" the harvested power level.
+
+The tracker clamps the thresholds to the feasible window: ``V_low`` never
+drops below the floor (the platform's minimum operating voltage, so the
+governor always reacts before brown-out) and ``V_high`` never rises above the
+ceiling (the maximum board voltage / PV open-circuit region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThresholdTracker"]
+
+
+@dataclass
+class ThresholdTracker:
+    """State machine for the two dynamic voltage thresholds.
+
+    Attributes
+    ----------
+    v_width:
+        Separation between the thresholds.
+    v_q:
+        Step by which both thresholds move on each crossing.
+    v_floor:
+        Lowest permitted value of ``V_low``.
+    v_ceiling:
+        Highest permitted value of ``V_high``.
+    """
+
+    v_width: float
+    v_q: float
+    v_floor: float
+    v_ceiling: float
+
+    def __post_init__(self) -> None:
+        if self.v_width <= 0:
+            raise ValueError("v_width must be positive")
+        if self.v_q <= 0:
+            raise ValueError("v_q must be positive")
+        if self.v_ceiling - self.v_floor < self.v_width:
+            raise ValueError(
+                "the [v_floor, v_ceiling] window must be at least v_width wide"
+            )
+        self.v_low: float = self.v_floor
+        self.v_high: float = self.v_floor + self.v_width
+        self.calibrated = False
+
+    # ------------------------------------------------------------------
+    # Calibration (eq. 1)
+    # ------------------------------------------------------------------
+    def calibrate(self, supply_voltage: float) -> tuple[float, float]:
+        """Centre the thresholds on the present supply voltage.
+
+        Implements eq. 1:  ``V_high = V_C + V_width/2``, ``V_low = V_C -
+        V_width/2``, then clamps the pair into the permitted window while
+        preserving the separation.
+        """
+        low = supply_voltage - 0.5 * self.v_width
+        high = supply_voltage + 0.5 * self.v_width
+        low, high = self._clamp_pair(low, high)
+        self.v_low, self.v_high = low, high
+        self.calibrated = True
+        return self.v_low, self.v_high
+
+    def _clamp_pair(self, low: float, high: float) -> tuple[float, float]:
+        """Shift the (low, high) pair so it lies inside the permitted window."""
+        if low < self.v_floor:
+            shift = self.v_floor - low
+            low += shift
+            high += shift
+        if high > self.v_ceiling:
+            shift = high - self.v_ceiling
+            low -= shift
+            high -= shift
+        # Window narrower than the pair can only happen if v_width is larger
+        # than the window, which __post_init__ rejects.
+        return low, high
+
+    # ------------------------------------------------------------------
+    # Tracking
+    # ------------------------------------------------------------------
+    def on_low_crossing(self) -> tuple[float, float]:
+        """Shift both thresholds down by ``V_q`` (harvested power falling)."""
+        low, high = self._clamp_pair(self.v_low - self.v_q, self.v_high - self.v_q)
+        self.v_low, self.v_high = low, high
+        return low, high
+
+    def on_high_crossing(self) -> tuple[float, float]:
+        """Shift both thresholds up by ``V_q`` (harvested power rising)."""
+        low, high = self._clamp_pair(self.v_low + self.v_q, self.v_high + self.v_q)
+        self.v_low, self.v_high = low, high
+        return low, high
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def separation(self) -> float:
+        """Present separation between the thresholds."""
+        return self.v_high - self.v_low
+
+    @property
+    def centre(self) -> float:
+        """Midpoint between the thresholds."""
+        return 0.5 * (self.v_high + self.v_low)
+
+    def contains(self, supply_voltage: float) -> bool:
+        """Whether the supply voltage currently lies between the thresholds."""
+        return self.v_low <= supply_voltage <= self.v_high
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.v_low, self.v_high)

@@ -1,0 +1,51 @@
+"""Energy-harvesting substrate: PV cells/arrays, irradiance synthesis, storage.
+
+This subpackage models everything on the *supply* side of the paper's system
+(Fig. 2 and Fig. 8): the single-diode solar-cell model of eq. 4, calibrated PV
+arrays, synthetic irradiance traces with micro/macro variability, trace
+containers with CSV persistence, and the small buffer capacitor.
+"""
+
+from .solar_cell import MPPResult, SolarCell, SolarCellParameters, thermal_voltage
+from .pv_array import PVArray, fig1_small_cell, paper_pv_array
+from .irradiance import (
+    ClearSkyModel,
+    CloudModel,
+    IrradianceGenerator,
+    ShadowingEvent,
+    WeatherCondition,
+    constant_irradiance,
+    sinusoidal_irradiance,
+    step_irradiance,
+)
+from .traces import IrradianceTrace, PowerTrace, Trace, trace_from_function
+from .supercapacitor import (
+    PAPER_BUFFER_CAPACITANCE_F,
+    PAPER_MINIMUM_CAPACITANCE_F,
+    Supercapacitor,
+)
+
+__all__ = [
+    "MPPResult",
+    "SolarCell",
+    "SolarCellParameters",
+    "thermal_voltage",
+    "PVArray",
+    "paper_pv_array",
+    "fig1_small_cell",
+    "ClearSkyModel",
+    "CloudModel",
+    "IrradianceGenerator",
+    "ShadowingEvent",
+    "WeatherCondition",
+    "constant_irradiance",
+    "sinusoidal_irradiance",
+    "step_irradiance",
+    "IrradianceTrace",
+    "PowerTrace",
+    "Trace",
+    "trace_from_function",
+    "Supercapacitor",
+    "PAPER_BUFFER_CAPACITANCE_F",
+    "PAPER_MINIMUM_CAPACITANCE_F",
+]

@@ -1,0 +1,334 @@
+"""Single-diode photovoltaic cell model.
+
+The paper models its PV energy-harvesting source with the classic
+single-diode equivalent circuit (paper eq. 4):
+
+    I = I_l - I_0 * (exp((V + Rs*I) / (N * Vt)) - 1) - (V + Rs*I) / Rp
+
+where
+
+* ``I_l``  -- light-generated (photo) current, proportional to irradiance,
+* ``I_0``  -- diode reverse-saturation current,
+* ``Rs``   -- lumped series resistance,
+* ``Rp``   -- lumped parallel (shunt) resistance,
+* ``N``    -- diode ideality (quality) factor,
+* ``Vt``   -- thermal voltage (kT/q, about 25.85 mV at 300 K).
+
+The equation is implicit in ``I``.  This module solves it exactly using the
+Lambert-W function (the standard closed-form rearrangement), with a robust
+bisection fallback for extreme parameter values.
+
+Only the cell-level model lives here; series/parallel composition into an
+array (and the calibrated arrays used by the paper) live in
+:mod:`repro.energy.pv_array`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy.special import lambertw
+
+__all__ = [
+    "BOLTZMANN_CONSTANT",
+    "ELEMENTARY_CHARGE",
+    "thermal_voltage",
+    "SolarCellParameters",
+    "SolarCell",
+    "MPPResult",
+]
+
+#: Boltzmann constant in J/K.
+BOLTZMANN_CONSTANT = 1.380649e-23
+#: Elementary charge in C.
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Standard test-condition irradiance in W/m^2.
+STC_IRRADIANCE = 1000.0
+
+
+def thermal_voltage(temperature_k: float = 300.0) -> float:
+    """Return the thermal voltage ``kT/q`` in volts for a temperature in K."""
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN_CONSTANT * temperature_k / ELEMENTARY_CHARGE
+
+
+@dataclass(frozen=True)
+class SolarCellParameters:
+    """Parameters of the single-diode cell model.
+
+    Attributes
+    ----------
+    photo_current_stc:
+        Light-generated current ``I_l`` at standard test conditions
+        (1000 W/m^2), in amperes.  The photo current scales linearly with
+        irradiance.
+    saturation_current:
+        Diode reverse-saturation current ``I_0`` in amperes.
+    series_resistance:
+        Series resistance ``Rs`` in ohms.
+    shunt_resistance:
+        Parallel (shunt) resistance ``Rp`` in ohms.
+    ideality_factor:
+        Diode ideality factor ``N`` (dimensionless, typically 1-2).
+    temperature_k:
+        Cell temperature in kelvin (sets the thermal voltage).
+    area_cm2:
+        Active cell area in cm^2 (metadata; used for irradiance-to-power
+        book-keeping and reporting, not by the electrical model itself).
+    """
+
+    photo_current_stc: float
+    saturation_current: float = 1e-9
+    series_resistance: float = 0.02
+    shunt_resistance: float = 50.0
+    ideality_factor: float = 1.3
+    temperature_k: float = 300.0
+    area_cm2: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.photo_current_stc <= 0:
+            raise ValueError("photo_current_stc must be positive")
+        if self.saturation_current <= 0:
+            raise ValueError("saturation_current must be positive")
+        if self.series_resistance < 0:
+            raise ValueError("series_resistance must be non-negative")
+        if self.shunt_resistance <= 0:
+            raise ValueError("shunt_resistance must be positive")
+        if self.ideality_factor <= 0:
+            raise ValueError("ideality_factor must be positive")
+        if self.temperature_k <= 0:
+            raise ValueError("temperature_k must be positive")
+        if self.area_cm2 <= 0:
+            raise ValueError("area_cm2 must be positive")
+
+    @property
+    def thermal_voltage(self) -> float:
+        """Thermal voltage ``Vt`` in volts at the configured temperature."""
+        return thermal_voltage(self.temperature_k)
+
+    @property
+    def modified_thermal_voltage(self) -> float:
+        """``N * Vt`` -- the denominator of the diode exponential."""
+        return self.ideality_factor * self.thermal_voltage
+
+    def with_temperature(self, temperature_k: float) -> "SolarCellParameters":
+        """Return a copy of the parameters at a different temperature."""
+        return replace(self, temperature_k=temperature_k)
+
+
+@dataclass(frozen=True)
+class MPPResult:
+    """Maximum-power-point of an I-V curve."""
+
+    voltage: float
+    current: float
+    power: float
+
+
+class SolarCell:
+    """Single-diode PV cell solved with the Lambert-W function.
+
+    Parameters
+    ----------
+    parameters:
+        Electrical parameters of the cell.
+
+    Notes
+    -----
+    The model is purely static: given a terminal voltage and an irradiance it
+    returns the terminal current.  Dynamic behaviour (capacitance, the node
+    equation) is handled by :mod:`repro.sim.circuit`.
+    """
+
+    def __init__(self, parameters: SolarCellParameters):
+        self.parameters = parameters
+
+    # ------------------------------------------------------------------
+    # Photo current
+    # ------------------------------------------------------------------
+    def photo_current(self, irradiance_w_m2: float) -> float:
+        """Light-generated current for a given irradiance (clipped at 0)."""
+        if irradiance_w_m2 <= 0:
+            return 0.0
+        return self.parameters.photo_current_stc * irradiance_w_m2 / STC_IRRADIANCE
+
+    # ------------------------------------------------------------------
+    # I-V relationship
+    # ------------------------------------------------------------------
+    def current(self, voltage: float, irradiance_w_m2: float = STC_IRRADIANCE) -> float:
+        """Terminal current (A) at a terminal voltage (V) and irradiance.
+
+        Uses the explicit Lambert-W solution of the implicit single-diode
+        equation.  The returned current is clipped below at zero: the
+        harvesting node cannot sink current back into the array (the paper's
+        circuit has no path for reverse current into the PV source while the
+        load is a CPU).
+        """
+        i = self._current_unclipped(voltage, irradiance_w_m2)
+        return max(i, 0.0)
+
+    def current_array(
+        self, voltages: np.ndarray, irradiance_w_m2: float = STC_IRRADIANCE
+    ) -> np.ndarray:
+        """Vectorised :meth:`current` over an array of voltages."""
+        voltages = np.asarray(voltages, dtype=float)
+        out = np.empty_like(voltages)
+        for idx, v in np.ndenumerate(voltages):
+            out[idx] = self.current(float(v), irradiance_w_m2)
+        return out
+
+    def _current_unclipped(self, voltage: float, irradiance_w_m2: float) -> float:
+        p = self.parameters
+        i_l = self.photo_current(irradiance_w_m2)
+        rs = p.series_resistance
+        rp = p.shunt_resistance
+        i0 = p.saturation_current
+        nvt = p.modified_thermal_voltage
+
+        if i_l == 0.0 and voltage <= 0.0:
+            return 0.0
+
+        if rs == 0.0:
+            # Explicit when there is no series resistance.
+            return i_l - i0 * (math.exp(voltage / nvt) - 1.0) - voltage / rp
+
+        # Lambert-W closed form.  Writing the implicit equation as
+        #   I = I_l - I_0 (exp((V + Rs I)/(N Vt)) - 1) - (V + Rs I)/Rp
+        # the solution is
+        #   I = (Rp (I_l + I_0) - V) / (Rs + Rp)
+        #       - (N Vt / Rs) * W( x )
+        # with
+        #   x = (Rs Rp I_0)/(N Vt (Rs + Rp))
+        #       * exp( Rp (Rs I_l + Rs I_0 + V) / (N Vt (Rs + Rp)) ).
+        try:
+            exponent = rp * (rs * i_l + rs * i0 + voltage) / (nvt * (rs + rp))
+            if exponent > 690.0:
+                # exp() would overflow double precision; fall back to a
+                # numerically-safe bisection on the implicit equation.
+                return self._current_bisection(voltage, i_l)
+            x = (rs * rp * i0) / (nvt * (rs + rp)) * math.exp(exponent)
+            w = float(lambertw(x).real)
+            return (rp * (i_l + i0) - voltage) / (rs + rp) - (nvt / rs) * w
+        except (OverflowError, FloatingPointError):
+            return self._current_bisection(voltage, i_l)
+
+    def _current_bisection(self, voltage: float, i_l: float) -> float:
+        """Bisection fallback for the implicit diode equation."""
+        p = self.parameters
+        nvt = p.modified_thermal_voltage
+
+        def residual(i: float) -> float:
+            vd = voltage + p.series_resistance * i
+            # Guard the exponential so the bracket search itself cannot
+            # overflow; residual sign is all bisection needs.
+            arg = min(vd / nvt, 700.0)
+            return i_l - p.saturation_current * (math.exp(arg) - 1.0) - vd / p.shunt_resistance - i
+
+        lo, hi = -1.0, i_l + 1.0
+        r_lo, r_hi = residual(lo), residual(hi)
+        if r_lo * r_hi > 0:
+            # No sign change in the expected bracket -- the cell is far into
+            # reverse breakdown territory; report zero current.
+            return 0.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            r_mid = residual(mid)
+            if abs(r_mid) < 1e-12:
+                return mid
+            if r_lo * r_mid <= 0:
+                hi, r_hi = mid, r_mid
+            else:
+                lo, r_lo = mid, r_mid
+        return 0.5 * (lo + hi)
+
+    def power(self, voltage: float, irradiance_w_m2: float = STC_IRRADIANCE) -> float:
+        """Electrical output power (W) at a terminal voltage."""
+        return voltage * self.current(voltage, irradiance_w_m2)
+
+    # ------------------------------------------------------------------
+    # Characteristic points
+    # ------------------------------------------------------------------
+    def short_circuit_current(self, irradiance_w_m2: float = STC_IRRADIANCE) -> float:
+        """Short-circuit current ``I_sc`` at a given irradiance."""
+        return self.current(0.0, irradiance_w_m2)
+
+    def open_circuit_voltage(self, irradiance_w_m2: float = STC_IRRADIANCE) -> float:
+        """Open-circuit voltage ``V_oc`` found by bisection on I(V) = 0."""
+        if irradiance_w_m2 <= 0:
+            return 0.0
+        lo = 0.0
+        hi = 1.0
+        # Expand the bracket until the current goes negative (unclipped).
+        while self._current_unclipped(hi, irradiance_w_m2) > 0 and hi < 1e4:
+            hi *= 2.0
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            if self._current_unclipped(mid, irradiance_w_m2) > 0:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def iv_curve(
+        self,
+        irradiance_w_m2: float = STC_IRRADIANCE,
+        points: int = 200,
+        v_max: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(voltages, currents)`` sampling the I-V curve.
+
+        ``v_max`` defaults to the open-circuit voltage at the requested
+        irradiance.
+        """
+        if points < 2:
+            raise ValueError("points must be at least 2")
+        if v_max is None:
+            v_max = self.open_circuit_voltage(irradiance_w_m2)
+        voltages = np.linspace(0.0, max(v_max, 1e-9), points)
+        currents = self.current_array(voltages, irradiance_w_m2)
+        return voltages, currents
+
+    def maximum_power_point(
+        self, irradiance_w_m2: float = STC_IRRADIANCE, points: int = 400
+    ) -> MPPResult:
+        """Locate the maximum power point by golden-section refinement.
+
+        A coarse scan over the I-V curve locates the neighbourhood of the
+        maximum; a golden-section search then refines it.
+        """
+        if irradiance_w_m2 <= 0:
+            return MPPResult(0.0, 0.0, 0.0)
+        voc = self.open_circuit_voltage(irradiance_w_m2)
+        voltages = np.linspace(0.0, voc, points)
+        powers = voltages * self.current_array(voltages, irradiance_w_m2)
+        k = int(np.argmax(powers))
+        lo = voltages[max(k - 1, 0)]
+        hi = voltages[min(k + 1, points - 1)]
+
+        phi = (math.sqrt(5.0) - 1.0) / 2.0
+        a, b = lo, hi
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+        for _ in range(80):
+            if self.power(c, irradiance_w_m2) > self.power(d, irradiance_w_m2):
+                b = d
+            else:
+                a = c
+            c = b - phi * (b - a)
+            d = a + phi * (b - a)
+            if abs(b - a) < 1e-9:
+                break
+        v_mpp = 0.5 * (a + b)
+        i_mpp = self.current(v_mpp, irradiance_w_m2)
+        return MPPResult(voltage=v_mpp, current=i_mpp, power=v_mpp * i_mpp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = self.parameters
+        return (
+            f"SolarCell(I_l={p.photo_current_stc:.3f}A, I_0={p.saturation_current:.2e}A, "
+            f"Rs={p.series_resistance:.3f}Ω, Rp={p.shunt_resistance:.1f}Ω, N={p.ideality_factor:.2f})"
+        )

@@ -1,0 +1,231 @@
+"""Time-series containers used throughout the reproduction.
+
+The paper's evaluation is trace driven: solar irradiance recorded over a day
+drives the PV model, and the resulting voltage/power/performance time series
+are what the figures plot.  This module provides a small, dependency-free
+trace abstraction with CSV persistence, resampling and interpolation, used for
+
+* irradiance traces (W/m^2 vs time),
+* harvested-power traces (W vs time, e.g. Fig. 1 and Fig. 14),
+* arbitrary recorded signals from the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Trace", "IrradianceTrace", "PowerTrace", "trace_from_function"]
+
+
+@dataclass
+class Trace:
+    """A sampled scalar signal: monotonically increasing times and values.
+
+    Attributes
+    ----------
+    times:
+        Sample instants in seconds (monotonically non-decreasing).
+    values:
+        Sample values, same length as ``times``.
+    name:
+        Signal name (used for CSV headers and reports).
+    units:
+        Unit string for documentation purposes.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = "signal"
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.ndim != 1 or self.values.ndim != 1:
+            raise ValueError("times and values must be one-dimensional")
+        if len(self.times) != len(self.values):
+            raise ValueError(
+                f"times ({len(self.times)}) and values ({len(self.values)}) "
+                "must have the same length"
+            )
+        if len(self.times) == 0:
+            raise ValueError("a trace must contain at least one sample")
+        if np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be monotonically non-decreasing")
+
+    # ------------------------------------------------------------------
+    # Basic containers protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times.tolist(), self.values.tolist()))
+
+    @property
+    def duration(self) -> float:
+        """Time spanned by the trace in seconds."""
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def start_time(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def end_time(self) -> float:
+        return float(self.times[-1])
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped at the ends)."""
+        return float(np.interp(t, self.times, self.values))
+
+    def values_at(self, ts: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value_at`."""
+        return np.interp(np.asarray(ts, dtype=float), self.times, self.values)
+
+    def resample(self, dt: float) -> "Trace":
+        """Return a copy resampled on a uniform grid with step ``dt``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        n = max(int(round(self.duration / dt)) + 1, 2)
+        new_times = self.start_time + np.arange(n) * dt
+        new_times = new_times[new_times <= self.end_time + 1e-12]
+        return type(self)(
+            times=new_times,
+            values=self.values_at(new_times),
+            name=self.name,
+            units=self.units,
+        )
+
+    def slice(self, t_start: float, t_end: float) -> "Trace":
+        """Return the sub-trace between two times (inclusive, interpolated ends)."""
+        if t_end < t_start:
+            raise ValueError("t_end must be >= t_start")
+        mask = (self.times > t_start) & (self.times < t_end)
+        times = np.concatenate(([t_start], self.times[mask], [t_end]))
+        values = np.concatenate(
+            ([self.value_at(t_start)], self.values[mask], [self.value_at(t_end)])
+        )
+        return type(self)(times=times, values=values, name=self.name, units=self.units)
+
+    def shifted(self, offset: float) -> "Trace":
+        """Return a copy with all times shifted by ``offset`` seconds."""
+        return type(self)(
+            times=self.times + offset, values=self.values.copy(), name=self.name, units=self.units
+        )
+
+    def scaled(self, factor: float) -> "Trace":
+        """Return a copy with all values multiplied by ``factor``."""
+        return type(self)(
+            times=self.times.copy(), values=self.values * factor, name=self.name, units=self.units
+        )
+
+    def map(self, fn: Callable[[float], float], name: str | None = None, units: str | None = None) -> "Trace":
+        """Return a new trace with ``fn`` applied to every value."""
+        mapped = np.array([fn(float(v)) for v in self.values])
+        return Trace(
+            times=self.times.copy(),
+            values=mapped,
+            name=name if name is not None else self.name,
+            units=units if units is not None else self.units,
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Time-weighted mean value of the trace."""
+        if len(self) == 1:
+            return float(self.values[0])
+        return float(np.trapezoid(self.values, self.times) / self.duration)
+
+    def minimum(self) -> float:
+        return float(np.min(self.values))
+
+    def maximum(self) -> float:
+        return float(np.max(self.values))
+
+    def integral(self) -> float:
+        """Trapezoidal integral of value over time (e.g. energy for a power trace)."""
+        if len(self) == 1:
+            return 0.0
+        return float(np.trapezoid(self.values, self.times))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_csv(self, path: str | Path) -> None:
+        """Write the trace to a two-column CSV file with a header row."""
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time_s", self.name or "value"])
+            for t, v in zip(self.times, self.values):
+                writer.writerow([f"{t:.6f}", f"{v:.9g}"])
+
+    @classmethod
+    def load_csv(cls, path: str | Path, units: str = "") -> "Trace":
+        """Load a trace from a two-column CSV file written by :meth:`save_csv`."""
+        path = Path(path)
+        times: list[float] = []
+        values: list[float] = []
+        name = "signal"
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            if len(header) >= 2:
+                name = header[1]
+            for row in reader:
+                if not row:
+                    continue
+                times.append(float(row[0]))
+                values.append(float(row[1]))
+        return cls(times=np.array(times), values=np.array(values), name=name, units=units)
+
+
+class IrradianceTrace(Trace):
+    """A trace of solar irradiance in W/m^2."""
+
+    def __init__(self, times, values, name: str = "irradiance", units: str = "W/m^2"):
+        super().__init__(times=np.asarray(times), values=np.asarray(values), name=name, units=units)
+
+    def clipped(self) -> "IrradianceTrace":
+        """Return a copy with negative irradiance values clipped to zero."""
+        return IrradianceTrace(self.times.copy(), np.clip(self.values, 0.0, None), self.name, self.units)
+
+
+class PowerTrace(Trace):
+    """A trace of electrical power in watts."""
+
+    def __init__(self, times, values, name: str = "power", units: str = "W"):
+        super().__init__(times=np.asarray(times), values=np.asarray(values), name=name, units=units)
+
+    def energy_joules(self) -> float:
+        """Total energy represented by the trace."""
+        return self.integral()
+
+
+def trace_from_function(
+    fn: Callable[[float], float],
+    duration: float,
+    dt: float,
+    name: str = "signal",
+    units: str = "",
+    t_start: float = 0.0,
+) -> Trace:
+    """Sample a function of time onto a uniform grid and wrap it in a Trace."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    times = t_start + np.arange(0.0, duration + dt * 0.5, dt)
+    values = np.array([fn(float(t)) for t in times])
+    return Trace(times=times, values=values, name=name, units=units)

@@ -1,0 +1,199 @@
+"""Shared experiment scenarios.
+
+The paper's evaluation re-uses a small number of experimental setups: the
+ODROID-XU4 coupled to the 1340 cm² PV array through the 47 mF buffer, driven
+either by real sunlight (various weather conditions) or by a controlled
+laboratory supply.  This module builds those setups so the examples, the CLI
+and every benchmark construct them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.governor import PowerNeutralGovernor
+from ..core.parameters import ControllerParameters, PAPER_TUNED_PARAMETERS
+from ..energy.irradiance import (
+    ClearSkyModel,
+    IrradianceGenerator,
+    ShadowingEvent,
+    WeatherCondition,
+    step_irradiance,
+)
+from ..energy.pv_array import PVArray, paper_pv_array
+from ..energy.supercapacitor import PAPER_BUFFER_CAPACITANCE_F, Supercapacitor
+from ..energy.traces import IrradianceTrace, Trace
+from ..governors.base import Governor
+from ..sim.result import SimulationResult
+from ..sim.simulator import EnergyHarvestingSimulation, SimulationConfig
+from ..sim.supplies import ControlledVoltageSupply, PVArraySupply, Supply
+from ..soc.exynos5422 import build_exynos5422_platform
+from ..soc.platform import SoCPlatform
+
+__all__ = [
+    "PV_TARGET_VOLTAGE",
+    "PaperSystem",
+    "solar_irradiance_trace",
+    "fig11_supply_profile",
+    "run_pv_experiment",
+    "run_controlled_supply_experiment",
+]
+
+#: The calibrated maximum-power-point voltage used as V_target (Section V-B).
+PV_TARGET_VOLTAGE = 5.3
+
+#: The wall-clock start of the paper's outdoor runs (10:30 local time).
+PAPER_TEST_START_S = 10.5 * 3600.0
+
+
+@dataclass
+class PaperSystem:
+    """The complete experimental system of Fig. 8, ready to simulate.
+
+    Attributes
+    ----------
+    platform:
+        The calibrated ODROID-XU4 model.
+    pv_array:
+        The 1340 cm² monocrystalline array.
+    capacitor:
+        The buffer capacitor (47 mF by default).
+    governor:
+        The governor under test (the proposed power-neutral governor by
+        default).
+    """
+
+    platform: SoCPlatform = field(default_factory=build_exynos5422_platform)
+    pv_array: PVArray = field(default_factory=paper_pv_array)
+    capacitor: Supercapacitor = field(
+        default_factory=lambda: Supercapacitor(PAPER_BUFFER_CAPACITANCE_F)
+    )
+    governor: Governor = field(default_factory=lambda: PowerNeutralGovernor(PAPER_TUNED_PARAMETERS))
+
+    def simulation(
+        self,
+        supply: Supply,
+        duration_s: float,
+        **config_overrides,
+    ) -> EnergyHarvestingSimulation:
+        """Assemble a simulation of this system under the given supply."""
+        config = SimulationConfig(duration_s=duration_s, **config_overrides)
+        return EnergyHarvestingSimulation(
+            platform=self.platform,
+            governor=self.governor,
+            supply=supply,
+            capacitor=self.capacitor,
+            config=config,
+        )
+
+
+def solar_irradiance_trace(
+    duration_s: float,
+    weather: WeatherCondition = WeatherCondition.FULL_SUN,
+    start_time_of_day_s: float = PAPER_TEST_START_S,
+    dt: float = 1.0,
+    seed: int = 7,
+    shadowing_events: Sequence[ShadowingEvent] = (),
+) -> IrradianceTrace:
+    """A synthetic outdoor irradiance trace aligned with the paper's test window.
+
+    Times in the returned trace start at 0 (the start of the experiment); the
+    diurnal envelope is phased so that t=0 corresponds to
+    ``start_time_of_day_s`` seconds after local midnight (10:30 by default,
+    matching Fig. 12/14's x-axes).
+    """
+    generator = IrradianceGenerator(ClearSkyModel(), seed=seed)
+    trace = generator.generate(
+        t_start=start_time_of_day_s,
+        duration=duration_s,
+        dt=dt,
+        weather=weather,
+        shadowing_events=shadowing_events,
+    )
+    return IrradianceTrace(trace.times - start_time_of_day_s, trace.values, name="irradiance")
+
+
+def fig11_supply_profile(duration_s: float = 170.0, dt: float = 0.05) -> Trace:
+    """The controlled variable-voltage profile used in Section V-A / Fig. 11.
+
+    A slowly wandering supply voltage between roughly 4.4 V and 5.6 V with a
+    small ripple ("A") and one sudden deep drop ("B"), matching the character
+    of the published trace.
+    """
+    times = np.arange(0.0, duration_s + 0.5 * dt, dt)
+    base = 5.1 + 0.45 * np.sin(2.0 * np.pi * times / 90.0)
+    ripple = 0.08 * np.sin(2.0 * np.pi * times / 7.0)
+    voltage = base + ripple
+    # Sudden reduction at t ~= 100 s (point 'B' in Fig. 11), recovering at 120 s.
+    drop = (times >= 100.0) & (times < 120.0)
+    voltage = np.where(drop, voltage - 0.9, voltage)
+    voltage = np.clip(voltage, 4.25, 5.65)
+    return Trace(times=times, values=voltage, name="controlled_supply", units="V")
+
+
+def run_pv_experiment(
+    governor: Governor,
+    duration_s: float,
+    weather: WeatherCondition = WeatherCondition.FULL_SUN,
+    seed: int = 7,
+    capacitance_f: float = PAPER_BUFFER_CAPACITANCE_F,
+    initial_voltage: Optional[float] = PV_TARGET_VOLTAGE,
+    platform: Optional[SoCPlatform] = None,
+    pv_array: Optional[PVArray] = None,
+    irradiance: Optional[IrradianceTrace] = None,
+    monitor_quantised: bool = True,
+    record_interval_s: float = 0.25,
+    max_step_s: float = 0.02,
+) -> SimulationResult:
+    """Run one outdoor (PV-array) experiment and return its result.
+
+    This is the common harness behind Fig. 12, Fig. 13, Fig. 14, Table II and
+    the ablation benches: same array, same buffer, same weather model — only
+    the governor (and optionally the weather/duration) changes.
+    """
+    platform = platform if platform is not None else build_exynos5422_platform()
+    pv = pv_array if pv_array is not None else paper_pv_array()
+    if irradiance is None:
+        irradiance = solar_irradiance_trace(duration_s, weather=weather, seed=seed)
+    supply = PVArraySupply(pv, irradiance)
+    system = PaperSystem(
+        platform=platform,
+        pv_array=pv,
+        capacitor=Supercapacitor(capacitance_f),
+        governor=governor,
+    )
+    sim = system.simulation(
+        supply,
+        duration_s=duration_s,
+        initial_voltage=initial_voltage,
+        monitor_quantised=monitor_quantised,
+        record_interval_s=record_interval_s,
+        max_step_s=max_step_s,
+    )
+    return sim.run()
+
+
+def run_controlled_supply_experiment(
+    governor: Governor,
+    voltage_profile: Optional[Trace] = None,
+    duration_s: Optional[float] = None,
+    platform: Optional[SoCPlatform] = None,
+    record_interval_s: float = 0.05,
+) -> SimulationResult:
+    """Run the Section V-A verification against a controlled variable supply."""
+    profile = voltage_profile if voltage_profile is not None else fig11_supply_profile()
+    if duration_s is None:
+        duration_s = profile.duration
+    platform = platform if platform is not None else build_exynos5422_platform()
+    supply = ControlledVoltageSupply(profile)
+    system = PaperSystem(platform=platform, governor=governor)
+    sim = system.simulation(
+        supply,
+        duration_s=duration_s,
+        record_interval_s=record_interval_s,
+        max_step_s=0.01,
+    )
+    return sim.run()

@@ -1,0 +1,34 @@
+"""Power-management governors: the common interface and the baseline policies.
+
+The paper's own governor lives in :mod:`repro.core.governor`; this subpackage
+holds the :class:`~repro.governors.base.Governor` interface it implements and
+the baselines it is evaluated against: the five stock Linux cpufreq governors
+(Table II), a static-OPP governor (Section III), the single-core power-neutral
+DFS precursor (reference [11]) and a SolarTune-style prediction-based
+scheduler (reference [9]).
+"""
+
+from .base import Governor, GovernorDecision
+from .linux import (
+    ConservativeGovernor,
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from .static import StaticGovernor
+from .single_core_dfs import SingleCoreDFSGovernor
+from .solartune import SolarTuneGovernor
+
+__all__ = [
+    "Governor",
+    "GovernorDecision",
+    "ConservativeGovernor",
+    "InteractiveGovernor",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "StaticGovernor",
+    "SingleCoreDFSGovernor",
+    "SolarTuneGovernor",
+]

@@ -1,0 +1,175 @@
+"""Re-implementations of the default Linux cpufreq governors (Table II baselines).
+
+The paper compares its approach against the stock Linux power-management
+governors while harvesting from the PV array.  These governors are
+*utilisation driven* and completely unaware of the supply voltage, which is
+why the aggressive ones (performance, ondemand, interactive) brown the board
+out almost immediately and even the adaptive conservative governor only
+survives a few seconds: with a CPU-bound workload the measured utilisation is
+always ~100 %, so they all drive the frequency to the maximum.
+
+The decision rules implemented here follow the documented behaviour of the
+kernel governors (sampling period, up/down thresholds, step sizes); scheduling
+details that do not affect the outcome at 100 % utilisation are simplified.
+All Linux governors leave every core online (the stock kernel does not
+hot-plug cores), so only the frequency is managed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..soc.cores import CoreConfig
+from ..soc.opp import OperatingPoint
+from ..soc.platform import SoCPlatform
+from .base import Governor, GovernorDecision
+
+__all__ = [
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "OndemandGovernor",
+    "ConservativeGovernor",
+    "InteractiveGovernor",
+]
+
+
+class _LinuxGovernor(Governor):
+    """Shared plumbing for the utilisation-driven Linux governors."""
+
+    uses_voltage_monitor = False
+    sampling_interval_s = 0.1
+    cpu_time_per_invocation_s = 20e-6
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._all_cores: Optional[CoreConfig] = None
+
+    def initialise(self, platform: SoCPlatform, time: float, supply_voltage: float) -> None:
+        table = platform.opp_table
+        self._all_cores = CoreConfig(table.max_little, table.max_big)
+
+    def _decision(self, platform: SoCPlatform, frequency_hz: float) -> Optional[GovernorDecision]:
+        """Build a decision keeping all cores online at the given frequency."""
+        assert self._all_cores is not None
+        target = OperatingPoint(self._all_cores, platform.frequency_ladder.snap(frequency_hz))
+        if target == platform.current_opp and not platform.is_transitioning:
+            return None
+        return GovernorDecision(target=target, cores_first=False)
+
+
+class PerformanceGovernor(_LinuxGovernor):
+    """``performance``: statically pins the highest frequency."""
+
+    name = "linux-performance"
+
+    def on_tick(self, time, supply_voltage, utilization, platform) -> Optional[GovernorDecision]:
+        self._account_invocation()
+        return self._decision(platform, platform.frequency_ladder.highest)
+
+
+class PowersaveGovernor(_LinuxGovernor):
+    """``powersave``: statically pins the lowest frequency."""
+
+    name = "linux-powersave"
+
+    def on_tick(self, time, supply_voltage, utilization, platform) -> Optional[GovernorDecision]:
+        self._account_invocation()
+        return self._decision(platform, platform.frequency_ladder.lowest)
+
+
+class OndemandGovernor(_LinuxGovernor):
+    """``ondemand``: jump to the maximum frequency when utilisation is high.
+
+    Above ``up_threshold`` the frequency jumps straight to the maximum; below
+    it the target frequency is proportional to the measured utilisation
+    (``f = f_max * util / up_threshold``), snapped to the ladder.
+    """
+
+    name = "linux-ondemand"
+
+    def __init__(self, up_threshold: float = 0.80):
+        super().__init__()
+        if not 0.0 < up_threshold <= 1.0:
+            raise ValueError("up_threshold must lie in (0, 1]")
+        self.up_threshold = up_threshold
+
+    def on_tick(self, time, supply_voltage, utilization, platform) -> Optional[GovernorDecision]:
+        self._account_invocation()
+        ladder = platform.frequency_ladder
+        if utilization >= self.up_threshold:
+            return self._decision(platform, ladder.highest)
+        target = ladder.highest * utilization / self.up_threshold
+        return self._decision(platform, max(target, ladder.lowest))
+
+
+class ConservativeGovernor(_LinuxGovernor):
+    """``conservative``: step the frequency gradually towards the demand.
+
+    One ladder step up when utilisation exceeds ``up_threshold``, one step
+    down when it falls below ``down_threshold``.  Under a CPU-bound workload
+    the frequency therefore climbs to the maximum over the first ~1-2 s of
+    ticks — which is why the paper measured a five-second lifetime for it.
+    """
+
+    name = "linux-conservative"
+
+    def __init__(self, up_threshold: float = 0.80, down_threshold: float = 0.20):
+        super().__init__()
+        if not 0.0 < down_threshold < up_threshold <= 1.0:
+            raise ValueError("require 0 < down_threshold < up_threshold <= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    def on_tick(self, time, supply_voltage, utilization, platform) -> Optional[GovernorDecision]:
+        self._account_invocation()
+        ladder = platform.frequency_ladder
+        current = platform.current_opp.frequency_hz
+        if utilization >= self.up_threshold:
+            return self._decision(platform, ladder.step_up(current))
+        if utilization <= self.down_threshold:
+            return self._decision(platform, ladder.step_down(current))
+        return None
+
+
+class InteractiveGovernor(_LinuxGovernor):
+    """``interactive``: ramp quickly to a high frequency on sustained load.
+
+    On a load burst the governor jumps to ``hispeed_fraction`` of the maximum
+    frequency; if the load persists past ``above_hispeed_delay_s`` it moves to
+    the maximum.  Idle load lets it fall back to the minimum.
+    """
+
+    name = "linux-interactive"
+    sampling_interval_s = 0.02  # the interactive governor samples on a 20 ms timer
+
+    def __init__(
+        self,
+        hispeed_fraction: float = 0.75,
+        go_hispeed_load: float = 0.85,
+        above_hispeed_delay_s: float = 0.08,
+    ):
+        super().__init__()
+        if not 0.0 < hispeed_fraction <= 1.0:
+            raise ValueError("hispeed_fraction must lie in (0, 1]")
+        if not 0.0 < go_hispeed_load <= 1.0:
+            raise ValueError("go_hispeed_load must lie in (0, 1]")
+        if above_hispeed_delay_s < 0:
+            raise ValueError("above_hispeed_delay_s must be non-negative")
+        self.hispeed_fraction = hispeed_fraction
+        self.go_hispeed_load = go_hispeed_load
+        self.above_hispeed_delay_s = above_hispeed_delay_s
+        self._hispeed_since: Optional[float] = None
+
+    def on_tick(self, time, supply_voltage, utilization, platform) -> Optional[GovernorDecision]:
+        self._account_invocation()
+        ladder = platform.frequency_ladder
+        if utilization < self.go_hispeed_load:
+            self._hispeed_since = None
+            return self._decision(platform, ladder.lowest)
+        hispeed = ladder.snap(ladder.highest * self.hispeed_fraction)
+        if self._hispeed_since is None:
+            self._hispeed_since = time
+            return self._decision(platform, hispeed)
+        if time - self._hispeed_since >= self.above_hispeed_delay_s:
+            return self._decision(platform, ladder.highest)
+        return self._decision(platform, hispeed)

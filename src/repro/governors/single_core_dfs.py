@@ -1,0 +1,96 @@
+"""Single-core power-neutral DFS baseline (paper reference [11]).
+
+Balsamo et al. demonstrated power-neutral operation on an ultra-low-power
+single-core MCU using dynamic *frequency* scaling only.  This governor
+re-creates that approach on the MP-SoC platform so the paper's extension
+(heterogeneous DVFS + DPM) can be compared against its precursor:
+
+* a single LITTLE core stays online for the whole run (no hot-plugging),
+* the same dual dynamic-threshold mechanism tracks the supply voltage,
+* every crossing moves the frequency one ladder step (linear DFS response).
+
+Because only one LITTLE core is ever used, the power range this baseline can
+modulate over is narrow (roughly 1.75-2.1 W on the calibrated platform), so it
+survives as long as the harvest covers that floor but leaves most of the
+available energy unused — exactly the gap the proposed approach closes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.dvfs_policy import LinearDVFSPolicy
+from ..core.thresholds import ThresholdTracker
+from ..hw.monitor import ThresholdCrossing
+from ..soc.cores import CoreConfig
+from ..soc.opp import OperatingPoint
+from ..soc.platform import SoCPlatform
+from .base import Governor, GovernorDecision
+
+__all__ = ["SingleCoreDFSGovernor"]
+
+
+class SingleCoreDFSGovernor(Governor):
+    """Power-neutral dynamic frequency scaling on a single LITTLE core.
+
+    Parameters
+    ----------
+    v_width:
+        Threshold separation (defaults to the paper's tuned value).
+    v_q:
+        Threshold tracking quantum.
+    """
+
+    name = "single-core-dfs"
+    uses_voltage_monitor = True
+    sampling_interval_s = None
+    cpu_time_per_invocation_s = 40e-6
+
+    def __init__(self, v_width: float = 0.144, v_q: float = 0.0479):
+        super().__init__()
+        if v_width <= 0 or v_q <= 0:
+            raise ValueError("v_width and v_q must be positive")
+        self.v_width = v_width
+        self.v_q = v_q
+        self._tracker: Optional[ThresholdTracker] = None
+        self._dvfs: Optional[LinearDVFSPolicy] = None
+        self._config = CoreConfig(1, 0)
+
+    def initialise(self, platform: SoCPlatform, time: float, supply_voltage: float) -> None:
+        self._tracker = ThresholdTracker(
+            v_width=self.v_width,
+            v_q=self.v_q,
+            v_floor=platform.spec.minimum_voltage,
+            v_ceiling=platform.spec.maximum_voltage,
+        )
+        self._tracker.calibrate(supply_voltage)
+        self._dvfs = LinearDVFSPolicy(platform.frequency_ladder)
+
+    def thresholds(self) -> Optional[tuple[float, float]]:
+        if self._tracker is None:
+            return None
+        return self._tracker.as_tuple()
+
+    def on_interrupt(
+        self,
+        crossing: ThresholdCrossing,
+        time: float,
+        supply_voltage: float,
+        platform: SoCPlatform,
+    ) -> Optional[GovernorDecision]:
+        if self._tracker is None or self._dvfs is None:
+            raise RuntimeError("governor has not been initialised")
+        self._account_invocation()
+
+        current = platform.current_opp
+        new_frequency = self._dvfs.respond(crossing, current.frequency_hz)
+
+        if crossing is ThresholdCrossing.LOW:
+            self._tracker.on_low_crossing()
+        else:
+            self._tracker.on_high_crossing()
+
+        target = OperatingPoint(self._config, new_frequency)
+        if target == current and not platform.is_transitioning:
+            return None
+        return GovernorDecision(target=target, cores_first=True)

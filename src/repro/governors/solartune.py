@@ -1,0 +1,142 @@
+"""SolarTune-style prediction-based scheduling baseline (paper reference [9]).
+
+SolarTune couples a multicore CPU directly to a PV source and adapts the load
+to the *predicted* availability of harvested power over the next scheduling
+epoch.  The paper argues that prediction-based schemes handle the slow
+'macro' variability well but cannot react to the unpredictable 'micro'
+variability (sudden shadowing), which is what motivates the instantaneous,
+interrupt-driven power-neutral approach.
+
+This baseline re-creates that behaviour:
+
+* every ``epoch_s`` seconds it estimates the power currently being harvested
+  (its own consumption plus the buffer charging rate, both of which a real
+  implementation can observe),
+* it forecasts the next epoch's harvest with an exponentially weighted moving
+  average of those estimates,
+* it selects the highest operating point whose modelled power stays within
+  ``safety_margin`` of the forecast.
+
+Between epochs it does nothing — so a shadow that arrives mid-epoch drains the
+small buffer before the next scheduling decision, causing the brown-outs the
+proposed approach avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..soc.opp import OperatingPoint
+from ..soc.platform import SoCPlatform
+from .base import Governor, GovernorDecision
+
+__all__ = ["SolarTuneGovernor"]
+
+
+class SolarTuneGovernor(Governor):
+    """Epoch-based, prediction-driven load tuning.
+
+    Parameters
+    ----------
+    epoch_s:
+        Scheduling epoch (decision interval).
+    ewma_alpha:
+        Weight of the newest harvest estimate in the forecast.
+    safety_margin:
+        Fraction of the forecast power the selected OPP may use.
+    buffer_capacitance_f:
+        Capacitance assumed when converting the observed dV/dt into a
+        charging power (the scheduler knows its platform's buffer size).
+    """
+
+    name = "solartune"
+    uses_voltage_monitor = False
+    sampling_interval_s = 1.0
+    cpu_time_per_invocation_s = 200e-6
+
+    def __init__(
+        self,
+        epoch_s: float = 10.0,
+        ewma_alpha: float = 0.4,
+        safety_margin: float = 0.95,
+        buffer_capacitance_f: float = 47e-3,
+    ):
+        super().__init__()
+        if epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+        if not 0.0 < safety_margin <= 1.0:
+            raise ValueError("safety_margin must lie in (0, 1]")
+        if buffer_capacitance_f <= 0:
+            raise ValueError("buffer_capacitance_f must be positive")
+        self.epoch_s = epoch_s
+        self.ewma_alpha = ewma_alpha
+        self.safety_margin = safety_margin
+        self.buffer_capacitance_f = buffer_capacitance_f
+        self.sampling_interval_s = min(1.0, epoch_s)
+        self._forecast_w: Optional[float] = None
+        self._last_sample: Optional[tuple[float, float]] = None  # (time, voltage)
+        self._next_epoch = 0.0
+        self._opps_by_power: list[tuple[float, OperatingPoint]] = []
+
+    def initialise(self, platform: SoCPlatform, time: float, supply_voltage: float) -> None:
+        self._forecast_w = None
+        self._last_sample = (time, supply_voltage)
+        self._next_epoch = time
+        # Pre-sort the characterised OPP ladder by modelled power.
+        self._opps_by_power = sorted(
+            ((platform.power_model.power(opp), opp) for opp in platform.opp_table.all_points()),
+            key=lambda pair: pair[0],
+        )
+
+    # ------------------------------------------------------------------
+    # Harvest estimation and forecasting
+    # ------------------------------------------------------------------
+    def _estimate_harvest(self, time: float, supply_voltage: float, platform: SoCPlatform) -> Optional[float]:
+        """Observed harvest = own consumption + buffer charging power."""
+        if self._last_sample is None:
+            self._last_sample = (time, supply_voltage)
+            return None
+        t_prev, v_prev = self._last_sample
+        self._last_sample = (time, supply_voltage)
+        dt = time - t_prev
+        if dt <= 0:
+            return None
+        dvdt = (supply_voltage - v_prev) / dt
+        charging_power = self.buffer_capacitance_f * dvdt * supply_voltage
+        own_power = platform.power_model.power(platform.current_opp) if platform.running else 0.0
+        return max(own_power + charging_power, 0.0)
+
+    def _select_opp(self, budget_w: float) -> OperatingPoint:
+        """Highest-power characterised OPP fitting within the budget."""
+        chosen = self._opps_by_power[0][1]
+        for power, opp in self._opps_by_power:
+            if power <= budget_w:
+                chosen = opp
+            else:
+                break
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Periodic scheduling
+    # ------------------------------------------------------------------
+    def on_tick(self, time, supply_voltage, utilization, platform: SoCPlatform) -> Optional[GovernorDecision]:
+        self._account_invocation()
+        estimate = self._estimate_harvest(time, supply_voltage, platform)
+        if estimate is not None:
+            if self._forecast_w is None:
+                self._forecast_w = estimate
+            else:
+                a = self.ewma_alpha
+                self._forecast_w = a * estimate + (1.0 - a) * self._forecast_w
+
+        if time + 1e-9 < self._next_epoch or self._forecast_w is None:
+            return None
+        self._next_epoch = time + self.epoch_s
+
+        budget = self._forecast_w * self.safety_margin
+        target = self._select_opp(budget)
+        if target == platform.current_opp and not platform.is_transitioning:
+            return None
+        return GovernorDecision(target=target, cores_first=True)

@@ -1,0 +1,47 @@
+"""Static operating-point governor.
+
+Pins one operating point for the whole run.  This is the "static performance"
+system used as the comparison case in the Section III simulations (Fig. 6:
+"V_C behaviour without proposed control scheme") and is also the building
+block for the capacitance and parameter ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..soc.opp import OperatingPoint
+from ..soc.platform import SoCPlatform
+from .base import Governor, GovernorDecision
+
+__all__ = ["StaticGovernor"]
+
+
+class StaticGovernor(Governor):
+    """Hold a fixed operating point (no runtime adaptation).
+
+    Parameters
+    ----------
+    opp:
+        The operating point to hold.  ``None`` keeps whatever operating point
+        the platform boots into.
+    """
+
+    name = "static"
+    uses_voltage_monitor = False
+    sampling_interval_s = 0.5
+    cpu_time_per_invocation_s = 5e-6
+
+    def __init__(self, opp: Optional[OperatingPoint] = None):
+        super().__init__()
+        self.opp = opp
+        if opp is not None:
+            self.name = f"static-{opp.config}-{opp.frequency_ghz:.2f}GHz"
+
+    def on_tick(self, time, supply_voltage, utilization, platform: SoCPlatform) -> Optional[GovernorDecision]:
+        self._account_invocation()
+        if self.opp is None:
+            return None
+        if platform.current_opp == self.opp and not platform.is_transitioning:
+            return None
+        return GovernorDecision(target=self.opp, cores_first=True)

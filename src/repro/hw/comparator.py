@@ -1,0 +1,68 @@
+"""Analogue comparator model (LT6703 family, paper Fig. 9).
+
+The comparator compares the divided-down supply voltage against its internal
+400 mV reference and drives the interrupt line through a MOSFET level shifter.
+A small hysteresis keeps the interrupt line from chattering when the input
+sits exactly on the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Comparator", "LT6703_REFERENCE_V"]
+
+#: Internal reference voltage of the LT6703-3.
+LT6703_REFERENCE_V = 0.400
+
+
+@dataclass
+class Comparator:
+    """A comparator with hysteresis.
+
+    Output is ``True`` when the (divided) input voltage exceeds the reference.
+    The hysteresis band is centred on the reference: the output switches high
+    at ``reference + hysteresis/2`` and low at ``reference - hysteresis/2``.
+
+    Attributes
+    ----------
+    reference_v:
+        Threshold reference voltage.
+    hysteresis_v:
+        Total width of the hysteresis band.
+    output:
+        Present logical output (state).
+    propagation_delay_s:
+        Input-to-output delay, exposed for latency budgeting.
+    """
+
+    reference_v: float = LT6703_REFERENCE_V
+    hysteresis_v: float = 0.002
+    output: bool = False
+    propagation_delay_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.reference_v <= 0:
+            raise ValueError("reference_v must be positive")
+        if self.hysteresis_v < 0:
+            raise ValueError("hysteresis_v must be non-negative")
+        if self.propagation_delay_s < 0:
+            raise ValueError("propagation_delay_s must be non-negative")
+
+    def update(self, input_v: float) -> bool:
+        """Update the comparator with a new input sample; returns the output."""
+        high_trip = self.reference_v + 0.5 * self.hysteresis_v
+        low_trip = self.reference_v - 0.5 * self.hysteresis_v
+        if not self.output and input_v > high_trip:
+            self.output = True
+        elif self.output and input_v < low_trip:
+            self.output = False
+        return self.output
+
+    def would_trip_high(self, input_v: float) -> bool:
+        """Whether a rising input at this level would switch the output high."""
+        return input_v > self.reference_v + 0.5 * self.hysteresis_v
+
+    def would_trip_low(self, input_v: float) -> bool:
+        """Whether a falling input at this level would switch the output low."""
+        return input_v < self.reference_v - 0.5 * self.hysteresis_v

@@ -1,0 +1,56 @@
+"""Resistive voltage dividers used by the threshold-monitoring hardware.
+
+The monitoring circuit of paper Fig. 9 first reduces the supply voltage
+coarsely with a fixed potential divider (470 kΩ / 100 kΩ in the paper), then
+finely with a digital potentiometer, before comparing against the comparator's
+internal 400 mV reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResistorDivider"]
+
+
+@dataclass(frozen=True)
+class ResistorDivider:
+    """A two-resistor potential divider.
+
+    Attributes
+    ----------
+    r_top_ohm:
+        Resistance between the input node and the output tap.
+    r_bottom_ohm:
+        Resistance between the output tap and ground.
+    """
+
+    r_top_ohm: float
+    r_bottom_ohm: float
+
+    def __post_init__(self) -> None:
+        if self.r_top_ohm < 0:
+            raise ValueError("r_top_ohm must be non-negative")
+        if self.r_bottom_ohm <= 0:
+            raise ValueError("r_bottom_ohm must be positive")
+
+    @property
+    def ratio(self) -> float:
+        """Division ratio V_out / V_in."""
+        return self.r_bottom_ohm / (self.r_top_ohm + self.r_bottom_ohm)
+
+    def output(self, v_in: float) -> float:
+        """Divider output voltage for an input voltage."""
+        return v_in * self.ratio
+
+    def required_input(self, v_out: float) -> float:
+        """Input voltage that would produce the given output voltage."""
+        return v_out / self.ratio
+
+    def current_draw(self, v_in: float) -> float:
+        """Quiescent current drawn from the input node (A)."""
+        return v_in / (self.r_top_ohm + self.r_bottom_ohm)
+
+    def power_draw(self, v_in: float) -> float:
+        """Quiescent power dissipated by the divider (W)."""
+        return v_in * self.current_draw(v_in)

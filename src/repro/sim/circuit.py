@@ -1,0 +1,123 @@
+"""Stand-alone electrical studies of the energy-harvesting node.
+
+The full system simulator (:mod:`repro.sim.simulator`) couples the node to the
+governor and the platform state machine.  For circuit-level questions that do
+not need the governor — "how long does a given capacitor hold the board up
+when the light disappears?", "what does V_C do under a fixed load?" — this
+module integrates the bare node equation
+
+    C * dV_C/dt = I_pv(V_C, t) - P_load(t) / V_C - I_leak(V_C)
+
+with the RK23 integrator, which is also how the conceptual Fig. 3 comparison
+(tiny capacitor alone vs. performance scaling) is produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..energy.supercapacitor import Supercapacitor
+from .ode import IntegrationResult, integrate_rk23
+from .supplies import Supply
+
+__all__ = ["NodeSimulationResult", "simulate_node", "time_to_undervoltage"]
+
+
+@dataclass
+class NodeSimulationResult:
+    """Voltage trajectory of the harvesting node under a prescribed load."""
+
+    times: np.ndarray
+    voltage: np.ndarray
+    integration: IntegrationResult
+
+    def voltage_at(self, t: float) -> float:
+        return float(np.interp(t, self.times, self.voltage))
+
+    def minimum_voltage(self) -> float:
+        return float(np.min(self.voltage))
+
+    def first_time_below(self, threshold: float) -> float | None:
+        """First time the node voltage drops below ``threshold`` (None if never)."""
+        below = np.nonzero(self.voltage < threshold)[0]
+        if len(below) == 0:
+            return None
+        return float(self.times[below[0]])
+
+
+def simulate_node(
+    supply: Supply,
+    capacitor: Supercapacitor,
+    load_power: Callable[[float, float], float],
+    duration_s: float,
+    initial_voltage: float,
+    rtol: float = 1e-5,
+    atol: float = 1e-6,
+    max_step: float = 0.05,
+) -> NodeSimulationResult:
+    """Integrate the node equation for a prescribed load-power function.
+
+    Parameters
+    ----------
+    supply:
+        The harvesting source.
+    capacitor:
+        The buffer capacitor (its ``voltage`` state is not modified).
+    load_power:
+        Called as ``load_power(t, v)`` and returning the board power in watts
+        (may depend on the node voltage, e.g. to model the load switching off
+        below the minimum operating voltage).
+    duration_s:
+        Simulated duration.
+    initial_voltage:
+        Node voltage at t = 0.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if initial_voltage < 0:
+        raise ValueError("initial_voltage must be non-negative")
+
+    def dvdt(t: float, y: np.ndarray) -> np.ndarray:
+        v = float(max(y[0], 0.0))
+        p = max(load_power(t, v), 0.0)
+        i_load = p / max(v, 0.25)
+        i_supply = supply.current(v, t)
+        return np.array([capacitor.derivative(i_supply - i_load, v)])
+
+    integration = integrate_rk23(
+        dvdt,
+        (0.0, duration_s),
+        np.array([initial_voltage]),
+        rtol=rtol,
+        atol=atol,
+        max_step=max_step,
+    )
+    voltage = np.clip(integration.states[:, 0], 0.0, None)
+    return NodeSimulationResult(times=integration.times, voltage=voltage, integration=integration)
+
+
+def time_to_undervoltage(
+    supply: Supply,
+    capacitor: Supercapacitor,
+    load_power_w: float,
+    minimum_voltage: float,
+    initial_voltage: float,
+    horizon_s: float = 60.0,
+) -> float | None:
+    """How long a constant load can be sustained before undervoltage.
+
+    Returns ``None`` if the node never drops below ``minimum_voltage`` within
+    the horizon (i.e. the harvest sustains the load indefinitely at this
+    level).  This is the "marginal lifetime increase" quantity of Fig. 3.
+    """
+    result = simulate_node(
+        supply=supply,
+        capacitor=capacitor,
+        load_power=lambda t, v: load_power_w,
+        duration_s=horizon_s,
+        initial_voltage=initial_voltage,
+    )
+    return result.first_time_below(minimum_voltage)

@@ -1,0 +1,198 @@
+"""Adaptive Runge-Kutta 2(3) integrator (Bogacki–Shampine pair).
+
+The paper's parameter-selection study (Section III) was performed in
+Matlab-Simulink using the ``ode23`` solver.  ``ode23`` implements the
+Bogacki–Shampine explicit Runge-Kutta 2(3) pair; this module provides the
+same method so the circuit-level simulations in :mod:`repro.sim.circuit` and
+the tuning study in :mod:`repro.core.tuning` use numerics of the same class.
+
+Only the features the reproduction needs are implemented: dense output is
+omitted, but adaptive step-size control with absolute/relative tolerances and
+a maximum step are provided, plus simple fixed-step Euler and RK4 helpers used
+by tests as references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["IntegrationResult", "integrate_rk23", "integrate_euler", "integrate_rk4"]
+
+StateFunction = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class IntegrationResult:
+    """Result of an ODE integration: sample times, states and statistics."""
+
+    times: np.ndarray
+    states: np.ndarray
+    n_steps: int
+    n_rejected: int
+
+    @property
+    def final_state(self) -> np.ndarray:
+        return self.states[-1]
+
+    def state_at(self, t: float) -> np.ndarray:
+        """Linearly interpolated state at an arbitrary time."""
+        out = np.empty(self.states.shape[1])
+        for j in range(self.states.shape[1]):
+            out[j] = np.interp(t, self.times, self.states[:, j])
+        return out
+
+
+def _as_state(y) -> np.ndarray:
+    arr = np.atleast_1d(np.asarray(y, dtype=float))
+    if arr.ndim != 1:
+        raise ValueError("state must be a scalar or one-dimensional array")
+    return arr
+
+
+def integrate_rk23(
+    f: StateFunction,
+    t_span: tuple[float, float],
+    y0,
+    rtol: float = 1e-4,
+    atol: float = 1e-7,
+    max_step: float = np.inf,
+    first_step: float | None = None,
+) -> IntegrationResult:
+    """Integrate ``dy/dt = f(t, y)`` with the Bogacki–Shampine RK2(3) pair.
+
+    Parameters
+    ----------
+    f:
+        Right-hand side; called as ``f(t, y)`` and returning an array like
+        ``y``.
+    t_span:
+        ``(t0, t1)`` integration interval, ``t1 > t0``.
+    y0:
+        Initial state (scalar or 1-D array).
+    rtol / atol:
+        Relative and absolute error tolerances for step-size control.
+    max_step:
+        Upper bound on the step size.
+    first_step:
+        Initial step size guess (defaults to 1/100 of the interval, capped by
+        ``max_step``).
+    """
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if t1 <= t0:
+        raise ValueError("t_span must satisfy t1 > t0")
+    if rtol <= 0 or atol <= 0:
+        raise ValueError("tolerances must be positive")
+    if max_step <= 0:
+        raise ValueError("max_step must be positive")
+
+    y = _as_state(y0)
+    t = t0
+    h = first_step if first_step is not None else min((t1 - t0) / 100.0, max_step)
+    h = min(h, max_step, t1 - t0)
+
+    times = [t]
+    states = [y.copy()]
+    n_steps = 0
+    n_rejected = 0
+
+    k1 = np.asarray(f(t, y), dtype=float)
+
+    # Bogacki–Shampine coefficients.
+    while t < t1:
+        h = min(h, t1 - t, max_step)
+        if h <= 1e-15 * max(abs(t), 1.0):
+            # Step underflow: accept whatever remains in one final step.
+            h = t1 - t
+
+        k2 = np.asarray(f(t + 0.5 * h, y + 0.5 * h * k1), dtype=float)
+        k3 = np.asarray(f(t + 0.75 * h, y + 0.75 * h * k2), dtype=float)
+        y_new = y + h * (2.0 / 9.0 * k1 + 1.0 / 3.0 * k2 + 4.0 / 9.0 * k3)
+        k4 = np.asarray(f(t + h, y_new), dtype=float)
+        # Embedded 2nd-order solution for the error estimate.
+        y_err = h * (
+            (2.0 / 9.0 - 7.0 / 24.0) * k1
+            + (1.0 / 3.0 - 1.0 / 4.0) * k2
+            + (4.0 / 9.0 - 1.0 / 3.0) * k3
+            + (0.0 - 1.0 / 8.0) * k4
+        )
+
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y_new))
+        error_norm = float(np.sqrt(np.mean((y_err / scale) ** 2)))
+
+        if error_norm <= 1.0 or h <= 1e-12:
+            # Accept the step.
+            t += h
+            y = y_new
+            k1 = k4  # FSAL: last stage is the first stage of the next step.
+            times.append(t)
+            states.append(y.copy())
+            n_steps += 1
+            # Step-size growth (bounded).
+            factor = 0.9 * (1.0 / max(error_norm, 1e-10)) ** (1.0 / 3.0)
+            h *= min(max(factor, 0.2), 5.0)
+        else:
+            n_rejected += 1
+            factor = 0.9 * (1.0 / error_norm) ** (1.0 / 3.0)
+            h *= min(max(factor, 0.1), 1.0)
+
+    return IntegrationResult(
+        times=np.array(times),
+        states=np.array(states),
+        n_steps=n_steps,
+        n_rejected=n_rejected,
+    )
+
+
+def integrate_euler(
+    f: StateFunction, t_span: tuple[float, float], y0, dt: float
+) -> IntegrationResult:
+    """Fixed-step explicit Euler integration (reference implementation)."""
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if t1 <= t0:
+        raise ValueError("t_span must satisfy t1 > t0")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    y = _as_state(y0)
+    times = [t0]
+    states = [y.copy()]
+    t = t0
+    n = 0
+    while t < t1:
+        h = min(dt, t1 - t)
+        y = y + h * np.asarray(f(t, y), dtype=float)
+        t += h
+        times.append(t)
+        states.append(y.copy())
+        n += 1
+    return IntegrationResult(np.array(times), np.array(states), n_steps=n, n_rejected=0)
+
+
+def integrate_rk4(
+    f: StateFunction, t_span: tuple[float, float], y0, dt: float
+) -> IntegrationResult:
+    """Fixed-step classic Runge-Kutta 4 integration (reference implementation)."""
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if t1 <= t0:
+        raise ValueError("t_span must satisfy t1 > t0")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    y = _as_state(y0)
+    times = [t0]
+    states = [y.copy()]
+    t = t0
+    n = 0
+    while t < t1:
+        h = min(dt, t1 - t)
+        k1 = np.asarray(f(t, y), dtype=float)
+        k2 = np.asarray(f(t + 0.5 * h, y + 0.5 * h * k1), dtype=float)
+        k3 = np.asarray(f(t + 0.5 * h, y + 0.5 * h * k2), dtype=float)
+        k4 = np.asarray(f(t + h, y + h * k3), dtype=float)
+        y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        t += h
+        times.append(t)
+        states.append(y.copy())
+        n += 1
+    return IntegrationResult(np.array(times), np.array(states), n_steps=n, n_rejected=0)

@@ -1,0 +1,415 @@
+"""The event-driven system simulator.
+
+This is the reproduction's stand-in for the paper's testbed (Fig. 8): a PV
+array (or controlled supply) feeding a small buffer capacitor, the
+voltage-monitoring hardware watching the capacitor voltage, and the
+ODROID-XU4 platform model running a governor.
+
+Each step the simulator:
+
+1. evaluates the supply current and the load current (board power at the
+   present operating point, plus the monitoring hardware) at the present node
+   voltage,
+2. integrates the capacitor node equation with an adaptive explicit
+   Heun (RK2) step sized so the voltage moves by at most a few millivolts,
+3. advances the platform's actuation state machine (transition completion,
+   brown-out detection, reboot),
+4. samples the voltage monitor and delivers any threshold-crossing interrupts
+   to the governor, applying its decisions through the platform (which
+   charges the transition latency), and
+5. invokes periodically-sampled governors (the Linux baselines) on their
+   sampling interval.
+
+The recorded time series and summary metrics are returned as a
+:class:`~repro.sim.result.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..energy.supercapacitor import PAPER_BUFFER_CAPACITANCE_F, Supercapacitor
+from ..governors.base import Governor, GovernorDecision
+from ..hw.monitor import ThresholdCrossing, VoltageMonitor
+from ..soc.platform import SoCPlatform
+from .result import SimulationEvent, SimulationResult
+from .supplies import Supply
+
+__all__ = ["SimulationConfig", "EnergyHarvestingSimulation", "simulate"]
+
+
+@dataclass
+class SimulationConfig:
+    """Numerical and behavioural knobs of the system simulator."""
+
+    #: Total simulated duration in seconds.
+    duration_s: float = 60.0
+    #: Largest integration step.
+    max_step_s: float = 0.02
+    #: Smallest integration step (steps shrink when the voltage moves fast).
+    min_step_s: float = 1e-5
+    #: Target voltage change per step; the step size adapts to respect it.
+    target_dv_per_step: float = 0.004
+    #: Interval between recorded samples (decimation of the output series).
+    record_interval_s: float = 0.05
+    #: Initial capacitor voltage; ``None`` uses the supply's open-circuit
+    #: voltage clamped to the platform's operating window.
+    initial_voltage: Optional[float] = None
+    #: Stop the simulation at the first brown-out instead of modelling reboot.
+    stop_on_brownout: bool = False
+    #: Model the digital potentiometer's finite threshold resolution.
+    monitor_quantised: bool = True
+    #: How often a persistently-asserted comparator re-raises its interrupt
+    #: after the governor had nothing to do (the ISR masks the line and polls
+    #: it back at this rate).  Keeps a saturated governor responsive without
+    #: allowing an interrupt storm.
+    monitor_rearm_interval_s: float = 0.25
+    #: Include the 1.61 mW monitoring-hardware power in the load.
+    include_monitor_power: bool = True
+    #: Constant CPU utilisation presented to utilisation-driven governors
+    #: (the ray-tracing workload is CPU bound, so 1.0).
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.max_step_s <= 0 or self.min_step_s <= 0:
+            raise ValueError("step sizes must be positive")
+        if self.min_step_s > self.max_step_s:
+            raise ValueError("min_step_s must not exceed max_step_s")
+        if self.target_dv_per_step <= 0:
+            raise ValueError("target_dv_per_step must be positive")
+        if self.record_interval_s <= 0:
+            raise ValueError("record_interval_s must be positive")
+        if self.monitor_rearm_interval_s <= 0:
+            raise ValueError("monitor_rearm_interval_s must be positive")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ValueError("utilization must lie in [0, 1]")
+
+
+class _Recorder:
+    """Accumulates the decimated output time series."""
+
+    def __init__(self, record_interval_s: float):
+        self.record_interval_s = record_interval_s
+        self.next_record_time = 0.0
+        self.times: list[float] = []
+        self.voltage: list[float] = []
+        self.harvested: list[float] = []
+        self.available: list[float] = []
+        self.consumed: list[float] = []
+        self.frequency: list[float] = []
+        self.n_little: list[int] = []
+        self.n_big: list[int] = []
+        self.running: list[float] = []
+        self.instructions: list[float] = []
+        self.v_low: list[float] = []
+        self.v_high: list[float] = []
+
+    def maybe_record(self, t: float, **signals) -> None:
+        if t + 1e-12 < self.next_record_time:
+            return
+        self.record(t, **signals)
+        while self.next_record_time <= t + 1e-12:
+            self.next_record_time += self.record_interval_s
+
+    def record(self, t: float, **signals) -> None:
+        self.times.append(t)
+        self.voltage.append(signals["voltage"])
+        self.harvested.append(signals["harvested"])
+        self.available.append(signals["available"])
+        self.consumed.append(signals["consumed"])
+        self.frequency.append(signals["frequency"])
+        self.n_little.append(signals["n_little"])
+        self.n_big.append(signals["n_big"])
+        self.running.append(signals["running"])
+        self.instructions.append(signals["instructions"])
+        self.v_low.append(signals["v_low"])
+        self.v_high.append(signals["v_high"])
+
+
+class EnergyHarvestingSimulation:
+    """Couples a supply, a buffer capacitor, the monitor, a governor and the SoC.
+
+    Parameters
+    ----------
+    platform:
+        The MP-SoC platform model (actuation state machine + power/perf).
+    governor:
+        The power-management governor under test.
+    supply:
+        The harvesting source (PV array supply or controlled voltage supply).
+    capacitor:
+        The buffer capacitor; defaults to the paper's 47 mF part.  Ignored
+        when the supply is a stiff voltage source.
+    config:
+        Numerical/behavioural configuration.
+    """
+
+    def __init__(
+        self,
+        platform: SoCPlatform,
+        governor: Governor,
+        supply: Supply,
+        capacitor: Supercapacitor | None = None,
+        config: SimulationConfig | None = None,
+    ):
+        self.platform = platform
+        self.governor = governor
+        self.supply = supply
+        self.capacitor = capacitor if capacitor is not None else Supercapacitor(PAPER_BUFFER_CAPACITANCE_F)
+        self.config = config if config is not None else SimulationConfig()
+        self.monitor = VoltageMonitor(quantised=self.config.monitor_quantised)
+
+    # ------------------------------------------------------------------
+    # Initial conditions
+    # ------------------------------------------------------------------
+    def _initial_voltage(self) -> float:
+        if self.config.initial_voltage is not None:
+            return self.config.initial_voltage
+        if self.supply.is_voltage_source:
+            return self.supply.voltage(0.0)
+        voc = self.supply.open_circuit_voltage(0.0)
+        v = min(voc, self.platform.spec.maximum_voltage)
+        return max(v, 0.0)
+
+    def _program_monitor(self, supply_voltage: float) -> None:
+        thresholds = self.governor.thresholds()
+        if thresholds is None:
+            return
+        v_low, v_high = thresholds
+        self.monitor.set_thresholds(v_low, v_high)
+        self.monitor.prime(supply_voltage)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        cfg = self.config
+        platform = self.platform
+        governor = self.governor
+        supply = self.supply
+
+        platform.reset()
+        governor.reset_accounting()
+
+        t = 0.0
+        vc = self._initial_voltage()
+        self.capacitor.reset(min(vc, self.capacitor.max_voltage))
+
+        governor.initialise(platform, t, vc)
+        if governor.uses_voltage_monitor:
+            self._program_monitor(vc)
+
+        recorder = _Recorder(cfg.record_interval_s)
+        events: list[SimulationEvent] = []
+
+        instructions = 0.0
+        harvested_energy = 0.0
+        consumed_energy = 0.0
+        first_brownout: Optional[float] = None
+        was_running = platform.running
+
+        next_tick = 0.0 if governor.sampling_interval_s else float("inf")
+        next_monitor_rearm = cfg.monitor_rearm_interval_s
+        monitor_power = self.monitor.power_w if cfg.include_monitor_power else 0.0
+
+        while t < cfg.duration_s:
+            # --------------------------------------------------------------
+            # 1. Evaluate currents at the present node voltage
+            # --------------------------------------------------------------
+            board_power = platform.power(t)
+            load_power = board_power + monitor_power
+            v_safe = max(vc, 0.5)
+            i_load = load_power / v_safe
+
+            if supply.is_voltage_source:
+                dt = min(cfg.max_step_s, cfg.duration_s - t)
+                t_new = t + dt
+                vc_new = supply.voltage(t_new)
+                i_supply = i_load
+                harvested_power = load_power
+            else:
+                i_supply = supply.current(vc, t)
+                dvdt = self.capacitor.derivative(i_supply - i_load, vc)
+                # Adaptive step: keep the per-step voltage change small, never
+                # step past the end of the run or the next governor tick.
+                dt = cfg.target_dv_per_step / max(abs(dvdt), 1e-9)
+                dt = min(max(dt, cfg.min_step_s), cfg.max_step_s, cfg.duration_s - t)
+                if next_tick > t:
+                    dt = min(dt, max(next_tick - t, cfg.min_step_s))
+                # Heun (explicit trapezoidal) step.
+                vc_pred = vc + dvdt * dt
+                vc_pred = min(max(vc_pred, 0.0), self.capacitor.max_voltage)
+                i_supply_pred = supply.current(vc_pred, t + dt)
+                i_load_pred = load_power / max(vc_pred, 0.5)
+                dvdt_pred = self.capacitor.derivative(i_supply_pred - i_load_pred, vc_pred)
+                vc_new = vc + 0.5 * (dvdt + dvdt_pred) * dt
+                vc_new = min(max(vc_new, 0.0), self.capacitor.max_voltage)
+                t_new = t + dt
+                harvested_power = i_supply * vc
+                self.capacitor.voltage = vc_new
+
+            # --------------------------------------------------------------
+            # 2. Accounting over the step
+            # --------------------------------------------------------------
+            instructions += platform.instruction_rate() * dt
+            harvested_energy += harvested_power * dt
+            consumed_energy += load_power * dt
+
+            t = t_new
+            vc = vc_new
+
+            # --------------------------------------------------------------
+            # 3. Platform state machine: transitions, brown-out, reboot
+            # --------------------------------------------------------------
+            platform.advance(t, vc)
+            if was_running and not platform.running:
+                events.append(SimulationEvent(t, "brownout", f"V_C={vc:.3f}V"))
+                if first_brownout is None:
+                    first_brownout = t
+                if cfg.stop_on_brownout:
+                    was_running = platform.running
+                    recorder.record(
+                        t,
+                        voltage=vc,
+                        harvested=harvested_power,
+                        available=supply.available_power(t),
+                        consumed=load_power,
+                        frequency=platform.current_opp.frequency_hz if platform.running else 0.0,
+                        n_little=platform.current_opp.config.n_little if platform.running else 0,
+                        n_big=platform.current_opp.config.n_big if platform.running else 0,
+                        running=1.0 if platform.running else 0.0,
+                        instructions=instructions,
+                        v_low=self.monitor.v_low,
+                        v_high=self.monitor.v_high,
+                    )
+                    break
+            elif not was_running and platform.running:
+                events.append(SimulationEvent(t, "reboot", f"V_C={vc:.3f}V"))
+                governor.initialise(platform, t, vc)
+                if governor.uses_voltage_monitor:
+                    self._program_monitor(vc)
+            was_running = platform.running
+
+            # --------------------------------------------------------------
+            # 4. Voltage monitor -> governor interrupts
+            #
+            # Interrupts are held off while an OPP transition is in flight:
+            # the ISR performs the sysfs writes synchronously, so the next
+            # threshold crossing is serviced only once the previous response
+            # has taken effect (this is the dead time Table I budgets for).
+            # --------------------------------------------------------------
+            if governor.uses_voltage_monitor and platform.running and not platform.is_transitioning:
+                if t >= next_monitor_rearm:
+                    # Periodic re-poll of a persistently asserted comparator.
+                    self.monitor.prime(vc)
+                    next_monitor_rearm = t + cfg.monitor_rearm_interval_s
+                for crossing in self.monitor.sample(vc):
+                    events.append(SimulationEvent(t, crossing.value, f"V_C={vc:.3f}V"))
+                    thresholds_before = self.monitor.v_low, self.monitor.v_high
+                    decision = governor.on_interrupt(crossing, t, vc, platform)
+                    self._apply_decision(decision, t, events)
+                    self._program_monitor(vc)
+                    thresholds_after = self.monitor.v_low, self.monitor.v_high
+                    if decision is None and thresholds_after == thresholds_before:
+                        # The governor is saturated (nothing changed): fall
+                        # back to edge semantics so a supply that stays beyond
+                        # the threshold does not generate an interrupt storm.
+                        self.monitor.acknowledge(vc)
+
+            # --------------------------------------------------------------
+            # 5. Periodic governor tick (Linux-style governors)
+            # --------------------------------------------------------------
+            if governor.sampling_interval_s and t >= next_tick:
+                if platform.running:
+                    decision = governor.on_tick(t, vc, cfg.utilization, platform)
+                    self._apply_decision(decision, t, events)
+                next_tick += governor.sampling_interval_s
+
+            # --------------------------------------------------------------
+            # 6. Record
+            # --------------------------------------------------------------
+            recorder.maybe_record(
+                t,
+                voltage=vc,
+                harvested=harvested_power,
+                available=supply.available_power(t),
+                consumed=load_power if platform.running else monitor_power,
+                frequency=platform.current_opp.frequency_hz if platform.running else 0.0,
+                n_little=platform.current_opp.config.n_little if platform.running else 0,
+                n_big=platform.current_opp.config.n_big if platform.running else 0,
+                running=1.0 if platform.running else 0.0,
+                instructions=instructions,
+                v_low=self.monitor.v_low,
+                v_high=self.monitor.v_high,
+            )
+
+        return SimulationResult(
+            times=np.array(recorder.times),
+            supply_voltage=np.array(recorder.voltage),
+            harvested_power=np.array(recorder.harvested),
+            available_power=np.array(recorder.available),
+            consumed_power=np.array(recorder.consumed),
+            frequency_hz=np.array(recorder.frequency),
+            n_little=np.array(recorder.n_little),
+            n_big=np.array(recorder.n_big),
+            running=np.array(recorder.running),
+            instructions=np.array(recorder.instructions),
+            v_low=np.array(recorder.v_low),
+            v_high=np.array(recorder.v_high),
+            events=events,
+            duration_s=min(t, cfg.duration_s),
+            total_instructions=instructions,
+            harvested_energy_j=harvested_energy,
+            consumed_energy_j=consumed_energy,
+            brownout_count=platform.brownout_count,
+            first_brownout_time=first_brownout,
+            transition_count=platform.transition_count,
+            dvfs_transition_count=platform.dvfs_transition_count,
+            hotplug_transition_count=platform.hotplug_transition_count,
+            interrupt_count=self.monitor.interrupt_count,
+            governor_invocations=governor.invocation_count,
+            governor_cpu_time_s=governor.cpu_time_s,
+            governor_name=governor.name,
+        )
+
+    def _apply_decision(
+        self,
+        decision: Optional[GovernorDecision],
+        t: float,
+        events: list[SimulationEvent],
+    ) -> None:
+        if decision is None:
+            return
+        latency = self.platform.request_opp(decision.target, t, cores_first=decision.cores_first)
+        events.append(
+            SimulationEvent(
+                t,
+                "opp-request",
+                f"{decision.target} (latency {latency * 1e3:.1f} ms)",
+            )
+        )
+
+
+def simulate(
+    platform: SoCPlatform,
+    governor: Governor,
+    supply: Supply,
+    duration_s: float,
+    capacitor: Supercapacitor | None = None,
+    **config_overrides,
+) -> SimulationResult:
+    """Convenience wrapper: build a simulation with the given duration and run it."""
+    config = SimulationConfig(duration_s=duration_s, **config_overrides)
+    sim = EnergyHarvestingSimulation(
+        platform=platform,
+        governor=governor,
+        supply=supply,
+        capacitor=capacitor,
+        config=config,
+    )
+    return sim.run()

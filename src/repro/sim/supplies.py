@@ -1,0 +1,154 @@
+"""Supply models: what feeds the harvesting node.
+
+Two kinds of supply appear in the paper's evaluation:
+
+* a **PV array under an irradiance trace** (Sections V-B/C/D) — the supply
+  injects the array's I-V current at the present node voltage, so the
+  operating point on the I-V curve emerges from the load; and
+* a **controlled laboratory supply** (Section V-A, Fig. 11) — a stiff voltage
+  source whose programmed profile the node voltage simply follows, used to
+  verify that the governor responds correctly to a changing input voltage.
+
+Both implement the small :class:`Supply` interface consumed by the system
+simulator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..energy.pv_array import PVArray
+from ..energy.traces import IrradianceTrace, Trace
+
+__all__ = ["Supply", "PVArraySupply", "ControlledVoltageSupply", "ConstantPowerSupply"]
+
+
+class Supply(ABC):
+    """Interface between the harvesting source and the node equation."""
+
+    #: Whether the supply pins the node voltage directly (ideal voltage source).
+    is_voltage_source: bool = False
+
+    @abstractmethod
+    def current(self, voltage: float, t: float) -> float:
+        """Current injected into the node at node voltage ``voltage`` and time ``t``."""
+
+    def voltage(self, t: float) -> float:
+        """Node voltage imposed by a stiff supply (voltage sources only)."""
+        raise NotImplementedError("this supply does not impose a node voltage")
+
+    @abstractmethod
+    def available_power(self, t: float) -> float:
+        """Maximum power the supply could deliver at time ``t`` (for Fig. 14)."""
+
+    @abstractmethod
+    def open_circuit_voltage(self, t: float) -> float:
+        """Unloaded node voltage at time ``t`` (used for initial conditions)."""
+
+
+class PVArraySupply(Supply):
+    """A PV array illuminated by an irradiance trace.
+
+    Parameters
+    ----------
+    array:
+        The PV array model.
+    irradiance:
+        Irradiance trace in W/m^2; times outside the trace clamp to its ends.
+    mpp_cache_points:
+        The available-power curve (P_mpp vs irradiance) is pre-computed on a
+        grid of this many irradiance values and interpolated, because locating
+        the MPP exactly at every simulation step would dominate the run time.
+    """
+
+    is_voltage_source = False
+
+    def __init__(self, array: PVArray, irradiance: IrradianceTrace, mpp_cache_points: int = 64):
+        if mpp_cache_points < 2:
+            raise ValueError("mpp_cache_points must be at least 2")
+        self.array = array
+        self.irradiance = irradiance
+        g_max = max(float(irradiance.maximum()), 1.0)
+        self._cache_irradiances = np.linspace(0.0, g_max, mpp_cache_points)
+        self._cache_mpp_power = np.array(
+            [array.power_at_mpp(g) if g > 0 else 0.0 for g in self._cache_irradiances]
+        )
+        self._cache_voc = np.array(
+            [array.open_circuit_voltage(g) if g > 0 else 0.0 for g in self._cache_irradiances]
+        )
+
+    def irradiance_at(self, t: float) -> float:
+        return self.irradiance.value_at(t)
+
+    def current(self, voltage: float, t: float) -> float:
+        return self.array.current(voltage, self.irradiance_at(t))
+
+    def available_power(self, t: float) -> float:
+        g = self.irradiance_at(t)
+        return float(np.interp(g, self._cache_irradiances, self._cache_mpp_power))
+
+    def open_circuit_voltage(self, t: float) -> float:
+        g = self.irradiance_at(t)
+        return float(np.interp(g, self._cache_irradiances, self._cache_voc))
+
+
+class ControlledVoltageSupply(Supply):
+    """A stiff laboratory supply whose voltage follows a programmed trace.
+
+    The node voltage equals the programmed voltage regardless of the load
+    (within the supply's current limit, which we expose only for the
+    available-power estimate).
+    """
+
+    is_voltage_source = True
+
+    def __init__(self, voltage_trace: Trace, current_limit_a: float = 3.0):
+        if current_limit_a <= 0:
+            raise ValueError("current_limit_a must be positive")
+        self.voltage_trace = voltage_trace
+        self.current_limit_a = current_limit_a
+
+    def voltage(self, t: float) -> float:
+        return self.voltage_trace.value_at(t)
+
+    def current(self, voltage: float, t: float) -> float:
+        # A stiff source supplies whatever the load draws; the simulator does
+        # not integrate the node when the supply is a voltage source, so this
+        # is only used for power accounting.
+        return self.current_limit_a
+
+    def available_power(self, t: float) -> float:
+        return self.voltage(t) * self.current_limit_a
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return self.voltage(t)
+
+
+class ConstantPowerSupply(Supply):
+    """An idealised source that delivers a fixed power at any voltage.
+
+    Useful for unit tests and for the conceptual Fig. 3 study where the
+    harvested power is prescribed directly rather than through an I-V curve.
+    """
+
+    is_voltage_source = False
+
+    def __init__(self, power_trace: Trace, voltage_limit: float = 6.5):
+        if voltage_limit <= 0:
+            raise ValueError("voltage_limit must be positive")
+        self.power_trace = power_trace
+        self.voltage_limit = voltage_limit
+
+    def current(self, voltage: float, t: float) -> float:
+        power = max(self.power_trace.value_at(t), 0.0)
+        if voltage >= self.voltage_limit:
+            return 0.0
+        return power / max(voltage, 0.5)
+
+    def available_power(self, t: float) -> float:
+        return max(self.power_trace.value_at(t), 0.0)
+
+    def open_circuit_voltage(self, t: float) -> float:
+        return self.voltage_limit

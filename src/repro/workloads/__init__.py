@@ -1,0 +1,23 @@
+"""Workloads: the smallpt-style path tracer and instruction-cost workload models."""
+
+from .raytracer import PathTracer, RenderSettings, Scene, Sphere, cornell_box_scene
+from .workload import (
+    FIG7_FRAME,
+    TABLE2_RENDER,
+    RaytraceWorkload,
+    SyntheticWorkload,
+    Workload,
+)
+
+__all__ = [
+    "PathTracer",
+    "RenderSettings",
+    "Scene",
+    "Sphere",
+    "cornell_box_scene",
+    "FIG7_FRAME",
+    "TABLE2_RENDER",
+    "RaytraceWorkload",
+    "SyntheticWorkload",
+    "Workload",
+]

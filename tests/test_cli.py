@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURE_FUNCTIONS, GOVERNOR_FACTORIES, build_parser, main
+from repro.governors.base import Governor
+
+
+class TestParser:
+    def test_all_governors_selectable(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--governor", "powersave", "--duration", "30"])
+        assert args.governor == "powersave"
+        assert args.duration == 30.0
+
+    def test_table2_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.duration == 900.0
+
+    def test_figure_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestFactories:
+    def test_every_factory_builds_a_governor(self):
+        for name, factory in GOVERNOR_FACTORIES.items():
+            assert isinstance(factory(), Governor), name
+
+    def test_figure_registry_covers_paper_artifacts(self):
+        for key in ("fig1", "fig4", "fig7", "fig10", "table1", "fig12", "fig14"):
+            assert key in FIGURE_FUNCTIONS
+
+
+class TestExecution:
+    def test_run_command_prints_summary(self, capsys):
+        code = main(["run", "--governor", "power-neutral", "--duration", "20", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run summary" in out
+        assert "V_C" in out
+
+    def test_figure_command_prints_rows(self, capsys):
+        code = main(["figure", "fig4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "board_power_w" in out
+
+    def test_figure_table1(self, capsys):
+        code = main(["figure", "table1"])
+        assert code == 0
+        assert "required_capacitance_mf" in capsys.readouterr().out

@@ -1,0 +1,113 @@
+"""Tests for the Table I buffer-capacitance sizing computation."""
+
+import pytest
+
+from repro.core.capacitor_sizing import (
+    TransitionOrdering,
+    required_buffer_capacitance,
+    table1,
+    worst_case_transition_cost,
+)
+from repro.soc.exynos5422 import (
+    build_exynos5422_platform,
+    exynos5422_latency_model,
+    exynos5422_opp_table,
+    exynos5422_power_model,
+)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return build_exynos5422_platform()
+
+
+@pytest.fixture(scope="module")
+def costs(platform):
+    return required_buffer_capacitance(platform)
+
+
+class TestWorstCaseTransition:
+    def test_steps_cover_full_descent(self, platform):
+        cost = worst_case_transition_cost(
+            exynos5422_power_model(),
+            exynos5422_latency_model(),
+            exynos5422_opp_table(),
+            TransitionOrdering.CORES_FIRST,
+            supply_voltage=4.1,
+        )
+        # 7 hot-unplug steps (4 big + 3 LITTLE) + 7 DVFS steps.
+        assert len(cost.steps) == 14
+        assert cost.duration_s == pytest.approx(sum(s.latency_s for s in cost.steps))
+        assert cost.charge_coulombs > 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_transition_cost(
+                exynos5422_power_model(),
+                exynos5422_latency_model(),
+                exynos5422_opp_table(),
+                TransitionOrdering.CORES_FIRST,
+                supply_voltage=0.0,
+            )
+        with pytest.raises(ValueError):
+            worst_case_transition_cost(
+                exynos5422_power_model(),
+                exynos5422_latency_model(),
+                exynos5422_opp_table(),
+                TransitionOrdering.CORES_FIRST,
+                supply_voltage=4.1,
+                voltage_headroom=0.0,
+            )
+
+    def test_average_current_consistent(self, costs):
+        cost = costs[TransitionOrdering.CORES_FIRST]
+        assert cost.average_current_a == pytest.approx(cost.charge_coulombs / cost.duration_s)
+
+
+class TestTable1Shape:
+    """The qualitative Table I conclusions the paper's design rests on."""
+
+    def test_cores_first_is_much_faster(self, costs):
+        a = costs[TransitionOrdering.FREQUENCY_FIRST]
+        b = costs[TransitionOrdering.CORES_FIRST]
+        assert b.duration_s < a.duration_s
+        assert a.duration_s / b.duration_s > 2.0
+
+    def test_cores_first_needs_much_less_capacitance(self, costs):
+        a = costs[TransitionOrdering.FREQUENCY_FIRST]
+        b = costs[TransitionOrdering.CORES_FIRST]
+        assert b.required_capacitance_f < a.required_capacitance_f
+        assert a.required_capacitance_f / b.required_capacitance_f > 1.4
+
+    def test_durations_in_paper_order_of_magnitude(self, costs):
+        a = costs[TransitionOrdering.FREQUENCY_FIRST]
+        b = costs[TransitionOrdering.CORES_FIRST]
+        # Paper: 345 ms and 63 ms.
+        assert 0.15 < a.duration_s < 0.6
+        assert 0.04 < b.duration_s < 0.2
+
+    def test_frequency_first_ordering_exceeds_chosen_component(self, costs):
+        """The design point: 47 mF only suffices because of the cores-first
+        ordering — frequency-first would need a larger buffer."""
+        a = costs[TransitionOrdering.FREQUENCY_FIRST]
+        assert a.required_capacitance_f > 47e-3
+
+    def test_cores_first_requirement_within_small_buffer_regime(self, costs):
+        """The cores-first requirement stays in the tens-of-mF regime the
+        paper argues for (its measured value is 15.4 mF; our model charges
+        the full workload power through the dead time, so it lands higher but
+        still far below any energy-neutral supercapacitor)."""
+        b = costs[TransitionOrdering.CORES_FIRST]
+        assert b.required_capacitance_f < 84e-3
+
+    def test_table1_rows_structure(self, platform):
+        rows = table1(platform)
+        assert len(rows) == 2
+        assert {row["scenario"] for row in rows} == {
+            "(a) Frequency, Core",
+            "(b) Core, Frequency",
+        }
+        for row in rows:
+            assert row["transition_time_ms"] > 0
+            assert row["charge_coulombs"] > 0
+            assert row["required_capacitance_mf"] > 0

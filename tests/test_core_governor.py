@@ -1,0 +1,201 @@
+"""Unit tests for the power-neutral governor's decision logic.
+
+These tests drive the governor directly (no simulator) and check the Fig. 5
+control flow: DVFS stepping, threshold tracking, the derivative/saturation
+core responses and the ablation switches.
+"""
+
+import pytest
+
+from repro.core.governor import PowerNeutralGovernor
+from repro.core.parameters import PAPER_TUNED_PARAMETERS, ControllerParameters
+from repro.governors.base import GovernorDecision
+from repro.hw.monitor import ThresholdCrossing
+from repro.soc.cores import CoreConfig
+from repro.soc.exynos5422 import build_exynos5422_platform
+from repro.soc.opp import GHZ, OperatingPoint
+
+
+@pytest.fixture()
+def platform():
+    return build_exynos5422_platform(initial_opp=OperatingPoint(CoreConfig(4, 2), 0.92 * GHZ))
+
+
+def make_governor(platform, parameters=PAPER_TUNED_PARAMETERS, target=5.3, v0=5.3):
+    governor = PowerNeutralGovernor(parameters, target_voltage=target)
+    governor.initialise(platform, time=0.0, supply_voltage=v0)
+    return governor
+
+
+class TestInitialisation:
+    def test_thresholds_calibrated_around_supply(self, platform):
+        governor = make_governor(platform)
+        low, high = governor.thresholds()
+        assert low == pytest.approx(5.3 - 0.072, abs=1e-6)
+        assert high == pytest.approx(5.3 + 0.072, abs=1e-6)
+
+    def test_uninitialised_governor_raises(self, platform):
+        governor = PowerNeutralGovernor()
+        assert governor.thresholds() is None
+        with pytest.raises(RuntimeError):
+            governor.on_interrupt(ThresholdCrossing.LOW, 0.0, 5.0, platform)
+        with pytest.raises(RuntimeError):
+            governor.tracker
+
+    def test_ceiling_capped_near_target_voltage(self, platform):
+        governor = make_governor(platform, target=5.3)
+        assert governor.tracker.v_ceiling == pytest.approx(5.3 + PAPER_TUNED_PARAMETERS.v_width)
+
+    def test_no_target_uses_platform_window(self, platform):
+        governor = make_governor(platform, target=None)
+        assert governor.tracker.v_ceiling == pytest.approx(platform.spec.maximum_voltage)
+        assert governor.tracker.v_floor == pytest.approx(platform.spec.minimum_voltage)
+
+
+class TestDVFSResponse:
+    def test_low_crossing_steps_frequency_down(self, platform):
+        governor = make_governor(platform)
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        assert isinstance(decision, GovernorDecision)
+        assert decision.target.frequency_hz == pytest.approx(0.72 * GHZ)
+        assert decision.target.config == CoreConfig(4, 2)  # first crossing: no core change
+
+    def test_high_crossing_steps_frequency_up(self, platform):
+        governor = make_governor(platform)
+        decision = governor.on_interrupt(ThresholdCrossing.HIGH, 1.0, 5.4, platform)
+        assert decision.target.frequency_hz == pytest.approx(1.1 * GHZ)
+
+    def test_thresholds_shift_with_each_crossing(self, platform):
+        governor = make_governor(platform)
+        low0, high0 = governor.thresholds()
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        low1, high1 = governor.thresholds()
+        assert low1 == pytest.approx(low0 - PAPER_TUNED_PARAMETERS.v_q)
+        assert high1 == pytest.approx(high0 - PAPER_TUNED_PARAMETERS.v_q)
+
+    def test_dvfs_disabled_keeps_frequency(self, platform):
+        params = PAPER_TUNED_PARAMETERS.with_overrides(use_dvfs=False)
+        governor = make_governor(platform, parameters=params)
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        # With DVFS disabled the saturation rule sheds a core instead.
+        assert decision.target.frequency_hz == pytest.approx(0.92 * GHZ)
+        assert decision.target.config.total < CoreConfig(4, 2).total
+
+    def test_decision_none_when_nothing_changes(self, platform):
+        # At the lowest OPP a LOW crossing with no core to remove... use a
+        # platform already at the lowest OPP with hotplug disabled.
+        low_platform = build_exynos5422_platform()
+        params = PAPER_TUNED_PARAMETERS.with_overrides(use_hotplug=False)
+        governor = PowerNeutralGovernor(params)
+        governor.initialise(low_platform, 0.0, 5.3)
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, low_platform)
+        assert decision is None
+
+
+class TestCoreResponse:
+    def test_consecutive_steep_low_crossings_remove_cores(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        # Second LOW crossing 20 ms later: gradient = 47.9mV / 20ms = 2.4 V/s > beta.
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 1.02, 5.15, platform)
+        assert decision.target.config.n_big == 1
+        assert decision.target.config.n_little == 3
+
+    def test_consecutive_moderate_low_crossings_remove_little_only(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        # Gradient between alpha and beta: 47.9mV / 0.2s = 0.24 V/s.
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 1.2, 5.15, platform)
+        assert decision.target.config == CoreConfig(3, 2)
+
+    def test_alternating_crossings_do_not_scale_cores(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        decision = governor.on_interrupt(ThresholdCrossing.HIGH, 1.02, 5.4, platform)
+        assert decision.target.config == CoreConfig(4, 2)
+
+    def test_slow_consecutive_crossings_do_not_scale_cores(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 3.0, 5.15, platform)
+        assert decision.target.config == CoreConfig(4, 2)
+
+    def test_hotplug_disabled_never_changes_cores(self, platform):
+        params = PAPER_TUNED_PARAMETERS.with_overrides(use_hotplug=False)
+        governor = make_governor(platform, parameters=params)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 1.01, 5.15, platform)
+        assert decision.target.config == CoreConfig(4, 2)
+
+    def test_holdoff_blocks_rapid_repeat_hotplug(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.HIGH, 1.0, 5.4, platform)
+        governor.on_interrupt(ThresholdCrossing.HIGH, 1.05, 5.45, platform)  # adds cores
+        # Another steep pair well within the hold-off: no further addition.
+        decision = governor.on_interrupt(ThresholdCrossing.HIGH, 1.10, 5.5, platform)
+        assert decision is None or decision.target.config == CoreConfig(4, 2)
+
+    def test_emergency_removal_bypasses_holdoff(self, platform):
+        governor = make_governor(platform)
+        # A hotplug action just happened...
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.02, 5.15, platform)
+        # ...but the voltage is now plunging towards V_min: removal proceeds.
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 1.05, 4.20, platform)
+        assert decision is not None
+        assert decision.target.config.total < CoreConfig(4, 2).total
+
+    def test_saturation_rule_adds_core_when_frequency_maxed(self):
+        platform = build_exynos5422_platform(
+            initial_opp=OperatingPoint(CoreConfig(2, 0), 1.4 * GHZ)
+        )
+        governor = make_governor(platform, v0=5.3)
+        # Shallow consecutive HIGH crossings (gradient below alpha) but the
+        # frequency is already at the top: a LITTLE core must still be added.
+        governor.on_interrupt(ThresholdCrossing.HIGH, 1.0, 5.4, platform)
+        decision = governor.on_interrupt(ThresholdCrossing.HIGH, 3.0, 5.45, platform)
+        assert decision is not None
+        assert decision.target.config == CoreConfig(3, 0)
+
+    def test_saturation_rule_adds_big_core_when_littles_full(self):
+        platform = build_exynos5422_platform(
+            initial_opp=OperatingPoint(CoreConfig(4, 0), 1.4 * GHZ)
+        )
+        governor = make_governor(platform, v0=5.3)
+        governor.on_interrupt(ThresholdCrossing.HIGH, 1.0, 5.4, platform)
+        decision = governor.on_interrupt(ThresholdCrossing.HIGH, 3.0, 5.45, platform)
+        assert decision.target.config == CoreConfig(4, 1)
+
+    def test_saturation_rule_sheds_big_core_when_frequency_at_bottom(self):
+        platform = build_exynos5422_platform(
+            initial_opp=OperatingPoint(CoreConfig(4, 2), 0.2 * GHZ)
+        )
+        governor = make_governor(platform, v0=4.6)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 4.55, platform)
+        decision = governor.on_interrupt(ThresholdCrossing.LOW, 3.0, 4.5, platform)
+        assert decision.target.config == CoreConfig(4, 1)
+
+
+class TestAccounting:
+    def test_invocations_and_cpu_time_accumulate(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        governor.on_interrupt(ThresholdCrossing.HIGH, 2.0, 5.4, platform)
+        assert governor.invocation_count == 2
+        assert governor.cpu_time_s == pytest.approx(2 * governor.cpu_time_per_invocation_s)
+
+    def test_decision_log_records_targets(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        assert len(governor.decision_log) == 1
+        time, crossing, tau, target = governor.decision_log[0]
+        assert crossing is ThresholdCrossing.LOW
+        assert isinstance(target, OperatingPoint)
+
+    def test_reinitialise_clears_state(self, platform):
+        governor = make_governor(platform)
+        governor.on_interrupt(ThresholdCrossing.LOW, 1.0, 5.2, platform)
+        governor.initialise(platform, 10.0, 5.0)
+        assert governor.decision_log == []
+        low, high = governor.thresholds()
+        assert low == pytest.approx(5.0 - 0.072, abs=1e-6)

@@ -1,0 +1,76 @@
+"""Tests for the controller parameter sets."""
+
+import pytest
+
+from repro.core.parameters import (
+    ControllerParameters,
+    FIG6_PARAMETERS,
+    FIG11_PARAMETERS,
+    PAPER_TUNED_PARAMETERS,
+)
+
+
+class TestValidation:
+    def test_positive_values_required(self):
+        with pytest.raises(ValueError):
+            ControllerParameters(v_width=0.0, v_q=0.05, alpha=0.1, beta=0.5)
+        with pytest.raises(ValueError):
+            ControllerParameters(v_width=0.1, v_q=0.0, alpha=0.1, beta=0.5)
+        with pytest.raises(ValueError):
+            ControllerParameters(v_width=0.1, v_q=0.05, alpha=0.0, beta=0.5)
+        with pytest.raises(ValueError):
+            ControllerParameters(v_width=0.1, v_q=0.05, alpha=0.1, beta=0.0)
+
+    def test_beta_must_not_be_below_alpha(self):
+        with pytest.raises(ValueError):
+            ControllerParameters(v_width=0.1, v_q=0.05, alpha=0.5, beta=0.1)
+
+    def test_at_least_one_mechanism_required(self):
+        with pytest.raises(ValueError):
+            ControllerParameters(
+                v_width=0.1, v_q=0.05, alpha=0.1, beta=0.5, use_dvfs=False, use_hotplug=False
+            )
+
+    def test_negative_holdoff_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerParameters(v_width=0.1, v_q=0.05, alpha=0.1, beta=0.5, hotplug_holdoff_s=-1.0)
+
+    def test_window_ordering_checked(self):
+        with pytest.raises(ValueError):
+            ControllerParameters(
+                v_width=0.1, v_q=0.05, alpha=0.1, beta=0.5, v_floor=5.0, v_ceiling=4.0
+            )
+
+
+class TestDerivedQuantities:
+    def test_tau_thresholds(self):
+        params = ControllerParameters(v_width=0.1, v_q=0.05, alpha=0.1, beta=0.5)
+        assert params.tau_little == pytest.approx(0.5)
+        assert params.tau_big == pytest.approx(0.1)
+        assert params.tau_big < params.tau_little
+
+    def test_with_overrides_creates_modified_copy(self):
+        modified = PAPER_TUNED_PARAMETERS.with_overrides(use_hotplug=False)
+        assert modified.use_hotplug is False
+        assert PAPER_TUNED_PARAMETERS.use_hotplug is True
+        assert modified.v_width == PAPER_TUNED_PARAMETERS.v_width
+
+
+class TestPaperParameterSets:
+    def test_section3_tuned_values(self):
+        assert PAPER_TUNED_PARAMETERS.v_width == pytest.approx(0.144)
+        assert PAPER_TUNED_PARAMETERS.v_q == pytest.approx(0.0479)
+        assert PAPER_TUNED_PARAMETERS.alpha == pytest.approx(0.120)
+        assert PAPER_TUNED_PARAMETERS.beta == pytest.approx(0.479)
+
+    def test_fig6_values(self):
+        assert FIG6_PARAMETERS.v_width == pytest.approx(0.2)
+        assert FIG6_PARAMETERS.v_q == pytest.approx(0.08)
+
+    def test_fig11_values_are_larger_for_clarity(self):
+        assert FIG11_PARAMETERS.v_width > PAPER_TUNED_PARAMETERS.v_width
+        assert FIG11_PARAMETERS.v_q > PAPER_TUNED_PARAMETERS.v_q
+
+    def test_all_sets_enable_both_mechanisms(self):
+        for params in (PAPER_TUNED_PARAMETERS, FIG6_PARAMETERS, FIG11_PARAMETERS):
+            assert params.use_dvfs and params.use_hotplug

@@ -1,0 +1,104 @@
+"""Tests for the linear DVFS policy and the derivative hot-plug policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dvfs_policy import LinearDVFSPolicy
+from repro.core.hotplug_policy import CoreScalingResponse, DerivativeHotplugPolicy
+from repro.hw.monitor import ThresholdCrossing
+from repro.soc.opp import GHZ, FrequencyLadder
+
+
+class TestLinearDVFSPolicy:
+    def test_low_crossing_steps_down(self):
+        policy = LinearDVFSPolicy(FrequencyLadder())
+        assert policy.respond(ThresholdCrossing.LOW, 0.92 * GHZ) == pytest.approx(0.72 * GHZ)
+
+    def test_high_crossing_steps_up(self):
+        policy = LinearDVFSPolicy(FrequencyLadder())
+        assert policy.respond(ThresholdCrossing.HIGH, 0.92 * GHZ) == pytest.approx(1.1 * GHZ)
+
+    def test_clamped_at_ladder_ends(self):
+        policy = LinearDVFSPolicy(FrequencyLadder())
+        assert policy.respond(ThresholdCrossing.LOW, 0.2 * GHZ) == pytest.approx(0.2 * GHZ)
+        assert policy.respond(ThresholdCrossing.HIGH, 1.4 * GHZ) == pytest.approx(1.4 * GHZ)
+
+    def test_at_limit_detection(self):
+        policy = LinearDVFSPolicy(FrequencyLadder())
+        assert policy.at_limit(ThresholdCrossing.LOW, 0.2 * GHZ)
+        assert policy.at_limit(ThresholdCrossing.HIGH, 1.4 * GHZ)
+        assert not policy.at_limit(ThresholdCrossing.LOW, 0.92 * GHZ)
+
+    def test_multi_step_policy(self):
+        policy = LinearDVFSPolicy(FrequencyLadder(), steps_per_crossing=2)
+        assert policy.respond(ThresholdCrossing.HIGH, 0.2 * GHZ) == pytest.approx(0.72 * GHZ)
+
+    def test_invalid_step_count_rejected(self):
+        with pytest.raises(ValueError):
+            LinearDVFSPolicy(FrequencyLadder(), steps_per_crossing=0)
+
+
+class TestCoreScalingResponse:
+    def test_valid_factors_only(self):
+        with pytest.raises(ValueError):
+            CoreScalingResponse(s_little=2, s_big=0)
+
+    def test_any_change_flag(self):
+        assert not CoreScalingResponse(0, 0).any_change
+        assert CoreScalingResponse(1, 0).any_change
+        assert CoreScalingResponse(0, -1).any_change
+
+
+class TestDerivativeHotplugPolicy:
+    def make_policy(self) -> DerivativeHotplugPolicy:
+        return DerivativeHotplugPolicy(v_q=0.0479, alpha=0.120, beta=0.479)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DerivativeHotplugPolicy(v_q=0.0, alpha=0.1, beta=0.5)
+        with pytest.raises(ValueError):
+            DerivativeHotplugPolicy(v_q=0.05, alpha=0.5, beta=0.1)
+
+    def test_gradient_approximation_eq3(self):
+        policy = self.make_policy()
+        assert policy.gradient_magnitude(0.1) == pytest.approx(0.479, rel=1e-3)
+        assert policy.gradient_magnitude(0.0) == float("inf")
+
+    def test_tau_breakpoints(self):
+        policy = self.make_policy()
+        assert policy.tau_big == pytest.approx(0.1, rel=1e-2)
+        assert policy.tau_little == pytest.approx(0.399, rel=1e-2)
+        assert policy.tau_big < policy.tau_little
+
+    def test_shallow_gradient_means_no_core_change(self):
+        policy = self.make_policy()
+        response = policy.respond(ThresholdCrossing.LOW, tau=1.0)
+        assert response == CoreScalingResponse(0, 0)
+
+    def test_moderate_gradient_scales_little_only(self):
+        policy = self.make_policy()
+        # tau between tau_big and tau_little: only the LITTLE response fires.
+        response = policy.respond(ThresholdCrossing.LOW, tau=0.2)
+        assert response == CoreScalingResponse(s_little=-1, s_big=0)
+
+    def test_steep_gradient_scales_both_clusters(self):
+        policy = self.make_policy()
+        response = policy.respond(ThresholdCrossing.LOW, tau=0.05)
+        assert response == CoreScalingResponse(s_little=-1, s_big=-1)
+
+    def test_high_crossing_adds_cores(self):
+        policy = self.make_policy()
+        response = policy.respond(ThresholdCrossing.HIGH, tau=0.05)
+        assert response == CoreScalingResponse(s_little=1, s_big=1)
+
+    @given(tau=st.floats(min_value=1e-4, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_response_consistent_with_gradient_thresholds(self, tau):
+        policy = self.make_policy()
+        gradient = policy.gradient_magnitude(tau)
+        response = policy.respond(ThresholdCrossing.LOW, tau)
+        assert response.s_little == (-1 if gradient > policy.alpha else 0)
+        assert response.s_big == (-1 if gradient > policy.beta else 0)
+        # A big-core response implies a LITTLE-core response (beta >= alpha).
+        if response.s_big != 0:
+            assert response.s_little != 0

@@ -1,0 +1,115 @@
+"""Tests for the dynamic dual-threshold tracker (eq. 1 + tracking)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.thresholds import ThresholdTracker
+
+
+def make_tracker(**overrides) -> ThresholdTracker:
+    defaults = dict(v_width=0.144, v_q=0.0479, v_floor=4.1, v_ceiling=5.7)
+    defaults.update(overrides)
+    return ThresholdTracker(**defaults)
+
+
+class TestValidation:
+    def test_positive_width_and_quantum_required(self):
+        with pytest.raises(ValueError):
+            make_tracker(v_width=0.0)
+        with pytest.raises(ValueError):
+            make_tracker(v_q=0.0)
+
+    def test_window_must_fit_width(self):
+        with pytest.raises(ValueError):
+            make_tracker(v_floor=5.0, v_ceiling=5.05, v_width=0.2)
+
+
+class TestCalibration:
+    def test_eq1_centres_thresholds_on_supply(self):
+        tracker = make_tracker()
+        low, high = tracker.calibrate(5.3)
+        assert low == pytest.approx(5.3 - 0.072)
+        assert high == pytest.approx(5.3 + 0.072)
+        assert tracker.separation == pytest.approx(0.144)
+        assert tracker.centre == pytest.approx(5.3)
+
+    def test_calibration_clamps_at_floor(self):
+        tracker = make_tracker()
+        low, high = tracker.calibrate(4.05)
+        assert low == pytest.approx(4.1)
+        assert high == pytest.approx(4.1 + 0.144)
+
+    def test_calibration_clamps_at_ceiling(self):
+        tracker = make_tracker()
+        low, high = tracker.calibrate(5.75)
+        assert high == pytest.approx(5.7)
+        assert low == pytest.approx(5.7 - 0.144)
+
+    def test_contains(self):
+        tracker = make_tracker()
+        tracker.calibrate(5.3)
+        assert tracker.contains(5.3)
+        assert not tracker.contains(5.5)
+
+
+class TestTracking:
+    def test_low_crossing_shifts_both_down(self):
+        tracker = make_tracker()
+        tracker.calibrate(5.3)
+        low0, high0 = tracker.as_tuple()
+        low1, high1 = tracker.on_low_crossing()
+        assert low1 == pytest.approx(low0 - 0.0479)
+        assert high1 == pytest.approx(high0 - 0.0479)
+
+    def test_high_crossing_shifts_both_up(self):
+        tracker = make_tracker()
+        tracker.calibrate(5.3)
+        low0, high0 = tracker.as_tuple()
+        low1, high1 = tracker.on_high_crossing()
+        assert low1 == pytest.approx(low0 + 0.0479)
+        assert high1 == pytest.approx(high0 + 0.0479)
+
+    def test_tracking_clamps_at_floor(self):
+        tracker = make_tracker()
+        tracker.calibrate(4.2)
+        for _ in range(50):
+            tracker.on_low_crossing()
+        assert tracker.v_low == pytest.approx(4.1)
+        assert tracker.v_high == pytest.approx(4.1 + 0.144)
+
+    def test_tracking_clamps_at_ceiling(self):
+        tracker = make_tracker()
+        tracker.calibrate(5.6)
+        for _ in range(50):
+            tracker.on_high_crossing()
+        assert tracker.v_high == pytest.approx(5.7)
+
+    def test_up_then_down_returns_to_start(self):
+        tracker = make_tracker()
+        tracker.calibrate(5.0)
+        start = tracker.as_tuple()
+        tracker.on_high_crossing()
+        tracker.on_low_crossing()
+        low, high = tracker.as_tuple()
+        assert low == pytest.approx(start[0])
+        assert high == pytest.approx(start[1])
+
+
+class TestInvariants:
+    @given(
+        start=st.floats(min_value=3.5, max_value=6.2),
+        crossings=st.lists(st.sampled_from(["low", "high"]), max_size=120),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_separation_and_window_always_preserved(self, start, crossings):
+        tracker = make_tracker()
+        tracker.calibrate(start)
+        for crossing in crossings:
+            if crossing == "low":
+                tracker.on_low_crossing()
+            else:
+                tracker.on_high_crossing()
+            assert tracker.separation == pytest.approx(0.144)
+            assert tracker.v_low >= 4.1 - 1e-9
+            assert tracker.v_high <= 5.7 + 1e-9
+            assert tracker.v_low < tracker.v_high

@@ -1,0 +1,156 @@
+"""Tests for synthetic irradiance generation (macro + micro variability)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.irradiance import (
+    SECONDS_PER_DAY,
+    ClearSkyModel,
+    CloudModel,
+    IrradianceGenerator,
+    ShadowingEvent,
+    WeatherCondition,
+    constant_irradiance,
+    sinusoidal_irradiance,
+    step_irradiance,
+)
+
+
+class TestClearSkyModel:
+    def test_zero_before_sunrise_and_after_sunset(self):
+        model = ClearSkyModel()
+        assert model.irradiance(model.sunrise_s - 60.0) == 0.0
+        assert model.irradiance(model.sunset_s + 60.0) == 0.0
+
+    def test_peak_at_solar_noon(self):
+        model = ClearSkyModel()
+        noon = 0.5 * (model.sunrise_s + model.sunset_s)
+        assert model.irradiance(noon) == pytest.approx(model.peak_irradiance_w_m2, rel=1e-6)
+
+    def test_symmetry_about_noon(self):
+        model = ClearSkyModel()
+        noon = 0.5 * (model.sunrise_s + model.sunset_s)
+        assert model.irradiance(noon - 3600) == pytest.approx(model.irradiance(noon + 3600), rel=1e-9)
+
+    def test_vectorised_matches_scalar(self):
+        model = ClearSkyModel()
+        times = np.linspace(0, SECONDS_PER_DAY, 97)
+        vector = model.irradiance_array(times)
+        scalar = np.array([model.irradiance(float(t)) for t in times])
+        np.testing.assert_allclose(vector, scalar, atol=1e-9)
+
+    def test_invalid_sunrise_sunset_rejected(self):
+        with pytest.raises(ValueError):
+            ClearSkyModel(sunrise_s=20 * 3600.0, sunset_s=6 * 3600.0)
+
+    def test_wraps_time_beyond_one_day(self):
+        model = ClearSkyModel()
+        assert model.irradiance(12 * 3600.0) == pytest.approx(
+            model.irradiance(12 * 3600.0 + SECONDS_PER_DAY)
+        )
+
+
+class TestCloudModel:
+    def test_attenuation_in_unit_range(self):
+        model = CloudModel()
+        rng = np.random.default_rng(1)
+        times = np.arange(0.0, 3600.0, 1.0)
+        attenuation = model.attenuation_profile(times, rng)
+        assert np.all(attenuation <= 1.0 + 1e-9)
+        assert np.all(attenuation >= model.attenuation_min - 1e-9)
+
+    def test_occlusions_actually_occur(self):
+        model = CloudModel(mean_clear_duration_s=60.0, mean_occluded_duration_s=60.0)
+        rng = np.random.default_rng(2)
+        times = np.arange(0.0, 7200.0, 1.0)
+        attenuation = model.attenuation_profile(times, rng)
+        assert np.min(attenuation) < 0.9
+
+    def test_invalid_attenuation_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CloudModel(attenuation_min=0.8, attenuation_max=0.2)
+
+
+class TestShadowingEvent:
+    def test_factor_one_outside_event(self):
+        event = ShadowingEvent(start_s=10.0, duration_s=5.0, attenuation=0.2, ramp_s=1.0)
+        assert event.factor(0.0) == 1.0
+        assert event.factor(30.0) == 1.0
+
+    def test_factor_attenuated_inside_event(self):
+        event = ShadowingEvent(start_s=10.0, duration_s=5.0, attenuation=0.2, ramp_s=1.0)
+        assert event.factor(12.0) == pytest.approx(0.2)
+
+    def test_ramp_is_intermediate(self):
+        event = ShadowingEvent(start_s=10.0, duration_s=5.0, attenuation=0.2, ramp_s=1.0)
+        assert 0.2 < event.factor(9.5) < 1.0
+        assert 0.2 < event.factor(15.5) < 1.0
+
+
+class TestGenerator:
+    def test_deterministic_for_fixed_seed(self):
+        a = IrradianceGenerator(seed=5).generate_day(dt=60.0)
+        b = IrradianceGenerator(seed=5).generate_day(dt=60.0)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = IrradianceGenerator(seed=1).generate_day(dt=60.0)
+        b = IrradianceGenerator(seed=2).generate_day(dt=60.0)
+        assert not np.allclose(a.values, b.values)
+
+    def test_non_negative_and_bounded_by_clear_sky(self):
+        generator = IrradianceGenerator(seed=3)
+        trace = generator.generate_day(weather=WeatherCondition.FULL_SUN, dt=30.0)
+        assert np.all(trace.values >= 0.0)
+        assert np.max(trace.values) <= generator.clear_sky.peak_irradiance_w_m2 + 1e-6
+
+    def test_weather_ordering_of_daily_energy(self):
+        generator = IrradianceGenerator(seed=7)
+        energies = {}
+        for weather in (WeatherCondition.FULL_SUN, WeatherCondition.CLOUD, WeatherCondition.HAIL):
+            trace = generator.generate_day(weather=weather, dt=120.0)
+            energies[weather] = trace.integral()
+        assert energies[WeatherCondition.FULL_SUN] > energies[WeatherCondition.CLOUD]
+        assert energies[WeatherCondition.CLOUD] > energies[WeatherCondition.HAIL]
+
+    def test_shadowing_events_reduce_irradiance(self):
+        generator = IrradianceGenerator(seed=9)
+        event = ShadowingEvent(start_s=12 * 3600.0, duration_s=600.0, attenuation=0.1)
+        with_shadow = generator.generate_day(dt=60.0, shadowing_events=[event])
+        without = generator.generate_day(dt=60.0)
+        idx = np.searchsorted(without.times, 12 * 3600.0 + 300.0)
+        assert with_shadow.values[idx] < without.values[idx]
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            IrradianceGenerator().generate(t_start=0.0, duration=-5.0)
+
+
+class TestDeterministicProfiles:
+    def test_constant_profile(self):
+        trace = constant_irradiance(800.0, duration=10.0, dt=1.0)
+        assert np.all(trace.values == 800.0)
+
+    def test_step_profile_levels(self):
+        trace = step_irradiance(1000.0, 200.0, step_time=5.0, duration=10.0, dt=0.5)
+        assert trace.value_at(1.0) == pytest.approx(1000.0)
+        assert trace.value_at(8.0) == pytest.approx(200.0)
+
+    def test_step_profile_recovers(self):
+        trace = step_irradiance(1000.0, 200.0, step_time=2.0, duration=10.0, dt=0.5, recover_time=6.0)
+        assert trace.value_at(9.0) == pytest.approx(1000.0)
+
+    def test_sinusoid_never_negative(self):
+        trace = sinusoidal_irradiance(300.0, 500.0, period_s=4.0, duration=12.0)
+        assert np.all(trace.values >= 0.0)
+
+    @given(
+        mean=st.floats(min_value=0.0, max_value=1000.0),
+        amplitude=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sinusoid_bounded(self, mean, amplitude):
+        trace = sinusoidal_irradiance(mean, amplitude, period_s=5.0, duration=10.0, dt=0.5)
+        assert np.all(trace.values <= mean + amplitude + 1e-9)
+        assert np.all(trace.values >= 0.0)

@@ -1,0 +1,98 @@
+"""Tests for PV array composition and the calibrated paper arrays."""
+
+import numpy as np
+import pytest
+
+from repro.energy.pv_array import (
+    FIG1_CELL_AREA_CM2,
+    PAPER_ARRAY_AREA_CM2,
+    PVArray,
+    fig1_small_cell,
+    paper_pv_array,
+)
+from repro.energy.solar_cell import SolarCellParameters
+
+
+@pytest.fixture()
+def cell_params() -> SolarCellParameters:
+    return SolarCellParameters(photo_current_stc=1.0, area_cm2=100.0)
+
+
+class TestTopology:
+    def test_series_scaling_of_voltage(self, cell_params):
+        one = PVArray(cell_params, cells_in_series=1)
+        four = PVArray(cell_params, cells_in_series=4)
+        assert four.open_circuit_voltage() == pytest.approx(4 * one.open_circuit_voltage(), rel=1e-3)
+
+    def test_parallel_scaling_of_current(self, cell_params):
+        one = PVArray(cell_params, strings_in_parallel=1)
+        three = PVArray(cell_params, strings_in_parallel=3)
+        assert three.short_circuit_current() == pytest.approx(3 * one.short_circuit_current(), rel=1e-3)
+
+    def test_mpp_power_scales_with_cell_count(self, cell_params):
+        one = PVArray(cell_params)
+        grid = PVArray(cell_params, cells_in_series=2, strings_in_parallel=2)
+        assert grid.power_at_mpp() == pytest.approx(4 * one.power_at_mpp(), rel=1e-2)
+
+    def test_area_accounts_for_all_cells(self, cell_params):
+        array = PVArray(cell_params, cells_in_series=3, strings_in_parallel=2)
+        assert array.area_cm2 == pytest.approx(6 * 100.0)
+
+    def test_invalid_topology_rejected(self, cell_params):
+        with pytest.raises(ValueError):
+            PVArray(cell_params, cells_in_series=0)
+        with pytest.raises(ValueError):
+            PVArray(cell_params, strings_in_parallel=0)
+
+    def test_iv_curve_endpoints(self, cell_params):
+        array = PVArray(cell_params, cells_in_series=5)
+        voltages, currents = array.iv_curve(points=50)
+        assert voltages[0] == 0.0
+        assert currents[0] == pytest.approx(array.short_circuit_current(), rel=1e-3)
+        assert currents[-1] == pytest.approx(0.0, abs=1e-2)
+
+    def test_power_is_voltage_times_current(self, cell_params):
+        array = PVArray(cell_params, cells_in_series=5)
+        assert array.power(2.0) == pytest.approx(2.0 * array.current(2.0))
+
+
+class TestPaperArray:
+    """The 1340 cm² validation array must hit the paper's I-V envelope."""
+
+    def test_open_circuit_voltage_near_6_8v(self):
+        assert paper_pv_array().open_circuit_voltage() == pytest.approx(6.8, abs=0.3)
+
+    def test_short_circuit_current_near_1_2a(self):
+        assert paper_pv_array().short_circuit_current() == pytest.approx(1.2, abs=0.15)
+
+    def test_mpp_voltage_near_calibrated_5_3v(self):
+        mpp = paper_pv_array().maximum_power_point()
+        assert mpp.voltage == pytest.approx(5.3, abs=0.25)
+
+    def test_peak_power_in_expected_range(self):
+        mpp = paper_pv_array().maximum_power_point()
+        assert 5.0 < mpp.power < 6.5
+
+    def test_area_matches_paper(self):
+        assert paper_pv_array().area_cm2 == pytest.approx(PAPER_ARRAY_AREA_CM2, rel=1e-6)
+
+    def test_power_available_at_operating_window_voltages(self):
+        array = paper_pv_array()
+        # Between the board's 4.1 V and 5.7 V limits, the array must deliver
+        # most of its maximum power (this is what power-neutral MPP operation
+        # exploits).
+        p_mpp = array.power_at_mpp()
+        assert array.power(4.6) > 0.75 * p_mpp
+        assert array.power(5.3) > 0.95 * p_mpp
+
+
+class TestFig1Cell:
+    def test_peak_power_around_one_watt(self):
+        mpp = fig1_small_cell().maximum_power_point()
+        assert 0.6 < mpp.power < 1.3
+
+    def test_area_matches_paper(self):
+        assert fig1_small_cell().area_cm2 == pytest.approx(FIG1_CELL_AREA_CM2, rel=1e-6)
+
+    def test_zero_irradiance_produces_no_power(self):
+        assert fig1_small_cell().power_at_mpp(0.0) == 0.0

@@ -1,0 +1,158 @@
+"""Unit and property tests for the single-diode solar-cell model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.solar_cell import (
+    MPPResult,
+    SolarCell,
+    SolarCellParameters,
+    thermal_voltage,
+)
+
+
+@pytest.fixture()
+def cell() -> SolarCell:
+    return SolarCell(
+        SolarCellParameters(
+            photo_current_stc=1.25,
+            saturation_current=2e-9,
+            series_resistance=0.06,
+            shunt_resistance=8.0,
+            ideality_factor=1.3,
+        )
+    )
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        assert thermal_voltage(600.0) == pytest.approx(2 * thermal_voltage(300.0))
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_voltage(0.0)
+
+
+class TestParameterValidation:
+    def test_rejects_negative_photo_current(self):
+        with pytest.raises(ValueError):
+            SolarCellParameters(photo_current_stc=-1.0)
+
+    def test_rejects_zero_saturation_current(self):
+        with pytest.raises(ValueError):
+            SolarCellParameters(photo_current_stc=1.0, saturation_current=0.0)
+
+    def test_rejects_negative_series_resistance(self):
+        with pytest.raises(ValueError):
+            SolarCellParameters(photo_current_stc=1.0, series_resistance=-0.1)
+
+    def test_rejects_zero_shunt_resistance(self):
+        with pytest.raises(ValueError):
+            SolarCellParameters(photo_current_stc=1.0, shunt_resistance=0.0)
+
+    def test_with_temperature_returns_new_instance(self):
+        params = SolarCellParameters(photo_current_stc=1.0)
+        hot = params.with_temperature(330.0)
+        assert hot.temperature_k == 330.0
+        assert params.temperature_k == 300.0
+
+
+class TestIVCurve:
+    def test_short_circuit_current_close_to_photo_current(self, cell):
+        isc = cell.short_circuit_current()
+        assert isc == pytest.approx(cell.parameters.photo_current_stc, rel=0.05)
+
+    def test_current_scales_with_irradiance(self, cell):
+        full = cell.short_circuit_current(1000.0)
+        half = cell.short_circuit_current(500.0)
+        assert half == pytest.approx(0.5 * full, rel=0.05)
+
+    def test_zero_irradiance_produces_no_current(self, cell):
+        assert cell.current(0.3, 0.0) == 0.0
+        assert cell.short_circuit_current(0.0) == 0.0
+
+    def test_current_monotonically_decreasing_in_voltage(self, cell):
+        voltages = np.linspace(0.0, cell.open_circuit_voltage(), 50)
+        currents = cell.current_array(voltages)
+        assert np.all(np.diff(currents) <= 1e-9)
+
+    def test_open_circuit_voltage_has_zero_net_current(self, cell):
+        voc = cell.open_circuit_voltage()
+        assert cell._current_unclipped(voc, 1000.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_current_clipped_at_zero_beyond_voc(self, cell):
+        voc = cell.open_circuit_voltage()
+        assert cell.current(voc * 1.2) == 0.0
+
+    def test_iv_curve_shapes(self, cell):
+        voltages, currents = cell.iv_curve(points=100)
+        assert len(voltages) == len(currents) == 100
+        assert currents[0] == pytest.approx(cell.short_circuit_current(), rel=1e-3)
+        assert currents[-1] == pytest.approx(0.0, abs=5e-3)
+
+    def test_iv_curve_rejects_too_few_points(self, cell):
+        with pytest.raises(ValueError):
+            cell.iv_curve(points=1)
+
+    def test_no_series_resistance_branch(self):
+        cell = SolarCell(SolarCellParameters(photo_current_stc=1.0, series_resistance=0.0))
+        assert cell.current(0.0) == pytest.approx(1.0, rel=1e-3)
+        assert cell.current(0.3) < 1.0
+
+
+class TestMaximumPowerPoint:
+    def test_mpp_lies_between_zero_and_voc(self, cell):
+        mpp = cell.maximum_power_point()
+        assert 0.0 < mpp.voltage < cell.open_circuit_voltage()
+        assert mpp.power > 0.0
+
+    def test_mpp_is_actually_maximal(self, cell):
+        mpp = cell.maximum_power_point()
+        voltages = np.linspace(0.0, cell.open_circuit_voltage(), 200)
+        powers = voltages * cell.current_array(voltages)
+        assert mpp.power >= np.max(powers) - 1e-3
+
+    def test_mpp_power_scales_with_irradiance(self, cell):
+        full = cell.maximum_power_point(1000.0).power
+        low = cell.maximum_power_point(300.0).power
+        assert 0.0 < low < full
+
+    def test_zero_irradiance_mpp_is_zero(self, cell):
+        mpp = cell.maximum_power_point(0.0)
+        assert mpp == MPPResult(0.0, 0.0, 0.0)
+
+    def test_power_consistent_with_current(self, cell):
+        assert cell.power(0.4) == pytest.approx(0.4 * cell.current(0.4))
+
+
+class TestLambertWAgainstBisection:
+    def test_lambert_w_matches_bisection(self, cell):
+        for v in np.linspace(0.05, cell.open_circuit_voltage() * 0.98, 15):
+            exact = cell._current_unclipped(float(v), 1000.0)
+            bisected = cell._current_bisection(float(v), cell.photo_current(1000.0))
+            assert exact == pytest.approx(bisected, abs=2e-3)
+
+
+class TestProperties:
+    @given(
+        voltage=st.floats(min_value=0.0, max_value=0.75),
+        irradiance=st.floats(min_value=0.0, max_value=1200.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_current_bounded_by_photo_current(self, voltage, irradiance):
+        cell = SolarCell(SolarCellParameters(photo_current_stc=1.25))
+        current = cell.current(voltage, irradiance)
+        assert 0.0 <= current <= cell.photo_current(irradiance) + 1e-9
+
+    @given(irradiance=st.floats(min_value=1.0, max_value=1200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_voc_increases_with_irradiance_and_stays_bounded(self, irradiance):
+        cell = SolarCell(SolarCellParameters(photo_current_stc=1.25))
+        voc = cell.open_circuit_voltage(irradiance)
+        assert 0.0 < voc < 1.0

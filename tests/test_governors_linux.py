@@ -1,0 +1,137 @@
+"""Tests for the Linux cpufreq governor re-implementations."""
+
+import pytest
+
+from repro.governors.linux import (
+    ConservativeGovernor,
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.soc.cores import CoreConfig
+from repro.soc.exynos5422 import build_exynos5422_platform
+from repro.soc.opp import GHZ
+
+
+@pytest.fixture()
+def platform():
+    return build_exynos5422_platform()
+
+
+def tick(governor, platform, utilization=1.0, time=0.1, voltage=5.3):
+    governor.initialise(platform, 0.0, voltage)
+    return governor.on_tick(time, voltage, utilization, platform)
+
+
+class TestPerformanceGovernor:
+    def test_pins_maximum_frequency_all_cores(self, platform):
+        decision = tick(PerformanceGovernor(), platform)
+        assert decision.target.frequency_hz == pytest.approx(1.4 * GHZ)
+        assert decision.target.config == CoreConfig(4, 4)
+
+    def test_no_decision_once_at_target(self, platform):
+        governor = PerformanceGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        decision = governor.on_tick(0.1, 5.3, 1.0, platform)
+        platform.request_opp(decision.target, 0.1)
+        platform.advance(10.0, 5.3)
+        assert governor.on_tick(10.1, 5.3, 1.0, platform) is None
+
+
+class TestPowersaveGovernor:
+    def test_pins_minimum_frequency_all_cores(self, platform):
+        decision = tick(PowersaveGovernor(), platform)
+        assert decision.target.frequency_hz == pytest.approx(0.2 * GHZ)
+        assert decision.target.config == CoreConfig(4, 4)
+
+
+class TestOndemandGovernor:
+    def test_jumps_to_max_under_load(self, platform):
+        decision = tick(OndemandGovernor(), platform, utilization=1.0)
+        assert decision.target.frequency_hz == pytest.approx(1.4 * GHZ)
+
+    def test_scales_proportionally_under_light_load(self, platform):
+        decision = tick(OndemandGovernor(), platform, utilization=0.3)
+        assert decision.target.frequency_hz < 1.4 * GHZ
+        assert decision.target.frequency_hz >= 0.2 * GHZ
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(up_threshold=0.0)
+
+
+class TestConservativeGovernor:
+    def test_steps_up_gradually_under_load(self, platform):
+        governor = ConservativeGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        decision = governor.on_tick(0.1, 5.3, 1.0, platform)
+        # One ladder step above the boot frequency (0.2 -> 0.45 GHz).
+        assert decision.target.frequency_hz == pytest.approx(0.45 * GHZ)
+
+    def test_steps_down_when_idle(self, platform):
+        governor = ConservativeGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        platform.request_opp(platform.current_opp.with_frequency(1.4 * GHZ), 0.0)
+        platform.advance(1.0, 5.3)
+        decision = governor.on_tick(1.1, 5.3, 0.05, platform)
+        assert decision.target.frequency_hz == pytest.approx(1.3 * GHZ)
+
+    def test_holds_in_dead_band(self, platform):
+        governor = ConservativeGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        assert governor.on_tick(0.1, 5.3, 0.5, platform) is None
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ConservativeGovernor(up_threshold=0.2, down_threshold=0.8)
+
+
+class TestInteractiveGovernor:
+    def test_ramps_to_hispeed_then_max(self, platform):
+        governor = InteractiveGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        first = governor.on_tick(0.02, 5.3, 1.0, platform)
+        assert first.target.frequency_hz < 1.4 * GHZ
+        platform.request_opp(first.target, 0.02)
+        platform.advance(0.2, 5.3)
+        later = governor.on_tick(0.2, 5.3, 1.0, platform)
+        assert later.target.frequency_hz == pytest.approx(1.4 * GHZ)
+
+    def test_falls_back_when_idle(self, platform):
+        governor = InteractiveGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        decision = governor.on_tick(0.02, 5.3, 0.1, platform)
+        assert decision.target.frequency_hz == pytest.approx(0.2 * GHZ)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            InteractiveGovernor(hispeed_fraction=0.0)
+        with pytest.raises(ValueError):
+            InteractiveGovernor(above_hispeed_delay_s=-1.0)
+
+
+class TestCommonBehaviour:
+    def test_all_linux_governors_keep_every_core_online(self, platform):
+        for cls in (PerformanceGovernor, PowersaveGovernor, OndemandGovernor, ConservativeGovernor):
+            decision = tick(cls(), build_exynos5422_platform())
+            assert decision.target.config == CoreConfig(4, 4)
+
+    def test_none_use_the_voltage_monitor(self):
+        for cls in (
+            PerformanceGovernor,
+            PowersaveGovernor,
+            OndemandGovernor,
+            ConservativeGovernor,
+            InteractiveGovernor,
+        ):
+            assert cls.uses_voltage_monitor is False
+            assert cls.sampling_interval_s is not None
+
+    def test_accounting_increments(self, platform):
+        governor = PerformanceGovernor()
+        governor.initialise(platform, 0.0, 5.3)
+        governor.on_tick(0.1, 5.3, 1.0, platform)
+        assert governor.invocation_count == 1
+        governor.reset_accounting()
+        assert governor.invocation_count == 0

@@ -1,0 +1,87 @@
+"""Tests for the RK23 / fixed-step integrators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.ode import integrate_euler, integrate_rk4, integrate_rk23
+
+
+def exponential_decay(t, y):
+    return -y
+
+
+def harmonic_oscillator(t, y):
+    return np.array([y[1], -y[0]])
+
+
+class TestRK23:
+    def test_exponential_decay_accuracy(self):
+        result = integrate_rk23(exponential_decay, (0.0, 2.0), 1.0, rtol=1e-6, atol=1e-9)
+        assert result.final_state[0] == pytest.approx(math.exp(-2.0), rel=1e-4)
+
+    def test_harmonic_oscillator_energy(self):
+        result = integrate_rk23(harmonic_oscillator, (0.0, 2 * math.pi), [1.0, 0.0], rtol=1e-6, atol=1e-9)
+        assert result.final_state[0] == pytest.approx(1.0, abs=1e-3)
+        assert result.final_state[1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_adaptive_step_reduces_count_vs_euler(self):
+        rk = integrate_rk23(exponential_decay, (0.0, 5.0), 1.0, rtol=1e-4, atol=1e-7)
+        euler = integrate_euler(exponential_decay, (0.0, 5.0), 1.0, dt=1e-3)
+        assert rk.n_steps < euler.n_steps / 10
+
+    def test_max_step_respected(self):
+        result = integrate_rk23(exponential_decay, (0.0, 1.0), 1.0, max_step=0.01)
+        assert np.max(np.diff(result.times)) <= 0.01 + 1e-12
+
+    def test_times_monotone_and_cover_interval(self):
+        result = integrate_rk23(exponential_decay, (0.0, 3.0), 1.0)
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(3.0)
+        assert np.all(np.diff(result.times) > 0)
+
+    def test_state_at_interpolates(self):
+        result = integrate_rk23(exponential_decay, (0.0, 2.0), 1.0, rtol=1e-6, atol=1e-9)
+        assert result.state_at(1.0)[0] == pytest.approx(math.exp(-1.0), rel=1e-3)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_rk23(exponential_decay, (1.0, 0.0), 1.0)
+        with pytest.raises(ValueError):
+            integrate_rk23(exponential_decay, (0.0, 1.0), 1.0, rtol=0.0)
+        with pytest.raises(ValueError):
+            integrate_rk23(exponential_decay, (0.0, 1.0), 1.0, max_step=0.0)
+
+    @given(decay_rate=st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=20, deadline=None)
+    def test_decay_never_negative(self, decay_rate):
+        result = integrate_rk23(lambda t, y: -decay_rate * y, (0.0, 2.0), 1.0)
+        assert np.all(result.states >= -1e-6)
+
+
+class TestFixedStepIntegrators:
+    def test_euler_first_order_convergence(self):
+        coarse = integrate_euler(exponential_decay, (0.0, 1.0), 1.0, dt=0.1)
+        fine = integrate_euler(exponential_decay, (0.0, 1.0), 1.0, dt=0.01)
+        exact = math.exp(-1.0)
+        assert abs(fine.final_state[0] - exact) < abs(coarse.final_state[0] - exact)
+
+    def test_rk4_much_more_accurate_than_euler(self):
+        dt = 0.1
+        euler = integrate_euler(exponential_decay, (0.0, 2.0), 1.0, dt=dt)
+        rk4 = integrate_rk4(exponential_decay, (0.0, 2.0), 1.0, dt=dt)
+        exact = math.exp(-2.0)
+        assert abs(rk4.final_state[0] - exact) < abs(euler.final_state[0] - exact) / 100
+
+    def test_rejects_invalid_dt(self):
+        with pytest.raises(ValueError):
+            integrate_euler(exponential_decay, (0.0, 1.0), 1.0, dt=0.0)
+        with pytest.raises(ValueError):
+            integrate_rk4(exponential_decay, (0.0, 1.0), 1.0, dt=-1.0)
+
+    def test_rk23_agrees_with_rk4(self):
+        rk23 = integrate_rk23(harmonic_oscillator, (0.0, 5.0), [0.0, 1.0], rtol=1e-7, atol=1e-10)
+        rk4 = integrate_rk4(harmonic_oscillator, (0.0, 5.0), [0.0, 1.0], dt=1e-3)
+        np.testing.assert_allclose(rk23.final_state, rk4.final_state, atol=1e-4)

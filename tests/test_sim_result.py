@@ -1,0 +1,102 @@
+"""Tests for SimulationResult metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.result import SimulationEvent, SimulationResult
+
+
+def make_result(n=11, duration=10.0, brownout_at=None, running_mask=None) -> SimulationResult:
+    times = np.linspace(0.0, duration, n)
+    running = np.ones(n) if running_mask is None else np.asarray(running_mask, dtype=float)
+    return SimulationResult(
+        times=times,
+        supply_voltage=np.full(n, 5.3),
+        harvested_power=np.full(n, 3.0),
+        available_power=np.full(n, 4.0),
+        consumed_power=np.full(n, 3.0),
+        frequency_hz=np.full(n, 0.92e9),
+        n_little=np.full(n, 4),
+        n_big=np.full(n, 0),
+        running=running,
+        instructions=np.linspace(0, 1e10, n),
+        v_low=np.full(n, 5.2),
+        v_high=np.full(n, 5.4),
+        events=[SimulationEvent(1.0, "low", ""), SimulationEvent(2.0, "opp-request", "x")],
+        duration_s=duration,
+        total_instructions=1e10,
+        harvested_energy_j=30.0,
+        consumed_energy_j=30.0,
+        brownout_count=0 if brownout_at is None else 1,
+        first_brownout_time=brownout_at,
+        governor_cpu_time_s=0.01,
+        governor_name="g",
+    )
+
+
+class TestLifetimeAndSurvival:
+    def test_survived_run_lifetime_is_duration(self):
+        result = make_result()
+        assert result.survived
+        assert result.lifetime_s == pytest.approx(10.0)
+
+    def test_brownout_sets_lifetime(self):
+        result = make_result(brownout_at=3.5)
+        assert not result.survived
+        assert result.lifetime_s == pytest.approx(3.5)
+
+    def test_uptime_fraction(self):
+        mask = [1] * 8 + [0] * 3
+        result = make_result(running_mask=mask)
+        assert result.uptime_fraction == pytest.approx(8 / 11)
+
+
+class TestWorkMetrics:
+    def test_renders_and_rate(self):
+        result = make_result()
+        assert result.renders_completed(1e9) == pytest.approx(10.0)
+        assert result.renders_per_minute(1e9) == pytest.approx(60.0)
+        with pytest.raises(ValueError):
+            result.renders_completed(0.0)
+
+    def test_average_power_and_utilisation(self):
+        result = make_result()
+        assert result.average_consumed_power() == pytest.approx(3.0)
+        assert result.harvest_utilisation() == pytest.approx(30.0 / 40.0)
+
+    def test_governor_overhead(self):
+        result = make_result()
+        assert result.governor_cpu_overhead() == pytest.approx(0.001)
+
+
+class TestVoltageMetrics:
+    def test_fraction_within(self):
+        result = make_result()
+        assert result.fraction_within(5.3) == pytest.approx(1.0)
+        assert result.fraction_within(6.3) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            result.fraction_within(0.0)
+
+    def test_voltage_histogram_sums_to_one(self):
+        result = make_result()
+        hist = result.time_at_voltage_histogram(np.arange(0.0, 7.5, 0.5))
+        assert hist.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestExportsAndSummary:
+    def test_trace_exports(self):
+        result = make_result()
+        assert result.voltage_trace().value_at(5.0) == pytest.approx(5.3)
+        assert result.consumed_power_trace().energy_joules() == pytest.approx(30.0)
+        assert result.available_power_trace().maximum() == pytest.approx(4.0)
+
+    def test_threshold_crossing_events_filtered(self):
+        result = make_result()
+        crossings = result.threshold_crossing_events()
+        assert len(crossings) == 1
+        assert crossings[0].kind == "low"
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        for key in ("governor", "lifetime_s", "instructions", "brownouts", "governor_cpu_overhead"):
+            assert key in summary

@@ -1,0 +1,129 @@
+"""Tests for the supply models and the stand-alone node circuit simulation."""
+
+import numpy as np
+import pytest
+
+from repro.energy.irradiance import constant_irradiance, step_irradiance
+from repro.energy.pv_array import paper_pv_array
+from repro.energy.supercapacitor import Supercapacitor
+from repro.energy.traces import Trace
+from repro.sim.circuit import simulate_node, time_to_undervoltage
+from repro.sim.supplies import ConstantPowerSupply, ControlledVoltageSupply, PVArraySupply
+
+
+@pytest.fixture(scope="module")
+def pv_supply():
+    return PVArraySupply(paper_pv_array(), constant_irradiance(1000.0, duration=60.0, dt=1.0))
+
+
+class TestPVArraySupply:
+    def test_current_matches_array_model(self, pv_supply):
+        array = paper_pv_array()
+        assert pv_supply.current(5.0, t=10.0) == pytest.approx(array.current(5.0, 1000.0), rel=1e-6)
+
+    def test_available_power_is_mpp_power(self, pv_supply):
+        array = paper_pv_array()
+        assert pv_supply.available_power(10.0) == pytest.approx(array.power_at_mpp(1000.0), rel=0.02)
+
+    def test_open_circuit_voltage_cached_interpolation(self, pv_supply):
+        array = paper_pv_array()
+        assert pv_supply.open_circuit_voltage(10.0) == pytest.approx(
+            array.open_circuit_voltage(1000.0), rel=0.02
+        )
+
+    def test_zero_irradiance_gives_zero_power(self):
+        supply = PVArraySupply(paper_pv_array(), constant_irradiance(0.0, duration=10.0))
+        assert supply.available_power(5.0) == 0.0
+        assert supply.current(5.0, 5.0) == 0.0
+
+    def test_is_not_a_voltage_source(self, pv_supply):
+        assert pv_supply.is_voltage_source is False
+
+    def test_invalid_cache_points_rejected(self):
+        with pytest.raises(ValueError):
+            PVArraySupply(paper_pv_array(), constant_irradiance(100.0, 10.0), mpp_cache_points=1)
+
+
+class TestControlledVoltageSupply:
+    def test_voltage_follows_trace(self):
+        trace = Trace(times=[0.0, 10.0], values=[4.5, 5.5])
+        supply = ControlledVoltageSupply(trace)
+        assert supply.is_voltage_source is True
+        assert supply.voltage(5.0) == pytest.approx(5.0)
+        assert supply.open_circuit_voltage(0.0) == pytest.approx(4.5)
+
+    def test_available_power_uses_current_limit(self):
+        trace = Trace(times=[0.0, 1.0], values=[5.0, 5.0])
+        supply = ControlledVoltageSupply(trace, current_limit_a=2.0)
+        assert supply.available_power(0.5) == pytest.approx(10.0)
+
+    def test_invalid_current_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ControlledVoltageSupply(Trace(times=[0.0], values=[5.0]), current_limit_a=0.0)
+
+
+class TestConstantPowerSupply:
+    def test_delivers_prescribed_power(self):
+        supply = ConstantPowerSupply(Trace(times=[0.0, 10.0], values=[3.0, 3.0]))
+        assert supply.current(5.0, 1.0) * 5.0 == pytest.approx(3.0)
+        assert supply.available_power(1.0) == pytest.approx(3.0)
+
+    def test_cuts_off_at_voltage_limit(self):
+        supply = ConstantPowerSupply(Trace(times=[0.0, 10.0], values=[3.0, 3.0]), voltage_limit=6.0)
+        assert supply.current(6.5, 1.0) == 0.0
+
+
+class TestNodeCircuit:
+    def test_surplus_charges_node_towards_open_circuit(self):
+        supply = PVArraySupply(paper_pv_array(), constant_irradiance(1000.0, duration=30.0))
+        result = simulate_node(
+            supply=supply,
+            capacitor=Supercapacitor(47e-3),
+            load_power=lambda t, v: 1.0,  # well below the ~5.7 W available
+            duration_s=20.0,
+            initial_voltage=5.0,
+        )
+        assert result.voltage[-1] > 6.0
+        assert result.minimum_voltage() >= 5.0 - 1e-3
+
+    def test_overload_discharges_node(self):
+        supply = PVArraySupply(paper_pv_array(), constant_irradiance(200.0, duration=30.0))
+        result = simulate_node(
+            supply=supply,
+            capacitor=Supercapacitor(47e-3),
+            load_power=lambda t, v: 5.0 if v > 4.1 else 0.0,
+            duration_s=10.0,
+            initial_voltage=5.3,
+        )
+        assert result.first_time_below(4.1) is not None
+
+    def test_larger_capacitor_survives_longer(self):
+        """The Fig. 3 argument: capacitance alone only delays the undervoltage."""
+        supply = PVArraySupply(paper_pv_array(), constant_irradiance(100.0, duration=60.0))
+        small = time_to_undervoltage(
+            supply, Supercapacitor(10e-3), load_power_w=4.0, minimum_voltage=4.1,
+            initial_voltage=5.3, horizon_s=30.0,
+        )
+        large = time_to_undervoltage(
+            supply, Supercapacitor(470e-3), load_power_w=4.0, minimum_voltage=4.1,
+            initial_voltage=5.3, horizon_s=30.0,
+        )
+        assert small is not None and large is not None
+        assert large > 2 * small
+
+    def test_sustainable_load_never_undervolts(self):
+        supply = PVArraySupply(paper_pv_array(), constant_irradiance(1000.0, duration=60.0))
+        result = time_to_undervoltage(
+            supply, Supercapacitor(47e-3), load_power_w=2.0, minimum_voltage=4.1,
+            initial_voltage=5.3, horizon_s=20.0,
+        )
+        assert result is None
+
+    def test_voltage_at_and_validation(self):
+        supply = PVArraySupply(paper_pv_array(), constant_irradiance(500.0, duration=10.0))
+        result = simulate_node(
+            supply, Supercapacitor(47e-3), lambda t, v: 2.0, duration_s=5.0, initial_voltage=5.0
+        )
+        assert 0.0 < result.voltage_at(2.5) < 8.0
+        with pytest.raises(ValueError):
+            simulate_node(supply, Supercapacitor(47e-3), lambda t, v: 2.0, duration_s=0.0, initial_voltage=5.0)

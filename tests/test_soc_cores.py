@@ -1,0 +1,84 @@
+"""Tests for core types, configurations and the configuration ladder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.cores import CORE_LADDER, CoreConfig, CoreType, core_ladder
+
+
+class TestCoreConfig:
+    def test_requires_at_least_one_little_core(self):
+        with pytest.raises(ValueError):
+            CoreConfig(0, 2)
+
+    def test_rejects_negative_big_count(self):
+        with pytest.raises(ValueError):
+            CoreConfig(1, -1)
+
+    def test_total_and_count(self):
+        config = CoreConfig(3, 2)
+        assert config.total == 5
+        assert config.count(CoreType.LITTLE) == 3
+        assert config.count(CoreType.BIG) == 2
+
+    def test_as_tuple_and_str(self):
+        assert CoreConfig(4, 2).as_tuple() == (4, 2)
+        assert str(CoreConfig(4, 2)) == "4xA7+2xA15"
+        assert str(CoreConfig(2, 0)) == "2xA7"
+
+    def test_add_little_respects_cluster_size(self):
+        config = CoreConfig(4, 0)
+        assert config.add(CoreType.LITTLE) == config  # already full
+        assert CoreConfig(2, 0).add(CoreType.LITTLE) == CoreConfig(3, 0)
+
+    def test_add_big_respects_cluster_size(self):
+        assert CoreConfig(4, 4).add(CoreType.BIG) == CoreConfig(4, 4)
+        assert CoreConfig(4, 1).add(CoreType.BIG) == CoreConfig(4, 2)
+
+    def test_remove_keeps_one_little_online(self):
+        assert CoreConfig(1, 0).remove(CoreType.LITTLE) == CoreConfig(1, 0)
+        assert CoreConfig(2, 0).remove(CoreType.LITTLE) == CoreConfig(1, 0)
+
+    def test_remove_big_stops_at_zero(self):
+        assert CoreConfig(2, 0).remove(CoreType.BIG) == CoreConfig(2, 0)
+        assert CoreConfig(2, 1).remove(CoreType.BIG) == CoreConfig(2, 0)
+
+    def test_can_add_and_can_remove(self):
+        config = CoreConfig(4, 0)
+        assert not config.can_add(CoreType.LITTLE)
+        assert config.can_add(CoreType.BIG)
+        assert config.can_remove(CoreType.LITTLE)
+        assert not config.can_remove(CoreType.BIG)
+
+    @given(
+        n_little=st.integers(min_value=1, max_value=4),
+        n_big=st.integers(min_value=0, max_value=4),
+        operations=st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), st.sampled_from(list(CoreType))),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_operation_sequence_stays_valid(self, n_little, n_big, operations):
+        config = CoreConfig(n_little, n_big)
+        for op, core_type in operations:
+            config = config.add(core_type) if op == "add" else config.remove(core_type)
+            assert 1 <= config.n_little <= 4
+            assert 0 <= config.n_big <= 4
+
+
+class TestCoreLadder:
+    def test_default_ladder_matches_paper_fig4(self):
+        expected = [
+            CoreConfig(1, 0), CoreConfig(2, 0), CoreConfig(3, 0), CoreConfig(4, 0),
+            CoreConfig(4, 1), CoreConfig(4, 2), CoreConfig(4, 3), CoreConfig(4, 4),
+        ]
+        assert CORE_LADDER == expected
+
+    def test_custom_cluster_sizes(self):
+        ladder = core_ladder(max_little=2, max_big=1)
+        assert ladder == [CoreConfig(1, 0), CoreConfig(2, 0), CoreConfig(2, 1)]
+
+    def test_ladder_core_count_monotone(self):
+        totals = [c.total for c in CORE_LADDER]
+        assert totals == sorted(totals)

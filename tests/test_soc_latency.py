@@ -1,0 +1,98 @@
+"""Tests for DVFS / hot-plug latency model (Fig. 10) calibration and shape."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.cores import CoreConfig, CoreType
+from repro.soc.exynos5422 import exynos5422_latency_model
+from repro.soc.opp import GHZ, OperatingPoint
+from repro.soc.latency import TransitionLatencyModel
+
+
+@pytest.fixture()
+def model() -> TransitionLatencyModel:
+    return exynos5422_latency_model()
+
+
+class TestHotplugLatency:
+    def test_single_core_latency_at_reference_frequency(self, model):
+        latency = model.single_hotplug_latency(CoreType.LITTLE, 1.4 * GHZ)
+        assert latency == pytest.approx(0.010, rel=0.05)
+
+    def test_latency_grows_at_low_frequency(self, model):
+        """Fig. 10: ~10 ms at 1.4 GHz grows to roughly 30-45 ms at 200 MHz."""
+        slow = model.single_hotplug_latency(CoreType.LITTLE, 0.2 * GHZ)
+        fast = model.single_hotplug_latency(CoreType.LITTLE, 1.4 * GHZ)
+        assert slow > 2.5 * fast
+        assert 0.025 < slow < 0.05
+
+    def test_big_core_has_extra_latency(self, model):
+        little = model.single_hotplug_latency(CoreType.LITTLE, 1.0 * GHZ)
+        big = model.single_hotplug_latency(CoreType.BIG, 1.0 * GHZ)
+        assert big > little
+
+    def test_multi_core_transition_sums_single_steps(self, model):
+        one = model.hotplug_latency(CoreConfig(1, 0), CoreConfig(2, 0), 1.0 * GHZ)
+        three = model.hotplug_latency(CoreConfig(1, 0), CoreConfig(4, 0), 1.0 * GHZ)
+        assert three == pytest.approx(3 * one, rel=1e-6)
+
+    def test_no_change_has_zero_latency(self, model):
+        assert model.hotplug_latency(CoreConfig(2, 1), CoreConfig(2, 1), 1.0 * GHZ) == 0.0
+
+    def test_invalid_frequency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.hotplug_latency(CoreConfig(1, 0), CoreConfig(2, 0), 0.0)
+
+
+class TestDVFSLatency:
+    def test_dvfs_much_faster_than_hotplug(self, model):
+        dvfs = model.dvfs_latency(1.0 * GHZ, 0.8 * GHZ, CoreConfig(4, 4))
+        hotplug = model.single_hotplug_latency(CoreType.LITTLE, 1.0 * GHZ)
+        assert dvfs < hotplug / 2
+
+    def test_dvfs_in_fig10_millisecond_range(self, model):
+        for config in (CoreConfig(1, 0), CoreConfig(4, 4)):
+            latency = model.dvfs_latency(1.4 * GHZ, 1.2 * GHZ, config)
+            assert 0.0005 < latency < 0.004
+
+    def test_upscale_costs_more_than_downscale(self, model):
+        up = model.dvfs_latency(0.8 * GHZ, 1.0 * GHZ, CoreConfig(4, 0))
+        down = model.dvfs_latency(1.0 * GHZ, 0.8 * GHZ, CoreConfig(4, 0))
+        assert up > down
+
+    def test_same_frequency_is_free(self, model):
+        assert model.dvfs_latency(1.0 * GHZ, 1.0 * GHZ, CoreConfig(4, 0)) == 0.0
+
+    def test_more_cores_cost_more(self, model):
+        one = model.dvfs_latency(1.0 * GHZ, 0.8 * GHZ, CoreConfig(1, 0))
+        eight = model.dvfs_latency(1.0 * GHZ, 0.8 * GHZ, CoreConfig(4, 4))
+        assert eight > one
+
+
+class TestCompositeTransition:
+    def test_cores_first_beats_frequency_first_for_shedding(self, model):
+        """The Table I conclusion: hot-plugging at high frequency is cheaper."""
+        high = OperatingPoint(CoreConfig(4, 4), 1.4 * GHZ)
+        low = OperatingPoint(CoreConfig(1, 0), 0.2 * GHZ)
+        cores_first = model.transition_latency(high, low, cores_first=True)
+        freq_first = model.transition_latency(high, low, cores_first=False)
+        assert cores_first < freq_first
+        assert freq_first / cores_first > 2.0
+
+    def test_validation_of_constructor(self):
+        with pytest.raises(ValueError):
+            TransitionLatencyModel(hotplug_base_s=0.0)
+        with pytest.raises(ValueError):
+            TransitionLatencyModel(dvfs_per_core_s=-1.0)
+
+    @given(
+        f=st.sampled_from([0.2 * GHZ, 0.72 * GHZ, 1.4 * GHZ]),
+        n_big_from=st.integers(min_value=0, max_value=4),
+        n_big_to=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hotplug_latency_symmetric_in_direction(self, f, n_big_from, n_big_to):
+        model = exynos5422_latency_model()
+        a = model.hotplug_latency(CoreConfig(4, n_big_from), CoreConfig(4, n_big_to), f)
+        b = model.hotplug_latency(CoreConfig(4, n_big_to), CoreConfig(4, n_big_from), f)
+        assert a == pytest.approx(b)

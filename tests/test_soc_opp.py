@@ -1,0 +1,130 @@
+"""Tests for operating points, the frequency ladder and the OPP table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.cores import CoreConfig
+from repro.soc.opp import (
+    GHZ,
+    PAPER_FREQUENCIES_HZ,
+    FrequencyLadder,
+    OperatingPoint,
+    OPPTable,
+)
+
+
+class TestOperatingPoint:
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(CoreConfig(1, 0), 0.0)
+
+    def test_frequency_ghz_and_str(self):
+        opp = OperatingPoint(CoreConfig(4, 2), 1.2 * GHZ)
+        assert opp.frequency_ghz == pytest.approx(1.2)
+        assert "4xA7+2xA15" in str(opp)
+
+    def test_with_frequency_and_config(self):
+        opp = OperatingPoint(CoreConfig(1, 0), 0.2 * GHZ)
+        assert opp.with_frequency(1.4 * GHZ).frequency_hz == pytest.approx(1.4 * GHZ)
+        assert opp.with_config(CoreConfig(4, 4)).config == CoreConfig(4, 4)
+
+
+class TestFrequencyLadder:
+    def test_paper_ladder_has_eight_rungs(self):
+        assert len(FrequencyLadder()) == 8
+        assert FrequencyLadder().lowest == pytest.approx(0.2 * GHZ)
+        assert FrequencyLadder().highest == pytest.approx(1.4 * GHZ)
+
+    def test_rejects_empty_or_invalid(self):
+        with pytest.raises(ValueError):
+            FrequencyLadder([])
+        with pytest.raises(ValueError):
+            FrequencyLadder([-1.0])
+
+    def test_snap_to_nearest(self):
+        ladder = FrequencyLadder()
+        assert ladder.snap(0.5 * GHZ) == pytest.approx(0.45 * GHZ)
+        assert ladder.snap(1.37 * GHZ) == pytest.approx(1.4 * GHZ)
+
+    def test_step_down_and_up(self):
+        ladder = FrequencyLadder()
+        assert ladder.step_down(0.45 * GHZ) == pytest.approx(0.2 * GHZ)
+        assert ladder.step_up(1.3 * GHZ) == pytest.approx(1.4 * GHZ)
+
+    def test_steps_clamp_at_ends(self):
+        ladder = FrequencyLadder()
+        assert ladder.step_down(0.2 * GHZ) == pytest.approx(0.2 * GHZ)
+        assert ladder.step_up(1.4 * GHZ) == pytest.approx(1.4 * GHZ)
+
+    def test_multi_step(self):
+        ladder = FrequencyLadder()
+        assert ladder.step_up(0.2 * GHZ, steps=3) == pytest.approx(0.92 * GHZ)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            FrequencyLadder().step_up(0.2 * GHZ, steps=-1)
+
+    def test_contains_and_limits(self):
+        ladder = FrequencyLadder()
+        assert 0.72 * GHZ in ladder
+        assert not (0.5 * GHZ in ladder)
+        assert ladder.is_lowest(0.2 * GHZ)
+        assert ladder.is_highest(1.4 * GHZ)
+
+    def test_duplicate_frequencies_removed(self):
+        ladder = FrequencyLadder([1e9, 1e9, 2e9])
+        assert len(ladder) == 2
+
+    @given(frequency=st.floats(min_value=1e8, max_value=2e9))
+    @settings(max_examples=50, deadline=None)
+    def test_snap_returns_ladder_member(self, frequency):
+        ladder = FrequencyLadder()
+        assert ladder.snap(frequency) in PAPER_FREQUENCIES_HZ
+
+    @given(frequency=st.sampled_from(PAPER_FREQUENCIES_HZ))
+    @settings(max_examples=20, deadline=None)
+    def test_step_up_then_down_round_trips(self, frequency):
+        ladder = FrequencyLadder()
+        if not ladder.is_highest(frequency):
+            assert ladder.step_down(ladder.step_up(frequency)) == pytest.approx(frequency)
+
+
+class TestOPPTable:
+    def test_size_is_configs_times_frequencies(self):
+        table = OPPTable()
+        assert len(table) == 8 * 8
+        assert len(table.all_points()) == 64
+
+    def test_lowest_and_highest(self):
+        table = OPPTable()
+        assert table.lowest.config == CoreConfig(1, 0)
+        assert table.lowest.frequency_hz == pytest.approx(0.2 * GHZ)
+        assert table.highest.config == CoreConfig(4, 4)
+        assert table.highest.frequency_hz == pytest.approx(1.4 * GHZ)
+
+    def test_config_ladder_navigation(self):
+        table = OPPTable()
+        assert table.config_step_up(CoreConfig(4, 0)) == CoreConfig(4, 1)
+        assert table.config_step_down(CoreConfig(1, 0)) == CoreConfig(1, 0)
+        with pytest.raises(KeyError):
+            table.config_index(CoreConfig(2, 3))
+
+    def test_allows_config_within_cluster_sizes(self):
+        table = OPPTable()
+        assert table.allows_config(CoreConfig(2, 3))  # off-ladder but valid
+        assert table.allows_config(CoreConfig(4, 4))
+        assert not table.allows_config(CoreConfig(4, 5))
+
+    def test_contains_config_is_ladder_membership(self):
+        table = OPPTable()
+        assert table.contains_config(CoreConfig(4, 2))
+        assert not table.contains_config(CoreConfig(2, 3))
+
+    def test_max_cluster_sizes(self):
+        table = OPPTable()
+        assert table.max_little == 4
+        assert table.max_big == 4
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValueError):
+            OPPTable(configs=[])

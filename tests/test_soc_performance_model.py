@@ -1,0 +1,106 @@
+"""Tests for the performance (IPS / FPS / renders) model and its Fig. 7 anchors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.cores import CoreConfig, CoreType
+from repro.soc.exynos5422 import exynos5422_performance_model
+from repro.soc.opp import GHZ, PAPER_FREQUENCIES_HZ, OperatingPoint
+from repro.soc.performance_model import PerformanceModel, WorkloadScaling
+
+
+@pytest.fixture()
+def model() -> PerformanceModel:
+    return exynos5422_performance_model()
+
+
+class TestWorkloadScaling:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadScaling(instructions_per_frame=0.0)
+        with pytest.raises(ValueError):
+            WorkloadScaling(parallel_fraction=0.0)
+        with pytest.raises(ValueError):
+            WorkloadScaling(parallel_fraction=1.5)
+
+
+class TestInstructionRate:
+    def test_big_core_faster_than_little(self, model):
+        f = 1.0 * GHZ
+        assert model.core_instruction_rate(CoreType.BIG, f) > model.core_instruction_rate(
+            CoreType.LITTLE, f
+        )
+
+    def test_rate_monotone_in_frequency(self, model):
+        config = CoreConfig(4, 2)
+        rates = [model.instruction_rate_of(config, f) for f in PAPER_FREQUENCIES_HZ]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_rate_monotone_in_core_count(self, model):
+        f = 1.1 * GHZ
+        rates = [model.instruction_rate_of(CoreConfig(n, 0), f) for n in range(1, 5)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_amdahl_limits_speedup(self):
+        model = PerformanceModel(ipc_little=0.23, ipc_big=0.644, workload=WorkloadScaling(parallel_fraction=0.9))
+        one = model.instruction_rate_of(CoreConfig(1, 0), 1.0 * GHZ)
+        eight = model.instruction_rate_of(CoreConfig(4, 4), 1.0 * GHZ)
+        # Perfectly parallel would give ~14.5x; a 10% serial fraction caps well below.
+        assert eight / one < 6.5
+
+    def test_invalid_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(ipc_little=0.0)
+
+
+class TestFig7Calibration:
+    def test_four_little_cores_fps_anchor(self, model):
+        fps = model.fps_of(CoreConfig(4, 0), 1.4 * GHZ)
+        assert fps == pytest.approx(0.065, abs=0.012)
+
+    def test_all_cores_fps_anchor(self, model):
+        fps = model.fps_of(CoreConfig(4, 4), 1.4 * GHZ)
+        assert fps == pytest.approx(0.25, abs=0.06)
+
+    def test_fps_ordering_matches_paper_panels(self, model):
+        """big.LITTLE configurations outperform LITTLE-only ones (Fig. 7)."""
+        little_best = model.fps_of(CoreConfig(4, 0), 1.4 * GHZ)
+        hybrid_worst = model.fps_of(CoreConfig(4, 1), 0.45 * GHZ)
+        hybrid_best = model.fps_of(CoreConfig(4, 4), 1.4 * GHZ)
+        assert hybrid_best > little_best
+        assert hybrid_best > hybrid_worst
+
+    def test_performance_curve_shape(self, model):
+        curve = model.performance_curve(CoreConfig(4, 2), PAPER_FREQUENCIES_HZ)
+        assert len(curve) == len(PAPER_FREQUENCIES_HZ)
+        assert np.all(np.diff(curve) > 0)
+
+    def test_renders_per_minute_much_slower_than_fps(self, model):
+        opp = OperatingPoint(CoreConfig(4, 4), 1.4 * GHZ)
+        fps = model.fps(opp)
+        rpm = model.renders_per_minute(opp)
+        assert rpm < fps * 60.0  # a Table II render costs much more than a frame
+
+
+class TestProperties:
+    @given(
+        n_little=st.integers(min_value=1, max_value=4),
+        n_big=st.integers(min_value=0, max_value=4),
+        frequency=st.sampled_from(PAPER_FREQUENCIES_HZ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rate_positive_and_bounded(self, n_little, n_big, frequency):
+        model = exynos5422_performance_model()
+        rate = model.instruction_rate_of(CoreConfig(n_little, n_big), frequency)
+        # Upper bound: 8 ideal big cores at 1.4 GHz.
+        assert 0.0 < rate < 8 * 0.644 * 1.4e9
+
+    @given(n_big=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_adding_a_big_core_always_helps(self, n_big):
+        model = exynos5422_performance_model()
+        f = 1.2 * GHZ
+        before = model.instruction_rate_of(CoreConfig(4, n_big), f)
+        after = model.instruction_rate_of(CoreConfig(4, n_big + 1), f)
+        assert after > before

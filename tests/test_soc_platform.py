@@ -1,0 +1,168 @@
+"""Tests for the SoC platform actuation state machine."""
+
+import pytest
+
+from repro.soc.cores import CoreConfig
+from repro.soc.exynos5422 import build_exynos5422_platform, exynos5422_spec
+from repro.soc.opp import GHZ, OperatingPoint
+from repro.soc.platform import PlatformSpec, SoCPlatform
+
+
+@pytest.fixture()
+def platform() -> SoCPlatform:
+    return build_exynos5422_platform()
+
+
+class TestSpecValidation:
+    def test_voltage_window_must_be_ordered(self):
+        spec = exynos5422_spec()
+        with pytest.raises(ValueError):
+            PlatformSpec(name="x", opp_table=spec.opp_table, minimum_voltage=5.0, maximum_voltage=4.0)
+
+    def test_reboot_voltage_must_be_inside_window(self):
+        spec = exynos5422_spec()
+        with pytest.raises(ValueError):
+            PlatformSpec(name="x", opp_table=spec.opp_table, reboot_voltage=9.0)
+
+    def test_exynos_window_matches_paper(self):
+        spec = exynos5422_spec()
+        assert spec.minimum_voltage == pytest.approx(4.1)
+        assert spec.maximum_voltage == pytest.approx(5.7)
+
+
+class TestInitialState:
+    def test_boots_at_lowest_opp(self, platform):
+        assert platform.current_opp == platform.opp_table.lowest
+        assert platform.running
+        assert not platform.is_transitioning
+
+    def test_custom_initial_opp(self):
+        opp = OperatingPoint(CoreConfig(4, 2), 1.2 * GHZ)
+        platform = build_exynos5422_platform(initial_opp=opp)
+        assert platform.current_opp == opp
+
+    def test_invalid_initial_opp_rejected(self):
+        from repro.soc.exynos5422 import (
+            exynos5422_latency_model,
+            exynos5422_performance_model,
+            exynos5422_power_model,
+        )
+
+        with pytest.raises(ValueError):
+            SoCPlatform(
+                spec=exynos5422_spec(),
+                power_model=exynos5422_power_model(),
+                performance_model=exynos5422_performance_model(),
+                latency_model=exynos5422_latency_model(),
+                initial_opp=OperatingPoint(CoreConfig(4, 5), 1.2 * GHZ),
+            )
+
+
+class TestTransitions:
+    def test_request_returns_latency_and_sets_pending(self, platform):
+        target = OperatingPoint(CoreConfig(2, 0), 0.45 * GHZ)
+        latency = platform.request_opp(target, now=0.0)
+        assert latency > 0.0
+        assert platform.is_transitioning
+        assert platform.current_opp == platform.opp_table.lowest
+
+    def test_transition_completes_after_latency(self, platform):
+        target = OperatingPoint(CoreConfig(2, 0), 0.45 * GHZ)
+        latency = platform.request_opp(target, now=0.0)
+        platform.advance(latency / 2, supply_voltage=5.0)
+        assert platform.is_transitioning
+        platform.advance(latency + 1e-6, supply_voltage=5.0)
+        assert not platform.is_transitioning
+        assert platform.current_opp == target
+
+    def test_noop_request_is_free(self, platform):
+        assert platform.request_opp(platform.current_opp, now=0.0) == 0.0
+        assert not platform.is_transitioning
+
+    def test_frequency_snapped_to_ladder(self, platform):
+        target = OperatingPoint(CoreConfig(1, 0), 0.5 * GHZ)
+        platform.request_opp(target, now=0.0)
+        platform.advance(1.0, supply_voltage=5.0)
+        assert platform.current_opp.frequency_hz == pytest.approx(0.45 * GHZ)
+
+    def test_off_ladder_config_allowed_within_clusters(self, platform):
+        target = OperatingPoint(CoreConfig(2, 3), 0.72 * GHZ)
+        platform.request_opp(target, now=0.0)
+        platform.advance(1.0, supply_voltage=5.0)
+        assert platform.current_opp.config == CoreConfig(2, 3)
+
+    def test_config_beyond_cluster_rejected(self, platform):
+        with pytest.raises(ValueError):
+            platform.request_opp(OperatingPoint(CoreConfig(4, 5), 0.72 * GHZ), now=0.0)
+
+    def test_power_during_transition_is_worst_case(self, platform):
+        low_power = platform.power()
+        target = OperatingPoint(CoreConfig(4, 4), 1.4 * GHZ)
+        platform.request_opp(target, now=0.0)
+        assert platform.power() >= low_power
+        assert platform.power() == pytest.approx(
+            platform.power_model.power(target), rel=1e-6
+        )
+
+    def test_transition_counters(self, platform):
+        platform.request_opp(OperatingPoint(CoreConfig(2, 0), 0.45 * GHZ), now=0.0)
+        platform.advance(1.0, supply_voltage=5.0)
+        platform.request_opp(OperatingPoint(CoreConfig(2, 0), 0.72 * GHZ), now=1.0)
+        platform.advance(2.0, supply_voltage=5.0)
+        assert platform.transition_count == 2
+        assert platform.hotplug_transition_count == 1
+        assert platform.dvfs_transition_count == 2
+
+    def test_request_while_transitioning_folds(self, platform):
+        t1 = OperatingPoint(CoreConfig(4, 4), 1.4 * GHZ)
+        platform.request_opp(t1, now=0.0)
+        t2 = OperatingPoint(CoreConfig(2, 0), 0.45 * GHZ)
+        platform.request_opp(t2, now=0.001)
+        platform.advance(5.0, supply_voltage=5.0)
+        assert platform.current_opp.config == CoreConfig(2, 0)
+
+
+class TestBrownoutAndReboot:
+    def test_brownout_below_minimum_voltage(self, platform):
+        platform.advance(1.0, supply_voltage=4.0)
+        assert not platform.running
+        assert platform.power() == 0.0
+        assert platform.instruction_rate() == 0.0
+        assert platform.brownout_count == 1
+
+    def test_requests_ignored_while_off(self, platform):
+        platform.advance(1.0, supply_voltage=4.0)
+        assert platform.request_opp(OperatingPoint(CoreConfig(4, 4), 1.4 * GHZ), now=2.0) == 0.0
+
+    def test_reboot_after_recovery_and_delay(self, platform):
+        platform.advance(1.0, supply_voltage=4.0)
+        # Voltage recovers but the reboot delay has not elapsed yet.
+        platform.advance(2.0, supply_voltage=5.0)
+        assert not platform.running
+        platform.advance(1.0 + platform.spec.reboot_latency_s + 0.1, supply_voltage=5.0)
+        assert platform.running
+        assert platform.current_opp == platform.opp_table.lowest
+
+    def test_no_reboot_below_reboot_voltage(self, platform):
+        platform.advance(1.0, supply_voltage=4.0)
+        platform.advance(100.0, supply_voltage=4.3)
+        assert not platform.running
+
+    def test_reset_restores_power_on_state(self, platform):
+        platform.advance(1.0, supply_voltage=4.0)
+        platform.reset()
+        assert platform.running
+        assert platform.brownout_count == 0
+        assert platform.current_opp == platform.opp_table.lowest
+
+
+class TestQueries:
+    def test_power_and_instruction_rate_positive_while_running(self, platform):
+        assert platform.power() > 0.0
+        assert platform.instruction_rate() > 0.0
+
+    def test_instruction_rate_during_transition_is_conservative(self, platform):
+        target = OperatingPoint(CoreConfig(4, 4), 1.4 * GHZ)
+        before = platform.instruction_rate()
+        platform.request_opp(target, now=0.0)
+        assert platform.instruction_rate() == pytest.approx(before)
