@@ -1,45 +1,91 @@
 #!/usr/bin/env python3
-"""Governor shoot-out: reproduce the Table II comparison.
+"""Governor shoot-out: reproduce the Table II comparison as a sweep campaign.
 
 Runs the proposed power-neutral governor against the five stock Linux cpufreq
 governors (plus the single-core DFS and SolarTune-style baselines) on the same
 synthetic solar harvest, and prints the Table II columns: average performance
 (renders per minute), lifetime during the test, and instructions completed.
 
+The eight schemes are expanded into a :class:`repro.sweep.SweepSpec` governor
+axis and executed by the campaign engine over worker processes, with every
+result persisted to a JSONL store — re-running the script with the same store
+prints the table instantly from cache (pass ``--fresh`` to force recompute).
+
 The paper's test lasted 60 minutes; the default here is 15 simulated minutes,
 which already shows the same shape (the aggressive governors brown out within
 seconds, powersave survives but wastes most of the harvest, the proposed
-approach survives *and* uses the harvest).  Pass a duration in seconds as the
-first argument to run longer.
+approach survives *and* uses the harvest).
 
-Run with:  python examples/governor_shootout.py [duration_seconds]
+Run with:  python examples/governor_shootout.py [--duration S] [--workers N]
 """
 
-import sys
+import argparse
+from pathlib import Path
 
 from repro.analysis.reporting import format_table
-from repro.experiments.evaluation import table2_governor_comparison
+from repro.experiments.evaluation import TABLE2_PAPER_REFERENCE
+from repro.sweep import (
+    TABLE2_GOVERNOR_AXIS,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    table2_rows,
+)
 
 
 def main() -> None:
-    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 900.0
-    data = table2_governor_comparison(duration_s=duration_s, seed=11)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=900.0, help="simulated seconds")
+    parser.add_argument("--workers", type=int, default=2, help="worker processes")
+    parser.add_argument("--seed", type=int, default=11, help="irradiance seed")
+    parser.add_argument(
+        "--store", default="shootout_results.jsonl", help="JSONL result store path"
+    )
+    parser.add_argument(
+        "--fresh", action="store_true", help="delete the store first (recompute everything)"
+    )
+    args = parser.parse_args()
 
-    print(format_table(data["rows"], title=f"Table II reproduction ({duration_s:.0f} s test)"))
+    store_path = Path(args.store)
+    if args.fresh and store_path.exists():
+        store_path.unlink()
+
+    spec = SweepSpec.grid(
+        governors=TABLE2_GOVERNOR_AXIS, seeds=[args.seed], duration_s=args.duration
+    )
+
+    def progress(done, total, record, cached):
+        status = "cached" if cached else record.get("status", "?")
+        print(f"  [{done}/{total}] {status:7s} {record['config']['governor']}")
+
+    runner = SweepRunner(ResultStore(store_path), workers=args.workers, progress=progress)
+    report = runner.run(spec)
+    print(
+        f"\ncampaign: {report.executed} executed, {report.cached} cached, "
+        f"{report.failed + report.timed_out} failed in {report.elapsed_s:.1f} s"
+    )
+
+    rows = table2_rows(report.ok_records())
     print()
-    improvement = data["instruction_improvement_vs_powersave"]
-    if improvement is not None:
+    print(format_table(rows, title=f"Table II reproduction ({args.duration:.0f} s test)"))
+    print()
+
+    by_scheme = {r["scheme"]: r for r in rows}
+    proposed = by_scheme.get("Proposed Approach")
+    powersave = by_scheme.get("Linux Powersave")
+    if proposed and powersave and powersave["instructions_billions"] > 0:
+        improvement = proposed["instructions_billions"] / powersave["instructions_billions"] - 1.0
+        paper_improvement = TABLE2_PAPER_REFERENCE["improvement_vs_powersave"]
         print(
             f"Proposed approach completed {100 * improvement:.1f} % more instructions than "
-            f"Linux powersave (paper: +69.0 % over a 60-minute test)."
+            f"Linux powersave (paper: +{100 * paper_improvement:.1f} % over a 60-minute test)."
         )
-    reference = data["paper_reference"]
-    print(
-        "Paper reference rows: conservative "
-        f"{reference['Linux Conservative']['instructions_b']} G instructions / 00:05 lifetime, "
-        f"powersave {reference['Linux Powersave']['instructions_b']} G / 60:00, "
-        f"proposed {reference['Proposed Approach']['instructions_b']} G / 60:00."
+    reference_rows = ", ".join(
+        f"{scheme} {ref['instructions_b']} G / {ref['lifetime']}"
+        for scheme, ref in TABLE2_PAPER_REFERENCE.items()
+        if isinstance(ref, dict)
     )
+    print(f"Paper reference rows: {reference_rows}.")
 
 
 if __name__ == "__main__":

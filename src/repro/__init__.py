@@ -11,7 +11,9 @@ A trace-driven Python reproduction of Fletcher, Balsamo and Merrett's DATE
 * :mod:`repro.governors`— the baseline governors it is compared against;
 * :mod:`repro.workloads`— the smallpt-style workload;
 * :mod:`repro.analysis` — stability / energy / MPPT / overhead analysis;
-* :mod:`repro.experiments` — one function per paper figure and table.
+* :mod:`repro.experiments` — one function per paper figure and table;
+* :mod:`repro.sweep`    — parallel scenario campaigns (governor × weather ×
+  parameter grids) with a persistent, resumable JSONL result store.
 
 Quick start::
 

@@ -10,15 +10,23 @@ Reproduce Table II (shortened)::
 
     repro-pns table2 --duration 900
 
-Reproduce a characterisation figure::
+Reproduce a characterisation figure (with a reproducible irradiance seed)::
 
-    repro-pns figure fig4
+    repro-pns figure fig12 --seed 3
+
+Run a 24-scenario governor × weather × capacitance campaign on two worker
+processes, then resume it (all cells cached)::
+
+    repro-pns sweep --workers 2 --store campaign.jsonl
+    repro-pns sweep --workers 2 --store campaign.jsonl --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+from pathlib import Path
 from typing import Callable
 
 from .analysis.reporting import format_kv, format_series, format_table
@@ -37,6 +45,7 @@ from .governors.linux import (
 )
 from .governors.single_core_dfs import SingleCoreDFSGovernor
 from .governors.solartune import SolarTuneGovernor
+from . import sweep as sweep_module
 
 __all__ = ["main", "build_parser", "GOVERNOR_FACTORIES"]
 
@@ -94,6 +103,95 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure = sub.add_parser("figure", help="reproduce one characterisation/evaluation figure")
     figure.add_argument("name", choices=sorted(FIGURE_FUNCTIONS))
+    figure.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="irradiance generator seed (applied when the figure takes one)",
+    )
+    figure.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated duration in seconds (applied when the figure takes one)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a governor/weather/capacitance campaign over worker processes",
+        description=(
+            "Expand a declarative scenario grid, run it serially or over a process "
+            "pool, and persist one JSONL record per scenario keyed by the config's "
+            "content hash. Re-running against the same store (--resume) recomputes "
+            "nothing that already succeeded."
+        ),
+    )
+    sweep.add_argument(
+        "--governors",
+        default="power-neutral,powersave,ondemand,conservative",
+        help="comma-separated governor names, or 'all' (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--weather",
+        default="full_sun,partial_sun,cloud",
+        help="comma-separated weather presets (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--capacitance-mf",
+        default="15.4,47",
+        help="comma-separated buffer capacitances in mF (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--seeds", default="7", help="comma-separated irradiance seeds (default: %(default)s)"
+    )
+    sweep.add_argument(
+        "--duration", type=float, default=60.0, help="simulated seconds per scenario"
+    )
+    sweep.add_argument(
+        "--workload",
+        choices=sorted(sweep_module.WORKLOADS),
+        default="table2-render",
+        help="work-unit model for throughput metrics",
+    )
+    sweep.add_argument(
+        "--shadow",
+        action="append",
+        default=[],
+        metavar="START:DURATION:ATTENUATION",
+        help="add a deterministic shadowing event to every scenario (repeatable)",
+    )
+    sweep.add_argument("--workers", type=int, default=2, help="worker processes (1 = inline)")
+    sweep.add_argument(
+        "--timeout", type=float, default=600.0, help="per-scenario wall-clock budget in seconds"
+    )
+    sweep.add_argument(
+        "--store",
+        default="sweep_results.jsonl",
+        help="JSONL result store path (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume against the existing store, skipping every scenario it already "
+            "completed (this is also the default behaviour; the flag makes it explicit)"
+        ),
+    )
+    sweep.add_argument(
+        "--fresh",
+        action="store_true",
+        help="delete the existing store first and recompute every scenario",
+    )
+    sweep.add_argument(
+        "--series",
+        type=int,
+        default=0,
+        metavar="N",
+        help="store each scenario's time series decimated to N samples (0 = summaries only)",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress the per-scenario progress lines"
+    )
 
     return parser
 
@@ -127,7 +225,18 @@ def _command_table2(args: argparse.Namespace) -> int:
 
 
 def _command_figure(args: argparse.Namespace) -> int:
-    data = FIGURE_FUNCTIONS[args.name]()
+    function = FIGURE_FUNCTIONS[args.name]
+    accepted = set(inspect.signature(function).parameters)
+    kwargs = {}
+    for flag, parameter in (("seed", "seed"), ("duration", "duration_s")):
+        value = getattr(args, flag)
+        if value is None:
+            continue
+        if parameter in accepted:
+            kwargs[parameter] = value
+        else:
+            print(f"note: {args.name} does not take --{flag}; ignoring", file=sys.stderr)
+    data = function(**kwargs)
     for key, value in data.items():
         if key.startswith("_"):
             continue
@@ -142,6 +251,117 @@ def _command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_csv(text: str, convert: Callable = str) -> list:
+    try:
+        values = [convert(part.strip()) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"bad list option {text!r}; expected comma-separated {convert.__name__} values"
+        ) from None
+    if not values:
+        raise SystemExit(f"empty list option: {text!r}")
+    return values
+
+
+def _parse_shadow(text: str) -> "sweep_module.ShadowSpec":
+    try:
+        start, duration, attenuation = (float(p) for p in text.split(":"))
+    except ValueError:
+        raise SystemExit(
+            f"bad --shadow {text!r}; expected START:DURATION:ATTENUATION, e.g. 20:10:0.2"
+        ) from None
+    return sweep_module.ShadowSpec(start_s=start, duration_s=duration, attenuation=attenuation)
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.governors.strip().lower() == "all":
+        governors = sorted(sweep_module.GOVERNOR_SPECS)
+    else:
+        governors = _parse_csv(args.governors)
+    for name in governors:
+        if name not in sweep_module.GOVERNOR_SPECS:
+            raise SystemExit(
+                f"unknown governor {name!r}; known: {', '.join(sorted(sweep_module.GOVERNOR_SPECS))}"
+            )
+    weather = _parse_csv(args.weather)
+    for name in weather:
+        try:
+            WeatherCondition(name)
+        except ValueError:
+            raise SystemExit(
+                f"unknown weather {name!r}; known: {', '.join(w.value for w in WeatherCondition)}"
+            ) from None
+
+    spec = sweep_module.SweepSpec.grid(
+        governors=governors,
+        weather=weather,
+        capacitances_f=[1e-3 * c for c in _parse_csv(args.capacitance_mf, float)],
+        seeds=_parse_csv(args.seeds, int),
+        duration_s=args.duration,
+        workload=args.workload,
+        shadowing=[_parse_shadow(s) for s in args.shadow],
+    )
+
+    if args.fresh and args.resume:
+        raise SystemExit("--fresh and --resume are mutually exclusive")
+    store_path = Path(args.store)
+    if store_path.exists() and args.fresh:
+        store_path.unlink()
+        print(f"starting fresh campaign (deleted existing {store_path})")
+    store = sweep_module.ResultStore(store_path)
+    if len(store):
+        print(
+            f"resuming: {len(store)} record(s) already in {store_path} "
+            "(pass --fresh to recompute everything)"
+        )
+
+    def progress(done: int, total: int, record: dict, cached: bool) -> None:
+        if args.quiet:
+            return
+        status = "cached" if cached else record.get("status", "?")
+        config = sweep_module.ScenarioConfig.from_dict(record["config"])
+        elapsed = record.get("elapsed_s")
+        suffix = f" ({elapsed:.1f}s)" if elapsed is not None and not cached else ""
+        print(f"  [{done}/{total}] {status:7s} {config.label()}{suffix}")
+
+    runner = sweep_module.SweepRunner(
+        store,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        series_samples=args.series,
+        progress=progress,
+    )
+    mode = f"{args.workers} worker processes" if args.workers > 1 else "inline (serial)"
+    print(f"sweep: {len(spec)} scenarios over {mode} -> {store_path}")
+    report = runner.run(spec)
+
+    print()
+    print(format_kv(report.summary(), title="Campaign"))
+    ok_records = report.ok_records()
+    if ok_records:
+        print()
+        print(format_kv(sweep_module.campaign_overview(report.records), title="Totals"))
+        for axis in spec.axes:
+            print()
+            print(
+                format_table(
+                    sweep_module.axis_summary(ok_records, axis.name),
+                    title=f"By {axis.name} (mean/p50/p95 across the other axes)",
+                )
+            )
+        if any(axis.name == "governor" for axis in spec.axes):
+            print()
+            print(format_table(sweep_module.table2_rows(ok_records), title="Table II view"))
+    for record in report.records:
+        if record.get("status") not in (None, "ok"):
+            print(
+                f"FAILED {record.get('scenario_id')} "
+                f"({record.get('config', {}).get('governor')}): {record.get('error')}",
+                file=sys.stderr,
+            )
+    return 0 if report.succeeded else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by the ``repro-pns`` console script."""
     parser = build_parser()
@@ -152,6 +372,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_table2(args)
     if args.command == "figure":
         return _command_figure(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -11,7 +11,7 @@ per minute, lifetime, voltage stability, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -19,6 +19,39 @@ from ..energy.traces import PowerTrace, Trace
 from ..hw.monitor import ThresholdCrossing
 
 __all__ = ["SimulationEvent", "SimulationResult"]
+
+#: The per-sample arrays carried by a :class:`SimulationResult`, in field order.
+ARRAY_FIELDS = (
+    "times",
+    "supply_voltage",
+    "harvested_power",
+    "available_power",
+    "consumed_power",
+    "frequency_hz",
+    "n_little",
+    "n_big",
+    "running",
+    "instructions",
+    "v_low",
+    "v_high",
+)
+
+#: The scalar outcome fields of a :class:`SimulationResult`.
+SCALAR_FIELDS = (
+    "duration_s",
+    "total_instructions",
+    "harvested_energy_j",
+    "consumed_energy_j",
+    "brownout_count",
+    "first_brownout_time",
+    "transition_count",
+    "dvfs_transition_count",
+    "hotplug_transition_count",
+    "interrupt_count",
+    "governor_invocations",
+    "governor_cpu_time_s",
+    "governor_name",
+)
 
 
 @dataclass(frozen=True)
@@ -171,6 +204,54 @@ class SimulationResult:
         """Only the threshold-crossing (interrupt) events."""
         return [e for e in self.events if e.kind in (ThresholdCrossing.LOW.value, ThresholdCrossing.HIGH.value)]
 
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self, max_samples: Optional[int] = None) -> dict:
+        """Export the result as a JSON-serialisable dictionary.
+
+        Arrays become plain lists of floats; ``max_samples`` (if given)
+        decimates every series to at most that many evenly spaced samples so
+        a stored result stays small while keeping the shape of the traces.
+        The scalar outcome fields are always kept exact.
+        """
+        n = len(self.times)
+        if max_samples is not None and max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
+        if max_samples is not None and n > max_samples:
+            indices = np.unique(np.linspace(0, n - 1, max_samples).round().astype(int))
+        else:
+            indices = None
+        arrays = {}
+        for name in ARRAY_FIELDS:
+            values = np.asarray(getattr(self, name), dtype=float)
+            if indices is not None:
+                values = values[indices]
+            arrays[name] = [float(v) for v in values]
+        return {
+            **arrays,
+            "events": [
+                {"time": e.time, "kind": e.kind, "detail": e.detail} for e in self.events
+            ],
+            **{name: getattr(self, name) for name in SCALAR_FIELDS},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. parsed JSON)."""
+        arrays = {name: np.asarray(data[name], dtype=float) for name in ARRAY_FIELDS}
+        lengths = {len(a) for a in arrays.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"inconsistent array lengths in result dict: {sorted(lengths)}")
+        events = [
+            SimulationEvent(
+                time=float(e["time"]), kind=str(e["kind"]), detail=str(e.get("detail", ""))
+            )
+            for e in data.get("events", [])
+        ]
+        scalars = {name: data[name] for name in SCALAR_FIELDS if name in data}
+        return cls(**arrays, events=events, **scalars)
+
     def summary(self) -> dict:
         """A dictionary of the headline metrics (used by the CLI and benches)."""
         return {
@@ -183,6 +264,7 @@ class SimulationResult:
             "consumed_energy_j": self.consumed_energy_j,
             "average_power_w": self.average_consumed_power(),
             "brownouts": self.brownout_count,
+            "uptime_fraction": self.uptime_fraction,
             "transitions": self.transition_count,
             "interrupts": self.interrupt_count,
             "governor_cpu_overhead": self.governor_cpu_overhead(),

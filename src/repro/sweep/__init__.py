@@ -1,0 +1,71 @@
+"""repro.sweep — parallel scenario campaigns with a persistent result store.
+
+The paper's evaluation is a grid of governor × supply-profile × parameter
+combinations; this subsystem runs such grids as *campaigns*:
+
+* :mod:`repro.sweep.spec`     — declarative grids (:class:`Axis`,
+  :class:`SweepSpec`) expanding into content-addressed
+  :class:`ScenarioConfig` cells;
+* :mod:`repro.sweep.scenario` — the governor/workload registries and the
+  per-cell simulation worker;
+* :mod:`repro.sweep.store`    — an append-only JSONL store keyed by config
+  hash, giving cache hits and resume-after-interrupt;
+* :mod:`repro.sweep.runner`   — serial or multiprocessing execution with
+  per-scenario timeouts and progress reporting;
+* :mod:`repro.sweep.aggregate`— per-axis mean/p50/p95 tables and Table II
+  reconstruction from stored records.
+
+Quick start::
+
+    from repro.sweep import ResultStore, SweepRunner, SweepSpec, axis_summary
+
+    spec = SweepSpec.grid(
+        governors=["power-neutral", "powersave", "ondemand"],
+        weather=["full_sun", "cloud"],
+        capacitances_f=[15.4e-3, 47e-3],
+        duration_s=120.0,
+    )
+    store = ResultStore("campaign.jsonl")
+    report = SweepRunner(store, workers=4).run(spec)
+    print(axis_summary(report.ok_records(), "governor"))
+
+Re-running the same campaign (or any campaign sharing cells) against the same
+store recomputes nothing.
+"""
+
+from .aggregate import METRIC_FIELDS, axis_summary, campaign_overview, table2_rows
+from .runner import SweepReport, SweepRunner
+from .scenario import (
+    GOVERNOR_SPECS,
+    TABLE2_GOVERNOR_AXIS,
+    WORKLOADS,
+    GovernorSpec,
+    build_governor,
+    governor_label,
+    run_scenario,
+    scenario_summary,
+)
+from .spec import Axis, ScenarioConfig, ShadowSpec, SweepSpec
+from .store import ResultStore
+
+__all__ = [
+    "Axis",
+    "ScenarioConfig",
+    "ShadowSpec",
+    "SweepSpec",
+    "ResultStore",
+    "SweepReport",
+    "SweepRunner",
+    "GovernorSpec",
+    "GOVERNOR_SPECS",
+    "TABLE2_GOVERNOR_AXIS",
+    "WORKLOADS",
+    "build_governor",
+    "governor_label",
+    "run_scenario",
+    "scenario_summary",
+    "axis_summary",
+    "campaign_overview",
+    "table2_rows",
+    "METRIC_FIELDS",
+]

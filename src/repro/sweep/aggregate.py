@@ -1,0 +1,139 @@
+"""Aggregation of campaign records into per-axis summary tables.
+
+The store holds one summary dict per scenario; this module reduces those into
+the tables a report prints:
+
+* :func:`axis_summary` — group records by one config field (governor,
+  weather, capacitance, ...) and report mean/p50/p95 of the headline metrics
+  (on-time fraction, consumed energy, brown-outs, instruction throughput);
+* :func:`table2_rows` — rebuild the paper's Table II rows (renders/min,
+  lifetime, instructions, survival) from a governor-axis campaign;
+* :func:`campaign_overview` — whole-campaign totals.
+
+Everything returns lists of plain row dicts compatible with
+:func:`repro.analysis.reporting.format_table`, so the CLI, the examples and
+the benchmarks all render the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .scenario import governor_label
+
+__all__ = ["axis_summary", "table2_rows", "campaign_overview", "METRIC_FIELDS"]
+
+#: metric name in the summary dict -> short column prefix in the axis tables.
+METRIC_FIELDS: dict[str, str] = {
+    "uptime_fraction": "on_time",
+    "consumed_energy_j": "energy_j",
+    "brownouts": "brownouts",
+    "instructions_billions": "instr_b",
+}
+
+
+def _axis_value(record: dict, axis: str):
+    config = record.get("config", {})
+    if axis == "governor":
+        return governor_label(config.get("governor", "?"))
+    value = config.get(axis)
+    if axis == "capacitance_f" and value is not None:
+        return f"{1e3 * float(value):g} mF"
+    if axis == "shadowing" and isinstance(value, list):
+        return f"{len(value)} events"
+    if axis == "governor_overrides" and isinstance(value, dict):
+        return "+".join(f"{k}={v}" for k, v in sorted(value.items())) or "(none)"
+    return value
+
+
+def axis_summary(
+    records: Iterable[dict],
+    axis: str,
+    metrics: Optional[Sequence[str]] = None,
+) -> list[dict]:
+    """Mean/p50/p95 of each metric, grouped by one swept config field.
+
+    Only ``status == "ok"`` records contribute.  Rows keep first-seen group
+    order (i.e. the sweep's axis order).
+    """
+    metric_names = list(metrics) if metrics is not None else list(METRIC_FIELDS)
+    groups: dict = {}
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        key = _axis_value(record, axis)
+        groups.setdefault(key, []).append(record.get("summary", {}))
+    rows = []
+    for key, summaries in groups.items():
+        row: dict = {axis: key, "n": len(summaries)}
+        for metric in metric_names:
+            prefix = METRIC_FIELDS.get(metric, metric)
+            values = np.asarray(
+                [float(s.get(metric, 0.0)) for s in summaries], dtype=float
+            )
+            row[f"{prefix}_mean"] = float(np.mean(values))
+            row[f"{prefix}_p50"] = float(np.percentile(values, 50))
+            row[f"{prefix}_p95"] = float(np.percentile(values, 95))
+        rows.append(row)
+    return rows
+
+
+def table2_rows(records: Iterable[dict]) -> list[dict]:
+    """Rebuild Table II rows from a governor campaign's records.
+
+    When a governor appears in several cells (multiple seeds/conditions) its
+    row averages the per-cell throughput metrics; lifetime reports the worst
+    cell and ``survived`` requires surviving every cell, which is the
+    conservative reading of the paper's table.
+    """
+    groups: dict[str, list[dict]] = {}
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        label = _axis_value(record, "governor")
+        groups.setdefault(label, []).append(record.get("summary", {}))
+    rows = []
+    for label, summaries in groups.items():
+        lifetime = min(float(s.get("lifetime_s", 0.0)) for s in summaries)
+        minutes, seconds = divmod(int(round(lifetime)), 60)
+        rows.append(
+            {
+                "scheme": label,
+                "avg_performance_render_per_min": float(
+                    np.mean([s.get("renders_per_minute", 0.0) for s in summaries])
+                ),
+                "lifetime_mm_ss": f"{minutes:02d}:{seconds:02d}",
+                "instructions_billions": float(
+                    np.mean([s.get("instructions_billions", 0.0) for s in summaries])
+                ),
+                "survived": all(bool(s.get("survived")) for s in summaries),
+            }
+        )
+    return rows
+
+
+def campaign_overview(records: Iterable[dict]) -> dict:
+    """Whole-campaign totals across the successful records."""
+    records = list(records)
+    ok = [r for r in records if r.get("status") == "ok"]
+    summaries = [r.get("summary", {}) for r in ok]
+    simulated = sum(float(s.get("duration_s", 0.0)) for s in summaries)
+    cpu = sum(float(r.get("elapsed_s", 0.0)) for r in ok)
+    return {
+        "scenarios": len(records),
+        "ok": len(ok),
+        "failed": len(records) - len(ok),
+        "simulated_s": simulated,
+        "worker_cpu_s": cpu,
+        "survival_rate": (
+            float(np.mean([bool(s.get("survived")) for s in summaries])) if summaries else 0.0
+        ),
+        "total_instructions_billions": sum(
+            float(s.get("instructions_billions", 0.0)) for s in summaries
+        ),
+        "total_consumed_energy_j": sum(
+            float(s.get("consumed_energy_j", 0.0)) for s in summaries
+        ),
+    }

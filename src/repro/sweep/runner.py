@@ -1,0 +1,227 @@
+"""Campaign execution: fan scenarios out over workers, feed the store.
+
+The runner takes an expanded scenario list (or a :class:`SweepSpec`), skips
+every cell the store already holds a successful record for, and executes the
+remainder either inline (``workers <= 1``) or on a ``multiprocessing`` pool.
+Each finished record is appended to the store *immediately*, so interrupting a
+campaign (Ctrl-C, OOM kill, power loss) costs at most the scenarios in
+flight — rerunning with the same store resumes where it stopped.
+
+Worker failures are captured as ``status == "error"`` records and per-scenario
+timeouts as ``status == "timeout"``; both are persisted for post-mortems and
+retried on the next run.  A progress callback receives every completed cell
+(cached or computed) for live reporting.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
+from .scenario import run_scenario
+from .spec import ScenarioConfig, SweepSpec
+from .store import ResultStore
+
+__all__ = ["SweepReport", "SweepRunner"]
+
+#: progress(done, total, record, cached) — called after every completed cell.
+ProgressCallback = Callable[[int, int, dict, bool], None]
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one campaign run."""
+
+    total: int = 0
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    elapsed_s: float = 0.0
+    records: list[dict] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.failed == 0 and self.timed_out == 0
+
+    def ok_records(self) -> list[dict]:
+        return [r for r in self.records if r.get("status") == "ok"]
+
+    def summary(self) -> dict:
+        return {
+            "scenarios": self.total,
+            "executed": self.executed,
+            "cached": self.cached,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _execute_payload(payload: tuple[dict, int]) -> dict:
+    """Top-level worker entry point (picklable for multiprocessing)."""
+    config_dict, series_samples = payload
+    config = ScenarioConfig.from_dict(config_dict)
+    try:
+        return run_scenario(config, series_samples=series_samples)
+    except Exception as exc:  # noqa: BLE001 — workers must not crash the pool
+        return {
+            "scenario_id": config.scenario_id,
+            "config": config.to_dict(),
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+class SweepRunner:
+    """Executes a scenario campaign against a persistent result store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.sweep.store.ResultStore` holding completed cells.
+    workers:
+        Number of worker processes; ``<= 1`` runs inline in this process.
+    timeout_s:
+        Per-scenario wall-clock budget (pool mode only; inline runs are not
+        interruptible without signals).
+    series_samples:
+        When > 0, each record stores the simulation series decimated to this
+        many samples.
+    progress:
+        Optional ``progress(done, total, record, cached)`` callback.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        series_samples: int = 0,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.timeout_s = timeout_s
+        self.series_samples = int(series_samples)
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, campaign: Union[SweepSpec, Sequence[ScenarioConfig]]) -> SweepReport:
+        """Run every scenario not already completed in the store."""
+        configs = self._expand(campaign)
+        report = SweepReport(total=len(configs))
+        started = time.perf_counter()
+
+        pending: list[ScenarioConfig] = []
+        done = 0
+        for config in configs:
+            if self.store.is_complete(config):
+                record = self.store.get(config)
+                report.cached += 1
+                report.records.append(record)
+                done += 1
+                self._notify(done, report.total, record, cached=True)
+            else:
+                pending.append(config)
+
+        if pending:
+            runner = self._run_pool if self.workers > 1 else self._run_serial
+            for record in runner(pending):
+                self.store.append(record)
+                report.records.append(record)
+                report.executed += 1
+                status = record.get("status")
+                if status == "error":
+                    report.failed += 1
+                elif status == "timeout":
+                    report.timed_out += 1
+                done += 1
+                self._notify(done, report.total, record, cached=False)
+
+        report.elapsed_s = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _expand(self, campaign) -> list[ScenarioConfig]:
+        scenarios = campaign.scenarios() if isinstance(campaign, SweepSpec) else list(campaign)
+        unique: dict[str, ScenarioConfig] = {}
+        for config in scenarios:
+            unique.setdefault(config.scenario_id, config)
+        return list(unique.values())
+
+    def _notify(self, done: int, total: int, record: dict, cached: bool) -> None:
+        if self.progress is not None:
+            self.progress(done, total, record, cached)
+
+    def _run_serial(self, pending: list[ScenarioConfig]):
+        for config in pending:
+            yield _execute_payload((config.to_dict(), self.series_samples))
+
+    def _run_pool(self, pending: list[ScenarioConfig]):
+        """Yield records in completion order, with real per-scenario deadlines.
+
+        Submission is slot-limited (at most ``workers`` tasks outstanding), so
+        a task starts as soon as it is submitted and its deadline measures
+        actual runtime — queued scenarios can never be falsely timed out
+        behind a hung one.  Records are yielded (and therefore persisted by
+        the caller) the moment they complete, not in submission order, so an
+        interrupt loses at most the scenarios actually in flight.  A slot
+        whose scenario overruns its deadline stays occupied by the hung
+        worker; if every slot hangs the pool is recycled.
+        """
+        ctx = multiprocessing.get_context()
+        n_slots = min(self.workers, len(pending))
+        queue = collections.deque(pending)
+        pool = ctx.Pool(processes=n_slots)
+        active: dict = {}  # async handle -> (config, deadline or None)
+        hung = 0
+        try:
+            while queue or active:
+                while queue and len(active) + hung < n_slots:
+                    config = queue.popleft()
+                    handle = pool.apply_async(
+                        _execute_payload, ((config.to_dict(), self.series_samples),)
+                    )
+                    deadline = (
+                        time.monotonic() + self.timeout_s if self.timeout_s is not None else None
+                    )
+                    active[handle] = (config, deadline)
+                completed = [h for h in active if h.ready()]
+                for handle in completed:
+                    active.pop(handle)
+                    yield handle.get()
+                if completed:
+                    continue
+                now = time.monotonic()
+                expired = [
+                    h for h, (_, deadline) in active.items() if deadline is not None and now >= deadline
+                ]
+                for handle in expired:
+                    config, _ = active.pop(handle)
+                    hung += 1
+                    yield {
+                        "scenario_id": config.scenario_id,
+                        "config": config.to_dict(),
+                        "status": "timeout",
+                        "error": f"scenario exceeded {self.timeout_s:.0f} s budget",
+                    }
+                if hung >= n_slots:
+                    # Every worker is stuck on an overrunning scenario: kill
+                    # the pool and start a fresh one for the remaining cells.
+                    pool.terminate()
+                    pool.join()
+                    pool = ctx.Pool(processes=n_slots)
+                    hung = 0
+                elif not expired:
+                    time.sleep(0.02)
+        finally:
+            pool.terminate()
+            pool.join()

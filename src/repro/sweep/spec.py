@@ -1,0 +1,295 @@
+"""Declarative scenario grids: axes, sweep specs and concrete scenario configs.
+
+The paper's evaluation is a grid — governors × supply profiles × parameters
+(Table II, Figs. 12–15) — yet each cell is just one closed-loop simulation.
+This module describes such grids declaratively:
+
+* :class:`ScenarioConfig` — one fully specified simulation (governor, weather,
+  shadowing, buffer size, workload, seed, ...), serialisable to canonical JSON
+  and content-addressed by :attr:`~ScenarioConfig.scenario_id`;
+* :class:`Axis` — one swept dimension (a ``ScenarioConfig`` field name plus
+  the values it takes);
+* :class:`SweepSpec` — a base config plus axes, expanded by
+  :meth:`SweepSpec.scenarios` into the full cartesian product.
+
+The content hash is what makes the result store (:mod:`repro.sweep.store`)
+cache-correct: two configs with identical physics hash identically, so a
+campaign can be interrupted, extended or re-run without recomputing cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Iterator, Mapping, Optional, Sequence
+
+from ..energy.irradiance import ShadowingEvent, WeatherCondition
+from ..energy.supercapacitor import PAPER_BUFFER_CAPACITANCE_F
+
+__all__ = ["ShadowSpec", "ScenarioConfig", "Axis", "SweepSpec"]
+
+
+@dataclass(frozen=True)
+class ShadowSpec:
+    """A deterministic shadowing episode, JSON-friendly.
+
+    Mirrors :class:`repro.energy.irradiance.ShadowingEvent` but lives in the
+    config layer so scenario configs stay plain data.
+    """
+
+    start_s: float
+    duration_s: float
+    attenuation: float = 0.2
+    ramp_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        # Normalise to float so int-vs-float spellings hash identically.
+        for name in ("start_s", "duration_s", "attenuation", "ramp_s"):
+            object.__setattr__(self, name, float(getattr(self, name)))
+        # Delegate validation to the simulation-side event.
+        self.to_event()
+
+    def to_event(self) -> ShadowingEvent:
+        return ShadowingEvent(
+            start_s=self.start_s,
+            duration_s=self.duration_s,
+            attenuation=self.attenuation,
+            ramp_s=self.ramp_s,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ShadowSpec":
+        return cls(
+            start_s=float(data["start_s"]),
+            duration_s=float(data["duration_s"]),
+            attenuation=float(data.get("attenuation", 0.2)),
+            ramp_s=float(data.get("ramp_s", 0.5)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One concrete simulation scenario, fully specified by plain data.
+
+    Attributes
+    ----------
+    governor:
+        Name of a registered governor spec (see
+        :data:`repro.sweep.scenario.GOVERNOR_SPECS`), e.g. ``"power-neutral"``
+        or ``"ondemand"``.
+    governor_overrides:
+        Optional :class:`~repro.core.parameters.ControllerParameters` field
+        overrides for the power-neutral governor family (``v_q``, ``alpha``,
+        ``use_hotplug``, ...).  Must be empty for baseline governors.
+    weather:
+        A :class:`~repro.energy.irradiance.WeatherCondition` value string.
+    shadowing:
+        Deterministic shadowing episodes applied on top of the weather.
+    duration_s / seed / capacitance_f / monitor_quantised:
+        Passed straight to :func:`repro.experiments.scenarios.run_pv_experiment`.
+    workload:
+        Name of a registered workload (``"table2-render"``, ``"fig7-frame"``,
+        ``"synthetic"``) used to convert instructions into work units.
+    """
+
+    governor: str
+    weather: str = WeatherCondition.FULL_SUN.value
+    duration_s: float = 60.0
+    seed: int = 7
+    capacitance_f: float = PAPER_BUFFER_CAPACITANCE_F
+    workload: str = "table2-render"
+    governor_overrides: tuple[tuple[str, object], ...] = ()
+    shadowing: tuple[ShadowSpec, ...] = ()
+    monitor_quantised: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.governor:
+            raise ValueError("governor must be a non-empty name")
+        # Normalise numeric types so equivalent physics hashes identically
+        # (duration_s=900 and duration_s=900.0 must share a scenario_id).
+        object.__setattr__(self, "duration_s", float(self.duration_s))
+        object.__setattr__(self, "capacitance_f", float(self.capacitance_f))
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.capacitance_f <= 0:
+            raise ValueError("capacitance_f must be positive")
+        WeatherCondition(self.weather)  # raises on unknown preset
+        if isinstance(self.governor_overrides, Mapping):
+            object.__setattr__(
+                self,
+                "governor_overrides",
+                tuple(sorted(self.governor_overrides.items())),
+            )
+        else:
+            object.__setattr__(
+                self, "governor_overrides", tuple(tuple(p) for p in self.governor_overrides)
+            )
+        shadows = tuple(
+            s if isinstance(s, ShadowSpec) else ShadowSpec.from_dict(s) for s in self.shadowing
+        )
+        object.__setattr__(self, "shadowing", shadows)
+
+    # ------------------------------------------------------------------
+    # Serialisation and identity
+    # ------------------------------------------------------------------
+    def overrides_dict(self) -> dict:
+        return dict(self.governor_overrides)
+
+    def to_dict(self) -> dict:
+        return {
+            "governor": self.governor,
+            "weather": self.weather,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "capacitance_f": self.capacitance_f,
+            "workload": self.workload,
+            "governor_overrides": self.overrides_dict(),
+            "shadowing": [s.to_dict() for s in self.shadowing],
+            "monitor_quantised": self.monitor_quantised,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioConfig":
+        return cls(
+            governor=str(data["governor"]),
+            weather=str(data.get("weather", WeatherCondition.FULL_SUN.value)),
+            duration_s=float(data.get("duration_s", 60.0)),
+            seed=int(data.get("seed", 7)),
+            capacitance_f=float(data.get("capacitance_f", PAPER_BUFFER_CAPACITANCE_F)),
+            workload=str(data.get("workload", "table2-render")),
+            governor_overrides=tuple(sorted(dict(data.get("governor_overrides", {})).items())),
+            shadowing=tuple(ShadowSpec.from_dict(s) for s in data.get("shadowing", [])),
+            monitor_quantised=bool(data.get("monitor_quantised", True)),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical serialisation used for content addressing."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @property
+    def scenario_id(self) -> str:
+        """Content hash of the config — the key in the result store."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
+    def label(self) -> str:
+        """A compact human-readable tag for progress lines and tables."""
+        parts = [self.governor, self.weather, f"{1e3 * self.capacitance_f:g}mF", f"seed{self.seed}"]
+        if self.governor_overrides:
+            parts.append("+".join(f"{k}={v}" for k, v in self.governor_overrides))
+        if self.shadowing:
+            parts.append(f"{len(self.shadowing)}shadow")
+        return "/".join(parts)
+
+
+_CONFIG_FIELDS = {f.name for f in fields(ScenarioConfig)}
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension: a :class:`ScenarioConfig` field and its values."""
+
+    name: str
+    values: tuple
+
+    def __init__(self, name: str, values: Sequence):
+        if name not in _CONFIG_FIELDS:
+            raise ValueError(
+                f"unknown axis {name!r}; must be a ScenarioConfig field "
+                f"({', '.join(sorted(_CONFIG_FIELDS))})"
+            )
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"axis {name!r} needs at least one value")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario plus the axes to sweep — the declarative campaign.
+
+    Expansion is the cartesian product of all axis values applied on top of
+    ``base``.  Axis order determines iteration order (last axis varies
+    fastest), which keeps progress output grouped by the first axis.
+    """
+
+    base: ScenarioConfig
+    axes: tuple[Axis, ...] = ()
+
+    def __post_init__(self) -> None:
+        axes = tuple(a if isinstance(a, Axis) else Axis(*a) for a in self.axes)
+        names = [a.name for a in axes]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate sweep axes: {sorted(duplicates)}")
+        object.__setattr__(self, "axes", axes)
+
+    def __len__(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis)
+        return n
+
+    def scenarios(self) -> list[ScenarioConfig]:
+        """Expand the grid into concrete scenario configs."""
+        return list(self.iter_scenarios())
+
+    def iter_scenarios(self) -> Iterator[ScenarioConfig]:
+        if not self.axes:
+            yield self.base
+            return
+        names = [a.name for a in self.axes]
+        for combo in itertools.product(*(a.values for a in self.axes)):
+            yield replace(self.base, **dict(zip(names, combo)))
+
+    # ------------------------------------------------------------------
+    # Convenience constructor for the common governor × condition grids
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(
+        cls,
+        governors: Sequence[str],
+        weather: Sequence[str] = (WeatherCondition.FULL_SUN.value,),
+        capacitances_f: Sequence[float] = (PAPER_BUFFER_CAPACITANCE_F,),
+        seeds: Sequence[int] = (7,),
+        duration_s: float = 60.0,
+        workload: str = "table2-render",
+        shadowing: Sequence[ShadowSpec] = (),
+        monitor_quantised: bool = True,
+        extra_axes: Sequence[Axis] = (),
+    ) -> "SweepSpec":
+        """Build the standard governor × weather × capacitance × seed grid.
+
+        Single-valued dimensions are folded into the base config so the
+        expansion (and per-axis summaries) only see genuinely swept axes.
+        """
+        base = ScenarioConfig(
+            governor=str(governors[0]),
+            weather=str(weather[0]),
+            duration_s=duration_s,
+            seed=int(seeds[0]),
+            capacitance_f=float(capacitances_f[0]),
+            workload=workload,
+            shadowing=tuple(shadowing),
+            monitor_quantised=monitor_quantised,
+        )
+        axes: list[Axis] = []
+        for name, values in (
+            ("governor", [str(g) for g in governors]),
+            ("weather", [str(w) for w in weather]),
+            ("capacitance_f", [float(c) for c in capacitances_f]),
+            ("seed", [int(s) for s in seeds]),
+        ):
+            if len(values) > 1:
+                axes.append(Axis(name, values))
+        axes.extend(extra_axes)
+        return cls(base=base, axes=tuple(axes))

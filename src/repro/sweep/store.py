@@ -1,0 +1,132 @@
+"""Persistent, resumable campaign results: a content-addressed JSONL store.
+
+One line per completed scenario: ``{"scenario_id", "config", "status",
+"summary", ...}``.  The scenario id is the content hash of the config
+(:attr:`~repro.sweep.spec.ScenarioConfig.scenario_id`), so lookups are purely
+structural — any campaign that regenerates the same config gets a cache hit,
+whether it is a ``--resume`` after an interrupt or a brand-new sweep sharing
+cells with an old one.
+
+Records are appended and flushed one at a time, so a killed campaign loses at
+most the scenario in flight; a trailing half-written line is detected and
+ignored on load.  Only ``status == "ok"`` records count as cached — failures
+and timeouts are kept for post-mortems but are retried on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Mapping, Optional
+
+from ..sim.result import SimulationResult
+from .spec import ScenarioConfig
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Append-only JSONL store of sweep records, indexed by scenario id.
+
+    Later records for the same scenario id supersede earlier ones (so a
+    retried failure overwrites the failure on load).
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # Interrupted mid-write: drop the partial line.
+                    self._skipped_lines += 1
+                    continue
+                scenario_id = record.get("scenario_id")
+                if not scenario_id:
+                    self._skipped_lines += 1
+                    continue
+                self._records[scenario_id] = record
+
+    @property
+    def skipped_lines(self) -> int:
+        """Corrupt/partial lines ignored while loading (0 for a clean store)."""
+        return self._skipped_lines
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: Mapping) -> None:
+        """Append one record and flush it to disk immediately."""
+        record = dict(record)
+        scenario_id = record.get("scenario_id")
+        if not scenario_id:
+            raise ValueError("record must carry a scenario_id")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        # A previous torn write may have left the file without a trailing
+        # newline; heal it so the new record starts on its own line.
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        with self.path.open("a", encoding="utf-8") as fh:
+            if needs_newline:
+                fh.write("\n")
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._records[scenario_id] = record
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key) -> bool:
+        return self._key(key) in self._records
+
+    def get(self, key) -> Optional[dict]:
+        """The latest record for a scenario id / config, or None."""
+        return self._records.get(self._key(key))
+
+    def is_complete(self, key) -> bool:
+        """Whether the scenario already has a successful (cached) record."""
+        record = self.get(key)
+        return record is not None and record.get("status") == "ok"
+
+    def records(self) -> Iterator[dict]:
+        """All loaded records (latest per scenario id), insertion-ordered."""
+        return iter(list(self._records.values()))
+
+    def ok_records(self) -> list[dict]:
+        """Only the successful records — what aggregation consumes."""
+        return [r for r in self._records.values() if r.get("status") == "ok"]
+
+    def result_for(self, key) -> Optional[SimulationResult]:
+        """Rebuild the stored (decimated) SimulationResult, if series were kept."""
+        record = self.get(key)
+        if record is None or "series" not in record:
+            return None
+        return SimulationResult.from_dict(record["series"])
+
+    @staticmethod
+    def _key(key) -> str:
+        if isinstance(key, ScenarioConfig):
+            return key.scenario_id
+        return str(key)

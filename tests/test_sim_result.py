@@ -1,5 +1,7 @@
 """Tests for SimulationResult metrics."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -81,6 +83,51 @@ class TestVoltageMetrics:
         result = make_result()
         hist = result.time_at_voltage_histogram(np.arange(0.0, 7.5, 0.5))
         assert hist.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestJsonRoundTrip:
+    def test_to_dict_from_dict_preserves_everything(self):
+        result = make_result(brownout_at=3.5)
+        data = json.loads(json.dumps(result.to_dict()))
+        rebuilt = SimulationResult.from_dict(data)
+        np.testing.assert_allclose(rebuilt.times, result.times)
+        np.testing.assert_allclose(rebuilt.supply_voltage, result.supply_voltage)
+        np.testing.assert_allclose(rebuilt.instructions, result.instructions)
+        assert rebuilt.duration_s == result.duration_s
+        assert rebuilt.total_instructions == result.total_instructions
+        assert rebuilt.first_brownout_time == pytest.approx(3.5)
+        assert rebuilt.brownout_count == 1
+        assert rebuilt.governor_name == "g"
+        assert len(rebuilt.events) == 2
+        assert rebuilt.events[0].kind == "low"
+        # Derived metrics survive the trip.
+        assert rebuilt.lifetime_s == result.lifetime_s
+        assert rebuilt.summary() == result.summary()
+
+    def test_none_brownout_round_trips(self):
+        rebuilt = SimulationResult.from_dict(make_result().to_dict())
+        assert rebuilt.first_brownout_time is None
+        assert rebuilt.survived
+
+    def test_decimation_bounds_samples_but_keeps_scalars(self):
+        result = make_result(n=1001)
+        data = result.to_dict(max_samples=100)
+        assert len(data["times"]) <= 100
+        assert data["times"][0] == pytest.approx(result.times[0])
+        assert data["times"][-1] == pytest.approx(result.times[-1])
+        rebuilt = SimulationResult.from_dict(data)
+        assert rebuilt.total_instructions == result.total_instructions
+        assert rebuilt.duration_s == result.duration_s
+
+    def test_decimation_validation(self):
+        with pytest.raises(ValueError):
+            make_result().to_dict(max_samples=1)
+
+    def test_from_dict_rejects_ragged_arrays(self):
+        data = make_result().to_dict()
+        data["supply_voltage"] = data["supply_voltage"][:-2]
+        with pytest.raises(ValueError):
+            SimulationResult.from_dict(data)
 
 
 class TestExportsAndSummary:

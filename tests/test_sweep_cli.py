@@ -1,0 +1,141 @@
+"""Tests for the ``sweep`` CLI subcommand and ``python -m repro``."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_sweep_defaults_make_a_24_cell_grid(self):
+        args = build_parser().parse_args(["sweep"])
+        governors = args.governors.split(",")
+        weather = args.weather.split(",")
+        capacitances = args.capacitance_mf.split(",")
+        assert len(governors) * len(weather) * len(capacitances) >= 24
+        assert args.workers >= 2
+        assert args.store == "sweep_results.jsonl"
+
+    def test_sweep_options_parse(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--governors",
+                "power-neutral,powersave",
+                "--seeds",
+                "1,2,3",
+                "--workers",
+                "4",
+                "--resume",
+                "--shadow",
+                "20:10:0.2",
+            ]
+        )
+        assert args.resume
+        assert args.shadow == ["20:10:0.2"]
+
+    def test_figure_seed_flag(self):
+        args = build_parser().parse_args(["figure", "fig12", "--seed", "3", "--duration", "30"])
+        assert args.seed == 3
+        assert args.duration == 30.0
+
+
+class TestExecution:
+    def test_sweep_runs_writes_store_and_caches(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        argv = [
+            "sweep",
+            "--governors",
+            "power-neutral,powersave",
+            "--weather",
+            "full_sun",
+            "--capacitance-mf",
+            "47",
+            "--duration",
+            "5",
+            "--workers",
+            "1",
+            "--store",
+            str(store),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed  : 2" in out
+        assert store.exists()
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records)
+
+        # Second invocation with --resume: zero recomputed scenarios.
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "executed  : 0" in out
+        assert "cached    : 2" in out
+
+    def test_sweep_reuses_store_by_default_and_fresh_recomputes(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        argv = [
+            "sweep",
+            "--governors",
+            "power-neutral",
+            "--weather",
+            "full_sun",
+            "--capacitance-mf",
+            "47",
+            "--duration",
+            "5",
+            "--workers",
+            "1",
+            "--quiet",
+            "--store",
+            str(store),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Default behaviour: existing store is a cache, nothing recomputed.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "resuming: 1 record(s)" in out
+        assert "cached    : 1" in out
+        # --fresh wipes the store and recomputes.
+        assert main(argv + ["--fresh"]) == 0
+        out = capsys.readouterr().out
+        assert "starting fresh campaign" in out
+        assert "executed  : 1" in out
+
+    def test_fresh_and_resume_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--fresh", "--resume", "--store", str(tmp_path / "s.jsonl")])
+
+    def test_sweep_rejects_malformed_numeric_lists(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--capacitance-mf", "15.4,abc", "--store", str(tmp_path / "s.jsonl")])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--seeds", "1,x", "--store", str(tmp_path / "s.jsonl")])
+
+    def test_sweep_rejects_unknown_governor(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--governors", "warpdrive", "--store", "ignored.jsonl"])
+
+    def test_figure_seed_threads_into_supported_figures(self, capsys):
+        code = main(["figure", "fig1", "--seed", "5"])
+        assert code == 0
+        assert capsys.readouterr().out  # produced a report
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_shows_usage(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(src)},
+        )
+        assert proc.returncode == 0
+        assert "sweep" in proc.stdout

@@ -1,0 +1,123 @@
+"""Tests for the declarative sweep grid model (repro.sweep.spec)."""
+
+import json
+
+import pytest
+
+from repro.sweep.spec import Axis, ScenarioConfig, ShadowSpec, SweepSpec
+
+
+class TestScenarioConfig:
+    def test_round_trip(self):
+        config = ScenarioConfig(
+            governor="power-neutral",
+            weather="cloud",
+            duration_s=120.0,
+            seed=3,
+            capacitance_f=15.4e-3,
+            workload="synthetic",
+            governor_overrides={"v_q": 0.06, "alpha": 0.2},
+            shadowing=(ShadowSpec(start_s=10.0, duration_s=5.0, attenuation=0.3),),
+            monitor_quantised=False,
+        )
+        rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+        assert rebuilt.scenario_id == config.scenario_id
+
+    def test_scenario_id_is_content_addressed(self):
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        b = ScenarioConfig(governor="power-neutral", seed=1)
+        c = ScenarioConfig(governor="power-neutral", seed=2)
+        assert a.scenario_id == b.scenario_id
+        assert a.scenario_id != c.scenario_id
+
+    def test_numeric_type_does_not_change_identity(self):
+        """Int and float spellings of the same physics must share one id."""
+        a = ScenarioConfig(governor="power-neutral", duration_s=900, seed=7, capacitance_f=47e-3)
+        b = ScenarioConfig(governor="power-neutral", duration_s=900.0, seed=7, capacitance_f=0.047)
+        assert a.scenario_id == b.scenario_id
+        # from_dict(to_dict()) must be an identity for the hash as well.
+        assert ScenarioConfig.from_dict(a.to_dict()).scenario_id == a.scenario_id
+
+    def test_override_order_does_not_change_identity(self):
+        a = ScenarioConfig(governor="power-neutral", governor_overrides={"v_q": 0.06, "alpha": 0.2})
+        b = ScenarioConfig(governor="power-neutral", governor_overrides={"alpha": 0.2, "v_q": 0.06})
+        assert a.scenario_id == b.scenario_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(governor="")
+        with pytest.raises(ValueError):
+            ScenarioConfig(governor="power-neutral", duration_s=0.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(governor="power-neutral", capacitance_f=-1.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(governor="power-neutral", weather="snowstorm")
+
+    def test_label_mentions_the_swept_dimensions(self):
+        config = ScenarioConfig(governor="powersave", weather="hail", capacitance_f=47e-3, seed=9)
+        label = config.label()
+        assert "powersave" in label and "hail" in label and "47mF" in label and "seed9" in label
+
+
+class TestAxis:
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            Axis("voltage", [1, 2])
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Axis("seed", [])
+
+
+class TestSweepSpec:
+    def test_grid_expansion_is_full_cartesian_product(self):
+        spec = SweepSpec.grid(
+            governors=["power-neutral", "powersave", "ondemand"],
+            weather=["full_sun", "cloud"],
+            capacitances_f=[15.4e-3, 47e-3],
+            seeds=[1, 2],
+            duration_s=30.0,
+        )
+        scenarios = spec.scenarios()
+        assert len(spec) == 3 * 2 * 2 * 2
+        assert len(scenarios) == 24
+        # Every cell unique, every combination present.
+        assert len({c.scenario_id for c in scenarios}) == 24
+        combos = {(c.governor, c.weather, c.capacitance_f, c.seed) for c in scenarios}
+        assert ("ondemand", "cloud", 47e-3, 2) in combos
+        assert all(c.duration_s == 30.0 for c in scenarios)
+
+    def test_single_valued_dimensions_fold_into_base(self):
+        spec = SweepSpec.grid(governors=["power-neutral"], weather=["full_sun"])
+        assert spec.axes == ()
+        assert len(spec.scenarios()) == 1
+
+    def test_duplicate_axes_rejected(self):
+        base = ScenarioConfig(governor="power-neutral")
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(base=base, axes=(Axis("seed", [1, 2]), Axis("seed", [3])))
+
+    def test_governor_overrides_axis(self):
+        base = ScenarioConfig(governor="power-neutral", duration_s=20.0)
+        spec = SweepSpec(
+            base=base,
+            axes=(
+                Axis("governor_overrides", [{"v_q": 0.03}, {"v_q": 0.06}, {"v_q": 0.09}]),
+                Axis("seed", [1, 2]),
+            ),
+        )
+        scenarios = spec.scenarios()
+        assert len(scenarios) == 6
+        assert {dict(c.governor_overrides)["v_q"] for c in scenarios} == {0.03, 0.06, 0.09}
+
+    def test_shadowing_axis_round_trips_through_dicts(self):
+        base = ScenarioConfig(governor="power-neutral")
+        shadow = ShadowSpec(start_s=5.0, duration_s=2.0)
+        spec = SweepSpec(base=base, axes=(Axis("shadowing", [(), (shadow,)]),))
+        scenarios = spec.scenarios()
+        assert len(scenarios) == 2
+        with_shadow = [c for c in scenarios if c.shadowing]
+        assert len(with_shadow) == 1
+        rebuilt = ScenarioConfig.from_dict(with_shadow[0].to_dict())
+        assert rebuilt.scenario_id == with_shadow[0].scenario_id

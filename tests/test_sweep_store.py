@@ -1,0 +1,132 @@
+"""Tests for the JSONL result store (repro.sweep.store)."""
+
+import json
+
+import numpy as np
+
+from repro.sim.result import SimulationResult
+from repro.sweep.spec import ScenarioConfig
+from repro.sweep.store import ResultStore
+
+
+def make_record(config: ScenarioConfig, status: str = "ok", **extra) -> dict:
+    return {
+        "scenario_id": config.scenario_id,
+        "config": config.to_dict(),
+        "status": status,
+        "summary": {"instructions": 1e9, "survived": True},
+        **extra,
+    }
+
+
+def make_result(n=16) -> SimulationResult:
+    times = np.linspace(0.0, 10.0, n)
+    return SimulationResult(
+        times=times,
+        supply_voltage=np.full(n, 5.3),
+        harvested_power=np.full(n, 3.0),
+        available_power=np.full(n, 4.0),
+        consumed_power=np.full(n, 3.0),
+        frequency_hz=np.full(n, 0.9e9),
+        n_little=np.full(n, 4.0),
+        n_big=np.zeros(n),
+        running=np.ones(n),
+        instructions=np.linspace(0, 1e10, n),
+        v_low=np.full(n, 5.2),
+        v_high=np.full(n, 5.4),
+        duration_s=10.0,
+        total_instructions=1e10,
+        governor_name="g",
+    )
+
+
+class TestPersistence:
+    def test_append_then_reload(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = ScenarioConfig(governor="power-neutral")
+        store = ResultStore(path)
+        assert len(store) == 0 and not store.is_complete(config)
+        store.append(make_record(config))
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert config in reloaded
+        assert config.scenario_id in reloaded
+        assert reloaded.is_complete(config)
+        assert reloaded.get(config)["summary"]["instructions"] == 1e9
+
+    def test_later_record_supersedes_earlier(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = ScenarioConfig(governor="power-neutral")
+        store = ResultStore(path)
+        store.append(make_record(config, status="error", error="boom"))
+        assert not store.is_complete(config)
+        store.append(make_record(config, status="ok"))
+        assert store.is_complete(config)
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.is_complete(config)
+        assert len(reloaded.ok_records()) == 1
+
+    def test_corrupt_trailing_line_is_skipped(self, tmp_path):
+        """A store killed mid-write must still load its complete records."""
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        b = ScenarioConfig(governor="power-neutral", seed=2)
+        store.append(make_record(a))
+        store.append(make_record(b))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"scenario_id": "deadbeef", "status": "o')  # torn write
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert reloaded.skipped_lines == 1
+        assert reloaded.is_complete(a) and reloaded.is_complete(b)
+        # Appending after a torn line must still yield parseable lines.
+        c = ScenarioConfig(governor="power-neutral", seed=3)
+        reloaded.append(make_record(c))
+        again = ResultStore(path)
+        assert again.is_complete(c)
+
+    def test_record_without_id_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        try:
+            store.append({"status": "ok"})
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError for record without scenario_id")
+
+
+class TestSeriesRoundTrip:
+    def test_result_for_rebuilds_simulation_result(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = ScenarioConfig(governor="power-neutral")
+        result = make_result()
+        record = make_record(config, series=result.to_dict(max_samples=8))
+        store = ResultStore(path)
+        store.append(record)
+
+        rebuilt = ResultStore(path).result_for(config)
+        assert rebuilt is not None
+        assert len(rebuilt.times) == 8
+        assert rebuilt.total_instructions == result.total_instructions
+        assert rebuilt.governor_name == "g"
+        assert float(rebuilt.supply_voltage[0]) == 5.3
+
+    def test_result_for_without_series_is_none(self, tmp_path):
+        config = ScenarioConfig(governor="power-neutral")
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append(make_record(config))
+        assert store.result_for(config) is None
+
+    def test_store_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = ScenarioConfig(governor="power-neutral")
+        ResultStore(path).append(make_record(config, series=make_result().to_dict()))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["scenario_id"] == config.scenario_id
