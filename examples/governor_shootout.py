@@ -56,7 +56,7 @@ def main() -> None:
 
     def progress(done, total, record, cached):
         status = "cached" if cached else record.get("status", "?")
-        print(f"  [{done}/{total}] {status:7s} {record['config']['governor']}")
+        print(f"  [{done}/{total}] {status:7s} {record['config']['governor']['kind']}")
 
     runner = SweepRunner(ResultStore(store_path), workers=args.workers, progress=progress)
     report = runner.run(spec)

@@ -41,6 +41,7 @@ from .experiments.scenarios import (
     run_pv_experiment,
     solar_irradiance_trace,
 )
+from .registry import ComponentSpec, Registry
 from .governors import (
     ConservativeGovernor,
     Governor,
@@ -78,6 +79,8 @@ __all__ = [
     "run_controlled_supply_experiment",
     "run_pv_experiment",
     "solar_irradiance_trace",
+    "ComponentSpec",
+    "Registry",
     "ConservativeGovernor",
     "Governor",
     "InteractiveGovernor",

@@ -19,11 +19,19 @@ processes, then resume it (all cells cached)::
 
     repro-pns sweep --workers 2 --store campaign.jsonl
     repro-pns sweep --workers 2 --store campaign.jsonl --resume
+
+Campaigns are not limited to the outdoor PV rig — swap the supply component
+or run a built-in preset::
+
+    repro-pns sweep --supply constant-power --supply-param power_w=2.5
+    repro-pns sweep --preset fig11-governors --store fig11.jsonl
+    repro-pns sweep --preset constant-power-survival --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import inspect
 import sys
 from pathlib import Path
@@ -118,13 +126,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser(
         "sweep",
-        help="run a governor/weather/capacitance campaign over worker processes",
+        help="run a scenario campaign (any supply/platform/capacitor/governor combination) over worker processes",
         description=(
             "Expand a declarative scenario grid, run it serially or over a process "
             "pool, and persist one JSONL record per scenario keyed by the config's "
             "content hash. Re-running against the same store (--resume) recomputes "
-            "nothing that already succeeded."
+            "nothing that already succeeded. The rig is composable: --supply picks "
+            "the source (pv-array, controlled-voltage, constant-power, trace-file) "
+            "with --supply-param KEY=VALUE knobs, or --preset runs a built-in "
+            "campaign (e.g. the Fig. 11 controlled-supply governor sweep)."
         ),
+    )
+    sweep.add_argument(
+        "--preset",
+        choices=sweep_module.preset_names(),
+        default=None,
+        help="run a built-in campaign preset instead of composing a grid from flags",
+    )
+    sweep.add_argument(
+        "--supply",
+        choices=sweep_module.SUPPLIES.names(),
+        default="pv-array",
+        help="supply component kind driving every scenario (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--supply-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="set one supply parameter, e.g. power_w=2.5 or profile=fig11 (repeatable)",
     )
     sweep.add_argument(
         "--governors",
@@ -134,7 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--weather",
         default="full_sun,partial_sun,cloud",
-        help="comma-separated weather presets (default: %(default)s)",
+        help="comma-separated weather presets (pv-array supply only; default: %(default)s)",
     )
     sweep.add_argument(
         "--capacitance-mf",
@@ -142,10 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated buffer capacitances in mF (default: %(default)s)",
     )
     sweep.add_argument(
-        "--seeds", default="7", help="comma-separated irradiance seeds (default: %(default)s)"
+        "--seeds",
+        default="7",
+        help="comma-separated irradiance seeds (pv-array supply only; default: %(default)s)",
     )
     sweep.add_argument(
-        "--duration", type=float, default=60.0, help="simulated seconds per scenario"
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds per scenario (default: 60, or the preset's own default)",
     )
     sweep.add_argument(
         "--workload",
@@ -158,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="START:DURATION:ATTENUATION",
-        help="add a deterministic shadowing event to every scenario (repeatable)",
+        help="add a deterministic shadowing event to every scenario (pv-array only; repeatable)",
     )
     sweep.add_argument("--workers", type=int, default=2, help="worker processes (1 = inline)")
     sweep.add_argument(
@@ -273,34 +308,141 @@ def _parse_shadow(text: str) -> "sweep_module.ShadowSpec":
     return sweep_module.ShadowSpec(start_s=start, duration_s=duration, attenuation=attenuation)
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
+def _parse_param_value(text: str):
+    """KEY=VALUE values: booleans, numbers, or strings."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        return text.strip()
+
+
+def _parse_params(pairs: list[str], flag: str) -> dict:
+    params = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key.strip():
+            raise SystemExit(f"bad {flag} {pair!r}; expected KEY=VALUE, e.g. power_w=2.5")
+        params[key.strip()] = _parse_param_value(value)
+    return params
+
+
+#: The grid-shaping sweep flags whose "explicitly passed vs left at default"
+#: status matters (for --preset conflicts and for not clobbering
+#: --supply-param values with built-in default grids).
+_SWEEP_GRID_FLAGS: tuple[str, ...] = (
+    "governors",
+    "weather",
+    "capacitance_mf",
+    "seeds",
+    "workload",
+    "supply",
+    "supply_param",
+    "shadow",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def _sweep_grid_flag_defaults() -> dict:
+    """The parser's own defaults for the grid-shaping flags.
+
+    Derived by parsing a bare ``sweep`` invocation so this never drifts from
+    :func:`build_parser` (the single source of truth for defaults).
+    """
+    defaults = build_parser().parse_args(["sweep"])
+    return {name: getattr(defaults, name) for name in _SWEEP_GRID_FLAGS}
+
+
+def _explicit_grid_flags(args: argparse.Namespace) -> list[str]:
+    """The grid-shaping flags the user actually set (differ from defaults)."""
+    return [
+        "--" + name.replace("_", "-")
+        for name, default in _sweep_grid_flag_defaults().items()
+        if getattr(args, name) != default
+    ]
+
+
+def _build_sweep_spec(args: argparse.Namespace) -> "sweep_module.SweepSpec":
+    """Turn the sweep flags (or a preset name) into a SweepSpec."""
+    if args.preset is not None:
+        conflicting = _explicit_grid_flags(args)
+        if conflicting:
+            raise SystemExit(
+                f"--preset {args.preset} composes its own grid; "
+                f"drop the conflicting flag(s): {', '.join(conflicting)}"
+            )
+        try:
+            return sweep_module.build_preset(args.preset, duration_s=args.duration)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+
     if args.governors.strip().lower() == "all":
-        governors = sorted(sweep_module.GOVERNOR_SPECS)
+        governors = sweep_module.GOVERNORS.names()
     else:
         governors = _parse_csv(args.governors)
     for name in governors:
-        if name not in sweep_module.GOVERNOR_SPECS:
+        if name not in sweep_module.GOVERNORS:
             raise SystemExit(
-                f"unknown governor {name!r}; known: {', '.join(sorted(sweep_module.GOVERNOR_SPECS))}"
+                f"unknown governor {name!r}; known: {', '.join(sweep_module.GOVERNORS.names())}"
             )
-    weather = _parse_csv(args.weather)
-    for name in weather:
-        try:
-            WeatherCondition(name)
-        except ValueError:
-            raise SystemExit(
-                f"unknown weather {name!r}; known: {', '.join(w.value for w in WeatherCondition)}"
-            ) from None
 
-    spec = sweep_module.SweepSpec.grid(
-        governors=governors,
-        weather=weather,
-        capacitances_f=[1e-3 * c for c in _parse_csv(args.capacitance_mf, float)],
-        seeds=_parse_csv(args.seeds, int),
-        duration_s=args.duration,
-        workload=args.workload,
-        shadowing=[_parse_shadow(s) for s in args.shadow],
+    supply = sweep_module.ComponentSpec(
+        kind=args.supply, params=_parse_params(args.supply_param, "--supply-param")
     )
+    pv = supply.kind == "pv-array"
+    weather_explicit = args.weather != _sweep_grid_flag_defaults()["weather"]
+    seeds_explicit = args.seeds != _sweep_grid_flag_defaults()["seeds"]
+
+    if not pv:
+        # Weather/seed/shadowing are pv-array dimensions; reject them loudly
+        # instead of silently running a different campaign.
+        for flag, explicit in (("--weather", weather_explicit), ("--seeds", seeds_explicit)):
+            if explicit:
+                raise SystemExit(
+                    f"{flag} only applies to the pv-array supply (got {supply.kind!r})"
+                )
+        if args.shadow:
+            raise SystemExit(f"--shadow only applies to the pv-array supply (got {supply.kind!r})")
+        weather = None
+        seeds = None
+    else:
+        weather = _parse_csv(args.weather)
+        for name in weather:
+            try:
+                WeatherCondition(name)
+            except ValueError:
+                raise SystemExit(
+                    f"unknown weather {name!r}; known: {', '.join(w.value for w in WeatherCondition)}"
+                ) from None
+        seeds = _parse_csv(args.seeds, int)
+        # A condition pinned via --supply-param stays authoritative unless
+        # the corresponding axis flag was passed explicitly.
+        if supply.get("weather") is not None and not weather_explicit:
+            weather = None
+        if supply.get("seed") is not None and not seeds_explicit:
+            seeds = None
+
+    try:
+        return sweep_module.SweepSpec.grid(
+            governors=governors,
+            weather=weather,
+            capacitances_f=[1e-3 * c for c in _parse_csv(args.capacitance_mf, float)],
+            seeds=seeds,
+            duration_s=args.duration if args.duration is not None else 60.0,
+            workload=args.workload,
+            shadowing=[_parse_shadow(s) for s in args.shadow],
+            supply=supply,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    spec = _build_sweep_spec(args)
 
     if args.fresh and args.resume:
         raise SystemExit("--fresh and --resume are mutually exclusive")
@@ -313,6 +455,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(
             f"resuming: {len(store)} record(s) already in {store_path} "
             "(pass --fresh to recompute everything)"
+        )
+    if store.legacy_count:
+        versions = ", ".join(
+            f"v{v}: {n}"
+            for v, n in store.version_counts().items()
+            if v < sweep_module.SCHEMA_VERSION
+        )
+        print(
+            f"note: {store.legacy_count} record(s) use an older config schema "
+            f"({versions}); they are kept but will not cache-hit new-schema scenarios"
         )
 
     def progress(done: int, total: int, record: dict, cached: bool) -> None:
@@ -332,7 +484,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         progress=progress,
     )
     mode = f"{args.workers} worker processes" if args.workers > 1 else "inline (serial)"
-    print(f"sweep: {len(spec)} scenarios over {mode} -> {store_path}")
+    title = f"preset {args.preset!r}" if args.preset else "sweep"
+    print(f"{title}: {len(spec)} scenarios over {mode} -> {store_path}")
     report = runner.run(spec)
 
     print()
@@ -349,14 +502,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
                     title=f"By {axis.name} (mean/p50/p95 across the other axes)",
                 )
             )
-        if any(axis.name == "governor" for axis in spec.axes):
+        if any(sweep_module.resolve_axis_path(axis.name) == "governor" for axis in spec.axes):
             print()
             print(format_table(sweep_module.table2_rows(ok_records), title="Table II view"))
     for record in report.records:
         if record.get("status") not in (None, "ok"):
+            config = record.get("config", {})
+            governor = config.get("governor")
+            if isinstance(governor, dict):
+                governor = governor.get("kind")
             print(
                 f"FAILED {record.get('scenario_id')} "
-                f"({record.get('config', {}).get('governor')}): {record.get('error')}",
+                f"({governor}): {record.get('error')}",
                 file=sys.stderr,
             )
     return 0 if report.succeeded else 1

@@ -18,6 +18,13 @@ from .irradiance import (
     sinusoidal_irradiance,
     step_irradiance,
 )
+from .profiles import (
+    PAPER_TEST_START_S,
+    PV_TARGET_VOLTAGE,
+    constant_power_profile,
+    fig11_supply_profile,
+    solar_irradiance_trace,
+)
 from .traces import IrradianceTrace, PowerTrace, Trace, trace_from_function
 from .supercapacitor import (
     PAPER_BUFFER_CAPACITANCE_F,
@@ -45,6 +52,11 @@ __all__ = [
     "PowerTrace",
     "Trace",
     "trace_from_function",
+    "PV_TARGET_VOLTAGE",
+    "PAPER_TEST_START_S",
+    "solar_irradiance_trace",
+    "fig11_supply_profile",
+    "constant_power_profile",
     "Supercapacitor",
     "PAPER_BUFFER_CAPACITANCE_F",
     "PAPER_MINIMUM_CAPACITANCE_F",

@@ -1,0 +1,99 @@
+"""Canonical supply profiles used across the paper's evaluation rigs.
+
+These are the pure trace/constant builders behind the experiment setups:
+
+* :func:`solar_irradiance_trace` — the synthetic outdoor irradiance of
+  Sections V-B/C/D, phased to the paper's 10:30 test window;
+* :func:`fig11_supply_profile` — the controlled variable-voltage profile of
+  Section V-A / Fig. 11;
+* :data:`PV_TARGET_VOLTAGE` — the calibrated maximum-power-point voltage used
+  as V_target.
+
+They live in :mod:`repro.energy` (rather than the experiments layer) so that
+the scenario-component registries in :mod:`repro.sweep.components` can build
+supplies from plain data without importing experiment harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .irradiance import (
+    ClearSkyModel,
+    IrradianceGenerator,
+    ShadowingEvent,
+    WeatherCondition,
+)
+from .traces import IrradianceTrace, Trace
+
+__all__ = [
+    "PV_TARGET_VOLTAGE",
+    "PAPER_TEST_START_S",
+    "solar_irradiance_trace",
+    "fig11_supply_profile",
+    "constant_power_profile",
+]
+
+#: The calibrated maximum-power-point voltage used as V_target (Section V-B).
+PV_TARGET_VOLTAGE = 5.3
+
+#: The wall-clock start of the paper's outdoor runs (10:30 local time).
+PAPER_TEST_START_S = 10.5 * 3600.0
+
+
+def solar_irradiance_trace(
+    duration_s: float,
+    weather: WeatherCondition = WeatherCondition.FULL_SUN,
+    start_time_of_day_s: float = PAPER_TEST_START_S,
+    dt: float = 1.0,
+    seed: int = 7,
+    shadowing_events: Sequence[ShadowingEvent] = (),
+) -> IrradianceTrace:
+    """A synthetic outdoor irradiance trace aligned with the paper's test window.
+
+    Times in the returned trace start at 0 (the start of the experiment); the
+    diurnal envelope is phased so that t=0 corresponds to
+    ``start_time_of_day_s`` seconds after local midnight (10:30 by default,
+    matching Fig. 12/14's x-axes).
+    """
+    generator = IrradianceGenerator(ClearSkyModel(), seed=seed)
+    trace = generator.generate(
+        t_start=start_time_of_day_s,
+        duration=duration_s,
+        dt=dt,
+        weather=weather,
+        shadowing_events=shadowing_events,
+    )
+    return IrradianceTrace(trace.times - start_time_of_day_s, trace.values, name="irradiance")
+
+
+def fig11_supply_profile(duration_s: float = 170.0, dt: float = 0.05) -> Trace:
+    """The controlled variable-voltage profile used in Section V-A / Fig. 11.
+
+    A slowly wandering supply voltage between roughly 4.4 V and 5.6 V with a
+    small ripple ("A") and one sudden deep drop ("B"), matching the character
+    of the published trace.
+    """
+    times = np.arange(0.0, duration_s + 0.5 * dt, dt)
+    base = 5.1 + 0.45 * np.sin(2.0 * np.pi * times / 90.0)
+    ripple = 0.08 * np.sin(2.0 * np.pi * times / 7.0)
+    voltage = base + ripple
+    # Sudden reduction at t ~= 100 s (point 'B' in Fig. 11), recovering at 120 s.
+    drop = (times >= 100.0) & (times < 120.0)
+    voltage = np.where(drop, voltage - 0.9, voltage)
+    voltage = np.clip(voltage, 4.25, 5.65)
+    return Trace(times=times, values=voltage, name="controlled_supply", units="V")
+
+
+def constant_power_profile(duration_s: float, power_w: float) -> Trace:
+    """A flat prescribed-power profile (the idealised Fig. 3 style source)."""
+    if power_w < 0:
+        raise ValueError("power_w must be non-negative")
+    return Trace(
+        times=np.array([0.0, max(duration_s, 1e-9)]),
+        values=np.array([power_w, power_w]),
+        name="constant_power",
+        units="W",
+    )

@@ -3,25 +3,32 @@
 The paper's evaluation re-uses a small number of experimental setups: the
 ODROID-XU4 coupled to the 1340 cm² PV array through the 47 mF buffer, driven
 either by real sunlight (various weather conditions) or by a controlled
-laboratory supply.  This module builds those setups so the examples, the CLI
-and every benchmark construct them the same way.
+laboratory supply.  Since PR 2 both setups resolve through the *single*
+construction path of :func:`repro.sweep.build.build_system`;
+:func:`run_pv_experiment` and :func:`run_controlled_supply_experiment` are
+thin wrappers that translate their historical signatures (live governor /
+platform / trace objects) into a scenario config plus component overrides, so
+the examples, the CLI and every benchmark construct systems exactly the way a
+sweep worker does.
+
+The pure profile builders (:func:`solar_irradiance_trace`,
+:func:`fig11_supply_profile`, :data:`PV_TARGET_VOLTAGE`) now live in
+:mod:`repro.energy.profiles` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
-
-import numpy as np
+from typing import Optional
 
 from ..core.governor import PowerNeutralGovernor
-from ..core.parameters import ControllerParameters, PAPER_TUNED_PARAMETERS
-from ..energy.irradiance import (
-    ClearSkyModel,
-    IrradianceGenerator,
-    ShadowingEvent,
-    WeatherCondition,
-    step_irradiance,
+from ..core.parameters import PAPER_TUNED_PARAMETERS
+from ..energy.irradiance import WeatherCondition
+from ..energy.profiles import (  # noqa: F401  (re-exported for compatibility)
+    PAPER_TEST_START_S,
+    PV_TARGET_VOLTAGE,
+    fig11_supply_profile,
+    solar_irradiance_trace,
 )
 from ..energy.pv_array import PVArray, paper_pv_array
 from ..energy.supercapacitor import PAPER_BUFFER_CAPACITANCE_F, Supercapacitor
@@ -35,18 +42,13 @@ from ..soc.platform import SoCPlatform
 
 __all__ = [
     "PV_TARGET_VOLTAGE",
+    "PAPER_TEST_START_S",
     "PaperSystem",
     "solar_irradiance_trace",
     "fig11_supply_profile",
     "run_pv_experiment",
     "run_controlled_supply_experiment",
 ]
-
-#: The calibrated maximum-power-point voltage used as V_target (Section V-B).
-PV_TARGET_VOLTAGE = 5.3
-
-#: The wall-clock start of the paper's outdoor runs (10:30 local time).
-PAPER_TEST_START_S = 10.5 * 3600.0
 
 
 @dataclass
@@ -90,50 +92,6 @@ class PaperSystem:
         )
 
 
-def solar_irradiance_trace(
-    duration_s: float,
-    weather: WeatherCondition = WeatherCondition.FULL_SUN,
-    start_time_of_day_s: float = PAPER_TEST_START_S,
-    dt: float = 1.0,
-    seed: int = 7,
-    shadowing_events: Sequence[ShadowingEvent] = (),
-) -> IrradianceTrace:
-    """A synthetic outdoor irradiance trace aligned with the paper's test window.
-
-    Times in the returned trace start at 0 (the start of the experiment); the
-    diurnal envelope is phased so that t=0 corresponds to
-    ``start_time_of_day_s`` seconds after local midnight (10:30 by default,
-    matching Fig. 12/14's x-axes).
-    """
-    generator = IrradianceGenerator(ClearSkyModel(), seed=seed)
-    trace = generator.generate(
-        t_start=start_time_of_day_s,
-        duration=duration_s,
-        dt=dt,
-        weather=weather,
-        shadowing_events=shadowing_events,
-    )
-    return IrradianceTrace(trace.times - start_time_of_day_s, trace.values, name="irradiance")
-
-
-def fig11_supply_profile(duration_s: float = 170.0, dt: float = 0.05) -> Trace:
-    """The controlled variable-voltage profile used in Section V-A / Fig. 11.
-
-    A slowly wandering supply voltage between roughly 4.4 V and 5.6 V with a
-    small ripple ("A") and one sudden deep drop ("B"), matching the character
-    of the published trace.
-    """
-    times = np.arange(0.0, duration_s + 0.5 * dt, dt)
-    base = 5.1 + 0.45 * np.sin(2.0 * np.pi * times / 90.0)
-    ripple = 0.08 * np.sin(2.0 * np.pi * times / 7.0)
-    voltage = base + ripple
-    # Sudden reduction at t ~= 100 s (point 'B' in Fig. 11), recovering at 120 s.
-    drop = (times >= 100.0) & (times < 120.0)
-    voltage = np.where(drop, voltage - 0.9, voltage)
-    voltage = np.clip(voltage, 4.25, 5.65)
-    return Trace(times=times, values=voltage, name="controlled_supply", units="V")
-
-
 def run_pv_experiment(
     governor: Governor,
     duration_s: float,
@@ -152,28 +110,41 @@ def run_pv_experiment(
 
     This is the common harness behind Fig. 12, Fig. 13, Fig. 14, Table II and
     the ablation benches: same array, same buffer, same weather model — only
-    the governor (and optionally the weather/duration) changes.
+    the governor (and optionally the weather/duration) changes.  A thin
+    wrapper over :func:`repro.sweep.build.build_system`: the live ``governor``
+    (and any custom ``platform`` / ``pv_array`` / ``irradiance``) ride along
+    as component overrides on a pv-array scenario config.
     """
-    platform = platform if platform is not None else build_exynos5422_platform()
-    pv = pv_array if pv_array is not None else paper_pv_array()
-    if irradiance is None:
-        irradiance = solar_irradiance_trace(duration_s, weather=weather, seed=seed)
-    supply = PVArraySupply(pv, irradiance)
-    system = PaperSystem(
-        platform=platform,
-        pv_array=pv,
-        capacitor=Supercapacitor(capacitance_f),
-        governor=governor,
-    )
-    sim = system.simulation(
-        supply,
+    # Imported lazily: repro.sweep builds on the energy/soc/sim layers this
+    # module sits next to, and the wrappers are leaf call sites.
+    from ..sweep.build import build_system
+    from ..sweep.spec import ScenarioConfig
+
+    config = ScenarioConfig(
+        # Placeholder kind — the live `governor` instance below overrides it.
+        governor="power-neutral",
+        weather=weather,
+        seed=seed,
+        capacitance_f=capacitance_f,
         duration_s=duration_s,
-        initial_voltage=initial_voltage,
         monitor_quantised=monitor_quantised,
+    )
+    supply: Optional[Supply] = None
+    if pv_array is not None or irradiance is not None:
+        pv = pv_array if pv_array is not None else paper_pv_array()
+        if irradiance is None:
+            irradiance = solar_irradiance_trace(duration_s, weather=weather, seed=seed)
+        supply = PVArraySupply(pv, irradiance)
+    built = build_system(
+        config,
+        governor=governor,
+        platform=platform,
+        supply=supply,
+        initial_voltage=initial_voltage,
         record_interval_s=record_interval_s,
         max_step_s=max_step_s,
     )
-    return sim.run()
+    return built.run()
 
 
 def run_controlled_supply_experiment(
@@ -183,17 +154,33 @@ def run_controlled_supply_experiment(
     platform: Optional[SoCPlatform] = None,
     record_interval_s: float = 0.05,
 ) -> SimulationResult:
-    """Run the Section V-A verification against a controlled variable supply."""
-    profile = voltage_profile if voltage_profile is not None else fig11_supply_profile()
-    if duration_s is None:
-        duration_s = profile.duration
-    platform = platform if platform is not None else build_exynos5422_platform()
-    supply = ControlledVoltageSupply(profile)
-    system = PaperSystem(platform=platform, governor=governor)
-    sim = system.simulation(
-        supply,
+    """Run the Section V-A verification against a controlled variable supply.
+
+    A thin wrapper over :func:`repro.sweep.build.build_system` on a
+    ``controlled-voltage`` scenario config; a custom ``voltage_profile``
+    rides along as a supply override.
+    """
+    from ..sweep.build import build_system
+    from ..sweep.spec import ScenarioConfig
+
+    supply: Optional[Supply] = None
+    if voltage_profile is not None:
+        supply = ControlledVoltageSupply(voltage_profile)
+        if duration_s is None:
+            duration_s = voltage_profile.duration
+    elif duration_s is None:
+        duration_s = fig11_supply_profile().duration
+    config = ScenarioConfig(
+        governor="power-neutral",  # placeholder; the live instance overrides it
+        supply={"kind": "controlled-voltage", "profile": "fig11"},
         duration_s=duration_s,
+    )
+    built = build_system(
+        config,
+        governor=governor,
+        platform=platform,
+        supply=supply,
         record_interval_s=record_interval_s,
         max_step_s=0.01,
     )
-    return sim.run()
+    return built.run()

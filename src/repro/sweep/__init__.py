@@ -1,23 +1,34 @@
 """repro.sweep — parallel scenario campaigns with a persistent result store.
 
-The paper's evaluation is a grid of governor × supply-profile × parameter
-combinations; this subsystem runs such grids as *campaigns*:
+The paper's evaluation spans two rigs (the outdoor PV-array system and the
+controlled laboratory supply) crossed with governors, parameters and
+conditions; this subsystem runs such grids as *campaigns* over pluggable,
+registry-backed scenario components:
 
-* :mod:`repro.sweep.spec`     — declarative grids (:class:`Axis`,
-  :class:`SweepSpec`) expanding into content-addressed
-  :class:`ScenarioConfig` cells;
-* :mod:`repro.sweep.scenario` — the governor/workload registries and the
-  per-cell simulation worker;
+* :mod:`repro.sweep.components` — the component registries: ``SUPPLIES``
+  (pv-array / controlled-voltage / constant-power / trace-file),
+  ``PLATFORMS``, ``CAPACITORS``, ``GOVERNORS`` and workloads, all open for
+  extension via :class:`repro.registry.Registry`;
+* :mod:`repro.sweep.spec`     — declarative grids (:class:`Axis` with dotted
+  component paths, :class:`SweepSpec`) expanding into content-addressed
+  :class:`ScenarioConfig` cells composed of five component specs;
+* :mod:`repro.sweep.build`    — the one construction path resolving a config
+  into a live :class:`~repro.sim.simulator.EnergyHarvestingSimulation`;
+* :mod:`repro.sweep.scenario` — the per-cell simulation worker and flat
+  governor/workload views;
 * :mod:`repro.sweep.store`    — an append-only JSONL store keyed by config
-  hash, giving cache hits and resume-after-interrupt;
+  hash, giving cache hits, resume-after-interrupt and schema-version
+  tolerance;
 * :mod:`repro.sweep.runner`   — serial or multiprocessing execution with
   per-scenario timeouts and progress reporting;
 * :mod:`repro.sweep.aggregate`— per-axis mean/p50/p95 tables and Table II
-  reconstruction from stored records.
+  reconstruction from stored records;
+* :mod:`repro.sweep.presets`  — ready-made campaigns (Table II outdoor grid,
+  the Fig. 11 controlled-supply sweep, a constant-power survival survey).
 
 Quick start::
 
-    from repro.sweep import ResultStore, SweepRunner, SweepSpec, axis_summary
+    from repro.sweep import Axis, ResultStore, SweepRunner, SweepSpec, axis_summary
 
     spec = SweepSpec.grid(
         governors=["power-neutral", "powersave", "ondemand"],
@@ -29,30 +40,75 @@ Quick start::
     report = SweepRunner(store, workers=4).run(spec)
     print(axis_summary(report.ok_records(), "governor"))
 
-Re-running the same campaign (or any campaign sharing cells) against the same
-store recomputes nothing.
+Axes address *inside* components (``Axis("supply.weather", [...])``,
+``Axis("capacitor.capacitance_f", [...])``, ``Axis("supply.power_w", [...])``
+on a constant-power supply), and whole components swap with
+``supply={"kind": "controlled-voltage"}``.  Re-running the same campaign (or
+any campaign sharing cells) against the same store recomputes nothing.
 """
 
+from ..registry import ComponentSpec, Registry, RegistryEntry
 from .aggregate import METRIC_FIELDS, axis_summary, campaign_overview, table2_rows
+from .build import (
+    BuiltSystem,
+    build_capacitor,
+    build_governor,
+    build_platform,
+    build_supply,
+    build_system,
+    build_workload,
+    run_system,
+)
+from .components import CAPACITORS, GOVERNORS, PLATFORMS, SUPPLIES, WORKLOADS_REGISTRY
+from .presets import CAMPAIGN_PRESETS, build_preset, preset_names
 from .runner import SweepReport, SweepRunner
 from .scenario import (
     GOVERNOR_SPECS,
     TABLE2_GOVERNOR_AXIS,
     WORKLOADS,
     GovernorSpec,
-    build_governor,
     governor_label,
     run_scenario,
     scenario_summary,
 )
-from .spec import Axis, ScenarioConfig, ShadowSpec, SweepSpec
+from .spec import (
+    AXIS_ALIASES,
+    SCHEMA_VERSION,
+    Axis,
+    ScenarioConfig,
+    ShadowSpec,
+    SweepSpec,
+    resolve_axis_path,
+)
 from .store import ResultStore
 
 __all__ = [
     "Axis",
+    "AXIS_ALIASES",
+    "SCHEMA_VERSION",
     "ScenarioConfig",
     "ShadowSpec",
     "SweepSpec",
+    "resolve_axis_path",
+    "ComponentSpec",
+    "Registry",
+    "RegistryEntry",
+    "SUPPLIES",
+    "PLATFORMS",
+    "CAPACITORS",
+    "GOVERNORS",
+    "WORKLOADS_REGISTRY",
+    "BuiltSystem",
+    "build_system",
+    "run_system",
+    "build_supply",
+    "build_platform",
+    "build_capacitor",
+    "build_governor",
+    "build_workload",
+    "CAMPAIGN_PRESETS",
+    "build_preset",
+    "preset_names",
     "ResultStore",
     "SweepReport",
     "SweepRunner",
@@ -60,7 +116,6 @@ __all__ = [
     "GOVERNOR_SPECS",
     "TABLE2_GOVERNOR_AXIS",
     "WORKLOADS",
-    "build_governor",
     "governor_label",
     "run_scenario",
     "scenario_summary",

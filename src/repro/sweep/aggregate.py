@@ -3,12 +3,19 @@
 The store holds one summary dict per scenario; this module reduces those into
 the tables a report prints:
 
-* :func:`axis_summary` — group records by one config field (governor,
-  weather, capacitance, ...) and report mean/p50/p95 of the headline metrics
-  (on-time fraction, consumed energy, brown-outs, instruction throughput);
+* :func:`axis_summary` — group records by one config path (``"governor"``,
+  ``"supply.weather"``, ``"capacitor.capacitance_f"``, or any dotted
+  component path / flat alias) and report mean/p50/p95 of the headline
+  metrics (on-time fraction, consumed energy, brown-outs, instruction
+  throughput);
 * :func:`table2_rows` — rebuild the paper's Table II rows (renders/min,
   lifetime, instructions, survival) from a governor-axis campaign;
 * :func:`campaign_overview` — whole-campaign totals.
+
+Record configs are upgraded through
+:meth:`~repro.sweep.spec.ScenarioConfig.from_dict` before grouping, so
+campaigns mixing PR-1-era flat records (schema v1) and composed records
+(schema v2) aggregate together.
 
 Everything returns lists of plain row dicts compatible with
 :func:`repro.analysis.reporting.format_table`, so the CLI, the examples and
@@ -17,11 +24,13 @@ the benchmarks all render the same way.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from .scenario import governor_label
+from .spec import _SCALAR_FIELDS, ScenarioConfig, component_label, resolve_axis_path
 
 __all__ = ["axis_summary", "table2_rows", "campaign_overview", "METRIC_FIELDS"]
 
@@ -34,16 +43,68 @@ METRIC_FIELDS: dict[str, str] = {
 }
 
 
+#: Parsed configs keyed by scenario_id (itself the config's content hash, so
+#: a sound cache key).  Aggregation touches every record once per rendered
+#: table; the cache keeps the registry canonicalisation (validation hooks
+#: included) from running O(records x tables) times.
+_CONFIG_CACHE: dict[str, ScenarioConfig] = {}
+_CONFIG_CACHE_LIMIT = 8192
+
+
+def _record_config(record: dict) -> ScenarioConfig:
+    scenario_id = record.get("scenario_id")
+    if scenario_id:
+        cached = _CONFIG_CACHE.get(scenario_id)
+        if cached is not None:
+            return cached
+    config = ScenarioConfig.from_dict(record.get("config", {}))
+    if scenario_id:
+        if len(_CONFIG_CACHE) >= _CONFIG_CACHE_LIMIT:
+            _CONFIG_CACHE.clear()
+        _CONFIG_CACHE[scenario_id] = config
+    return config
+
+
+def _hashable(value):
+    """Coerce a raw config value into something usable as a group key."""
+    if isinstance(value, dict):
+        return value.get("kind", json.dumps(value, sort_keys=True))
+    if isinstance(value, list):
+        return json.dumps(value, sort_keys=True)
+    return value
+
+
 def _axis_value(record: dict, axis: str):
-    config = record.get("config", {})
-    if axis == "governor":
-        return governor_label(config.get("governor", "?"))
-    value = config.get(axis)
-    if axis == "capacitance_f" and value is not None:
+    """The (formatted) value one record takes on a swept axis."""
+    config_data = record.get("config", {})
+    try:
+        config = _record_config(record)
+    except (KeyError, ValueError, TypeError):
+        # Unloadable config (e.g. a kind no longer registered): fall back to
+        # the raw dict so the record still lands in *some* group.
+        raw = config_data.get(axis.split(".", 1)[0], "?") if isinstance(config_data, dict) else "?"
+        return _hashable(raw)
+    path = resolve_axis_path(axis)
+    if path == "governor":
+        # Pretty Table II scheme name, but parameter variants of one scheme
+        # stay distinct groups (e.g. two v_q settings of the proposed
+        # governor must not be averaged together).
+        variant = component_label(config.governor, "governor")
+        label = governor_label(config.governor.kind)
+        if "(" in variant:
+            return f"{label} {variant[variant.index('('):]}"
+        return label
+    if "." not in path and path not in _SCALAR_FIELDS:
+        # Whole-component axis: label must distinguish parameter variants,
+        # not just the kind (two constant-power supplies at different power_w
+        # are different groups).
+        return component_label(getattr(config, path), path)
+    value = config.get(path)
+    if path == "capacitor.capacitance_f" and value is not None:
         return f"{1e3 * float(value):g} mF"
-    if axis == "shadowing" and isinstance(value, list):
+    if path == "supply.shadowing" and isinstance(value, list):
         return f"{len(value)} events"
-    if axis == "governor_overrides" and isinstance(value, dict):
+    if path == "governor.params" and isinstance(value, dict):
         return "+".join(f"{k}={v}" for k, v in sorted(value.items())) or "(none)"
     return value
 
@@ -53,7 +114,7 @@ def axis_summary(
     axis: str,
     metrics: Optional[Sequence[str]] = None,
 ) -> list[dict]:
-    """Mean/p50/p95 of each metric, grouped by one swept config field.
+    """Mean/p50/p95 of each metric, grouped by one swept config path.
 
     Only ``status == "ok"`` records contribute.  Rows keep first-seen group
     order (i.e. the sweep's axis order).

@@ -1,52 +1,34 @@
 """Scenario execution: turn a :class:`ScenarioConfig` into metrics.
 
-This module owns the two registries that make scenario configs *plain data*:
+The component registries themselves live in :mod:`repro.sweep.components`
+(supply / platform / capacitor / governor / workload) and the one-path system
+assembly in :mod:`repro.sweep.build`; this module keeps the campaign-facing
+surface:
 
-* :data:`GOVERNOR_SPECS` — every governor in :mod:`repro.governors` plus the
-  named :class:`~repro.core.governor.PowerNeutralGovernor` parameter variants
-  (paper-tuned, Fig. 6, Fig. 11, DVFS-only, hot-plug-only);
-* :data:`WORKLOADS` — the work-unit models used to report throughput.
-
-:func:`run_scenario` is the single worker entry point: it rebuilds the
-governor, synthesises the irradiance (weather + shadowing + seed), runs the
-closed-loop simulation and returns a JSON-ready *record* holding the config,
-the summary metrics, and (optionally) decimated time series.  It is a plain
-top-level function over plain-data arguments, so it pickles cleanly into
-``multiprocessing`` workers.
+* :data:`GOVERNOR_SPECS` / :data:`WORKLOADS` — dict views over the governor
+  and workload registries, for CLI choice lists and compatibility with the
+  PR-1 flat API;
+* :func:`run_scenario` — the single worker entry point: it resolves the
+  config through :func:`~repro.sweep.build.build_system`, runs the
+  closed-loop simulation and returns a JSON-ready *record* holding the
+  config (composed schema v2), the summary metrics, and (optionally)
+  decimated time series.  It is a plain top-level function over plain-data
+  arguments, so it pickles cleanly into ``multiprocessing`` workers.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional
+from typing import Callable
 
-from ..core.governor import PowerNeutralGovernor
-from ..core.parameters import (
-    ControllerParameters,
-    FIG6_PARAMETERS,
-    FIG11_PARAMETERS,
-    PAPER_TUNED_PARAMETERS,
-)
-from ..energy.irradiance import WeatherCondition
-from ..experiments.scenarios import (
-    PV_TARGET_VOLTAGE,
-    run_pv_experiment,
-    solar_irradiance_trace,
-)
+from ..energy.profiles import PV_TARGET_VOLTAGE
 from ..governors.base import Governor
-from ..governors.linux import (
-    ConservativeGovernor,
-    InteractiveGovernor,
-    OndemandGovernor,
-    PerformanceGovernor,
-    PowersaveGovernor,
-)
-from ..governors.single_core_dfs import SingleCoreDFSGovernor
-from ..governors.solartune import SolarTuneGovernor
 from ..sim.result import SimulationResult
-from ..workloads.workload import FIG7_FRAME, TABLE2_RENDER, SyntheticWorkload, Workload
-from .spec import ScenarioConfig
+from ..workloads.workload import Workload
+from .build import build_governor, build_system, build_workload
+from .components import GOVERNORS, WORKLOADS_REGISTRY
+from .spec import SCHEMA_VERSION, ScenarioConfig
 
 __all__ = [
     "GovernorSpec",
@@ -62,69 +44,37 @@ __all__ = [
 
 @dataclass(frozen=True)
 class GovernorSpec:
-    """A registered governor: CLI/config name, report label, factory."""
+    """A registered governor: config name, report label, factory (dict view).
+
+    Kept as a stable, flat projection of the governor registry for callers
+    that enumerate governors (CLI choices, docs, tests).  ``factory`` takes
+    :class:`~repro.core.parameters.ControllerParameters` overrides as keyword
+    arguments when the governor is ``tunable``.
+    """
 
     name: str
     label: str
     factory: Callable[..., Governor]
-    tunable: bool = False  # accepts ControllerParameters overrides
+    tunable: bool = False
 
 
-def _power_neutral_factory(
-    base: ControllerParameters,
-) -> Callable[..., Governor]:
-    def build(overrides: Optional[Mapping] = None) -> Governor:
-        params = base.with_overrides(**dict(overrides)) if overrides else base
-        return PowerNeutralGovernor(params)
-
-    return build
+def _governor_specs() -> dict[str, GovernorSpec]:
+    return {
+        name: GovernorSpec(
+            name=name,
+            label=GOVERNORS.get(name).label,
+            factory=GOVERNORS.get(name).factory,
+            tunable=bool(GOVERNORS.get(name).metadata.get("tunable", False)),
+        )
+        for name in GOVERNORS
+    }
 
 
 #: Every governor selectable in a sweep, keyed by its config name.  The labels
 #: match the scheme names of the paper's Table II so aggregated rows read like
-#: the published table.
-GOVERNOR_SPECS: dict[str, GovernorSpec] = {
-    spec.name: spec
-    for spec in (
-        GovernorSpec(
-            "power-neutral",
-            "Proposed Approach",
-            _power_neutral_factory(PAPER_TUNED_PARAMETERS),
-            tunable=True,
-        ),
-        GovernorSpec(
-            "power-neutral-fig6",
-            "Proposed (Fig. 6 params)",
-            _power_neutral_factory(FIG6_PARAMETERS),
-            tunable=True,
-        ),
-        GovernorSpec(
-            "power-neutral-fig11",
-            "Proposed (Fig. 11 params)",
-            _power_neutral_factory(FIG11_PARAMETERS),
-            tunable=True,
-        ),
-        GovernorSpec(
-            "power-neutral-dvfs-only",
-            "Proposed (DVFS only)",
-            _power_neutral_factory(PAPER_TUNED_PARAMETERS.with_overrides(use_hotplug=False)),
-            tunable=True,
-        ),
-        GovernorSpec(
-            "power-neutral-hotplug-only",
-            "Proposed (hot-plug only)",
-            _power_neutral_factory(PAPER_TUNED_PARAMETERS.with_overrides(use_dvfs=False)),
-            tunable=True,
-        ),
-        GovernorSpec("performance", "Linux Performance", PerformanceGovernor),
-        GovernorSpec("powersave", "Linux Powersave", PowersaveGovernor),
-        GovernorSpec("ondemand", "Linux Ondemand", OndemandGovernor),
-        GovernorSpec("conservative", "Linux Conservative", ConservativeGovernor),
-        GovernorSpec("interactive", "Linux Interactive", InteractiveGovernor),
-        GovernorSpec("single-core-dfs", "Single-core DFS [11]", SingleCoreDFSGovernor),
-        GovernorSpec("solartune", "SolarTune-style [9]", SolarTuneGovernor),
-    )
-}
+#: the published table.  (A live view would see late registrations; sweeps
+#: should consult :data:`repro.sweep.components.GOVERNORS` directly for that.)
+GOVERNOR_SPECS: dict[str, GovernorSpec] = _governor_specs()
 
 #: The governor axis reproducing the paper's Table II, in the table's row
 #: order.  Shared by the CLI, the shoot-out example and the Table II bench.
@@ -139,35 +89,16 @@ TABLE2_GOVERNOR_AXIS: tuple[str, ...] = (
     "power-neutral",
 )
 
-#: Work-unit models referenced by name from scenario configs.
+#: Work-unit models referenced by name from scenario configs (dict view of
+#: the workload registry's parameter-free instantiations).
 WORKLOADS: dict[str, Workload] = {
-    "table2-render": TABLE2_RENDER,
-    "fig7-frame": FIG7_FRAME,
-    "synthetic": SyntheticWorkload(),
+    name: build_workload(name) for name in WORKLOADS_REGISTRY
 }
 
 
 def governor_label(name: str) -> str:
     """The report label for a registered governor name."""
-    return GOVERNOR_SPECS[name].label if name in GOVERNOR_SPECS else name
-
-
-def build_governor(config: ScenarioConfig) -> Governor:
-    """Instantiate the governor a scenario config names."""
-    try:
-        spec = GOVERNOR_SPECS[config.governor]
-    except KeyError:
-        raise ValueError(
-            f"unknown governor {config.governor!r}; known: {', '.join(sorted(GOVERNOR_SPECS))}"
-        ) from None
-    overrides = config.overrides_dict()
-    if overrides and not spec.tunable:
-        raise ValueError(
-            f"governor {config.governor!r} does not accept parameter overrides"
-        )
-    if spec.tunable:
-        return spec.factory(overrides)
-    return spec.factory()
+    return GOVERNORS.get(name).label if name in GOVERNORS else name
 
 
 def scenario_summary(result: SimulationResult, workload: Workload) -> dict:
@@ -192,39 +123,21 @@ def run_scenario(
 ) -> dict:
     """Run one scenario and return its store record.
 
-    The record always contains ``scenario_id``, ``config``, ``status``,
-    ``summary`` and ``elapsed_s``; when ``series_samples`` > 0 it also carries
-    the full :meth:`SimulationResult.to_dict` payload decimated to that many
-    samples under ``"series"``.
+    The record always contains ``scenario_id``, ``schema_version``,
+    ``config`` (composed schema), ``status``, ``summary`` and ``elapsed_s``;
+    when ``series_samples`` > 0 it also carries the full
+    :meth:`SimulationResult.to_dict` payload decimated to that many samples
+    under ``"series"``.
     """
     started = time.perf_counter()
-    governor = build_governor(config)
-    try:
-        workload = WORKLOADS[config.workload]
-    except KeyError:
-        raise ValueError(
-            f"unknown workload {config.workload!r}; known: {', '.join(sorted(WORKLOADS))}"
-        ) from None
-    irradiance = solar_irradiance_trace(
-        config.duration_s,
-        weather=WeatherCondition(config.weather),
-        seed=config.seed,
-        shadowing_events=[s.to_event() for s in config.shadowing],
-    )
-    result = run_pv_experiment(
-        governor,
-        duration_s=config.duration_s,
-        weather=WeatherCondition(config.weather),
-        seed=config.seed,
-        capacitance_f=config.capacitance_f,
-        irradiance=irradiance,
-        monitor_quantised=config.monitor_quantised,
-    )
+    built = build_system(config)
+    result = built.run()
     record = {
-        "scenario_id": config.scenario_id,
-        "config": config.to_dict(),
+        "scenario_id": built.config.scenario_id,
+        "schema_version": SCHEMA_VERSION,
+        "config": built.config.to_dict(),
         "status": "ok",
-        "summary": scenario_summary(result, workload),
+        "summary": scenario_summary(result, built.workload),
         "elapsed_s": time.perf_counter() - started,
     }
     if series_samples > 0:

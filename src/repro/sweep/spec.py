@@ -1,20 +1,28 @@
-"""Declarative scenario grids: axes, sweep specs and concrete scenario configs.
+"""Declarative scenario grids: component specs, axes and sweep expansion.
 
-The paper's evaluation is a grid — governors × supply profiles × parameters
-(Table II, Figs. 12–15) — yet each cell is just one closed-loop simulation.
-This module describes such grids declaratively:
+The paper's evaluation spans two rigs — the PV-array outdoor system of
+Sections V-B/C/D and the controlled laboratory supply of Section V-A — and
+each cell of its grids is one closed-loop simulation.  This module describes
+such grids declaratively:
 
-* :class:`ScenarioConfig` — one fully specified simulation (governor, weather,
-  shadowing, buffer size, workload, seed, ...), serialisable to canonical JSON
-  and content-addressed by :attr:`~ScenarioConfig.scenario_id`;
-* :class:`Axis` — one swept dimension (a ``ScenarioConfig`` field name plus
-  the values it takes);
+* :class:`ScenarioConfig` — one fully specified simulation, composed of five
+  registry-backed :class:`~repro.registry.ComponentSpec`s (``supply``,
+  ``platform``, ``capacitor``, ``governor``, ``workload``) plus the scalar
+  run knobs (``duration_s``, ``monitor_quantised``); serialisable to
+  canonical JSON (schema v2) and content-addressed by
+  :attr:`~ScenarioConfig.scenario_id`;
+* :class:`Axis` — one swept dimension, addressed by a dotted path *inside*
+  the composition (``"supply.weather"``, ``"capacitor.capacitance_f"``,
+  ``"governor.kind"``) or a PR-1-era flat alias (``"weather"``, ``"seed"``,
+  ``"capacitance_f"``, ...);
 * :class:`SweepSpec` — a base config plus axes, expanded by
   :meth:`SweepSpec.scenarios` into the full cartesian product.
 
 The content hash is what makes the result store (:mod:`repro.sweep.store`)
-cache-correct: two configs with identical physics hash identically, so a
-campaign can be interrupted, extended or re-run without recomputing cells.
+cache-correct: registry defaults are folded into every spec and numeric
+spellings are normalised, so two configs with identical physics hash
+identically.  :meth:`ScenarioConfig.from_dict` also accepts PR-1-era flat
+records (schema v1) and upgrades them to the composed form.
 """
 
 from __future__ import annotations
@@ -22,13 +30,28 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from dataclasses import asdict, dataclass, field, fields, replace
+from dataclasses import asdict, dataclass
 from typing import Iterator, Mapping, Optional, Sequence
 
 from ..energy.irradiance import ShadowingEvent, WeatherCondition
 from ..energy.supercapacitor import PAPER_BUFFER_CAPACITANCE_F
+from ..registry import ComponentSpec, Registry, normalise_value
+from .components import CAPACITORS, GOVERNORS, PLATFORMS, SUPPLIES, WORKLOADS_REGISTRY
 
-__all__ = ["ShadowSpec", "ScenarioConfig", "Axis", "SweepSpec"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "AXIS_ALIASES",
+    "ShadowSpec",
+    "ScenarioConfig",
+    "Axis",
+    "SweepSpec",
+    "resolve_axis_path",
+    "component_label",
+]
+
+#: Version stamped into serialised configs and store records.  v1 was the
+#: PR-1 flat layout (governor/weather/capacitance_f/... as top-level keys).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -72,90 +95,342 @@ class ShadowSpec:
         )
 
 
-@dataclass(frozen=True)
+#: The five component fields of a scenario, in serialisation order.
+_COMPONENT_FIELDS: tuple[str, ...] = ("supply", "platform", "capacitor", "governor", "workload")
+
+#: Registry backing each component field.
+_COMPONENT_REGISTRIES: dict[str, Registry] = {
+    "supply": SUPPLIES,
+    "platform": PLATFORMS,
+    "capacitor": CAPACITORS,
+    "governor": GOVERNORS,
+    "workload": WORKLOADS_REGISTRY,
+}
+
+_SCALAR_FIELDS: tuple[str, ...] = ("duration_s", "monitor_quantised")
+
+#: PR-1 flat axis/field names mapped onto the composed schema.
+AXIS_ALIASES: dict[str, str] = {
+    "weather": "supply.weather",
+    "seed": "supply.seed",
+    "shadowing": "supply.shadowing",
+    "capacitance_f": "capacitor.capacitance_f",
+    "governor_overrides": "governor.params",
+}
+
+
+def resolve_axis_path(name: str) -> str:
+    """Canonicalise an axis/field path, expanding PR-1 flat aliases.
+
+    ``"<component>.kind"`` collapses to the bare component name (the two
+    spellings are one dimension, so duplicate detection must see them as
+    equal).  Raises ``ValueError`` when the path's head is neither a scalar
+    field nor a component field.
+    """
+    path = AXIS_ALIASES.get(name, name)
+    head, _, sub = path.partition(".")
+    if head not in _SCALAR_FIELDS and head not in _COMPONENT_FIELDS:
+        raise ValueError(
+            f"unknown axis {name!r}; use a scalar field "
+            f"({', '.join(_SCALAR_FIELDS)}), a component "
+            f"({', '.join(_COMPONENT_FIELDS)}), a dotted component path like "
+            f"'supply.weather', or a flat alias ({', '.join(sorted(AXIS_ALIASES))})"
+        )
+    if head in _COMPONENT_FIELDS and sub == "kind":
+        return head
+    return path
+
+
+def _non_default_params(spec: ComponentSpec, registry: Registry) -> dict:
+    """The parameters of a (canonical) spec that differ from the kind's defaults."""
+    defaults = registry.get(spec.kind).defaults
+    return {
+        k: v
+        for k, v in spec.params_dict().items()
+        if k not in defaults or normalise_value(defaults[k]) != normalise_value(v)
+    }
+
+
+def _switch_kind(spec: ComponentSpec, new_kind: str, registry: Registry) -> ComponentSpec:
+    """Change a spec's kind, keeping only the *portable* parameters.
+
+    Default-valued parameters belong to the old kind's canonical folding and
+    are dropped; explicitly-set parameters carry over only when the new kind
+    also declares them (always, for open-parameter kinds like governors, so
+    a governor axis sweeps overrides the way the flat schema did).  This
+    lets a whole-component axis hop between kinds — e.g. a pinned pv-array
+    ``weather`` does not poison the ``constant-power`` leg of a supply axis.
+    """
+    kept = _non_default_params(spec, registry)
+    entry = registry.get(new_kind)
+    if not entry.open_params:
+        kept = {k: v for k, v in kept.items() if k in entry.defaults}
+    return ComponentSpec(kind=new_kind, params=kept)
+
+
+def component_label(spec: ComponentSpec, field: str) -> str:
+    """A distinguishing report label for one component of a scenario.
+
+    The kind name alone when the spec is all-defaults, otherwise the kind
+    plus the differing parameters — so two ``constant-power`` supplies at
+    different ``power_w`` never collapse into one aggregation group.
+    """
+    extras = _non_default_params(spec, _COMPONENT_REGISTRIES[field])
+    if not extras:
+        return spec.kind
+    inner = ",".join(f"{k}={v}" for k, v in sorted(extras.items()))
+    return f"{spec.kind}({inner})"
+
+
+@dataclass(frozen=True, init=False)
 class ScenarioConfig:
     """One concrete simulation scenario, fully specified by plain data.
+
+    A scenario is the composition of five registry-backed component specs
+    plus two scalar knobs:
 
     Attributes
     ----------
     governor:
-        Name of a registered governor spec (see
-        :data:`repro.sweep.scenario.GOVERNOR_SPECS`), e.g. ``"power-neutral"``
-        or ``"ondemand"``.
-    governor_overrides:
-        Optional :class:`~repro.core.parameters.ControllerParameters` field
-        overrides for the power-neutral governor family (``v_q``, ``alpha``,
-        ``use_hotplug``, ...).  Must be empty for baseline governors.
-    weather:
-        A :class:`~repro.energy.irradiance.WeatherCondition` value string.
-    shadowing:
-        Deterministic shadowing episodes applied on top of the weather.
-    duration_s / seed / capacitance_f / monitor_quantised:
-        Passed straight to :func:`repro.experiments.scenarios.run_pv_experiment`.
+        ``{"kind": <registered governor>, **ControllerParameters overrides}``.
+        Overrides are only meaningful for the tunable power-neutral family.
+    supply:
+        ``{"kind": "pv-array" | "controlled-voltage" | "constant-power" |
+        "trace-file", **params}`` — see :mod:`repro.sweep.components`.
+    platform:
+        ``{"kind": "exynos5422", **electrical-envelope overrides}``.
+    capacitor:
+        ``{"kind": "supercapacitor", "capacitance_f": ..., "esr_ohm": ...,
+        "leakage_conductance_s": ..., "max_voltage": ...,
+        "initial_voltage": V | null | "open-circuit"}``.
     workload:
-        Name of a registered workload (``"table2-render"``, ``"fig7-frame"``,
-        ``"synthetic"``) used to convert instructions into work units.
+        ``{"kind": "table2-render" | "fig7-frame" | "synthetic", **params}``.
+    duration_s / monitor_quantised:
+        Simulation length and monitor-quantisation flag.
+
+    PR-1-era flat keyword arguments (``weather``, ``seed``, ``capacitance_f``,
+    ``governor_overrides``, ``shadowing``) are still accepted and fold into
+    the corresponding component spec, so existing call sites keep working.
+    Registry defaults are folded into every spec on construction, making the
+    canonical JSON — and therefore :attr:`scenario_id` — independent of how
+    sparsely the config was spelled.
     """
 
-    governor: str
-    weather: str = WeatherCondition.FULL_SUN.value
-    duration_s: float = 60.0
-    seed: int = 7
-    capacitance_f: float = PAPER_BUFFER_CAPACITANCE_F
-    workload: str = "table2-render"
-    governor_overrides: tuple[tuple[str, object], ...] = ()
-    shadowing: tuple[ShadowSpec, ...] = ()
-    monitor_quantised: bool = True
+    governor: ComponentSpec
+    supply: ComponentSpec
+    platform: ComponentSpec
+    capacitor: ComponentSpec
+    workload: ComponentSpec
+    duration_s: float
+    monitor_quantised: bool
 
-    def __post_init__(self) -> None:
-        if not self.governor:
-            raise ValueError("governor must be a non-empty name")
-        # Normalise numeric types so equivalent physics hashes identically
-        # (duration_s=900 and duration_s=900.0 must share a scenario_id).
-        object.__setattr__(self, "duration_s", float(self.duration_s))
-        object.__setattr__(self, "capacitance_f", float(self.capacitance_f))
-        object.__setattr__(self, "seed", int(self.seed))
-        if self.duration_s <= 0:
-            raise ValueError("duration_s must be positive")
-        if self.capacitance_f <= 0:
-            raise ValueError("capacitance_f must be positive")
-        WeatherCondition(self.weather)  # raises on unknown preset
-        if isinstance(self.governor_overrides, Mapping):
-            object.__setattr__(
-                self,
-                "governor_overrides",
-                tuple(sorted(self.governor_overrides.items())),
-            )
-        else:
-            object.__setattr__(
-                self, "governor_overrides", tuple(tuple(p) for p in self.governor_overrides)
-            )
-        shadows = tuple(
-            s if isinstance(s, ShadowSpec) else ShadowSpec.from_dict(s) for s in self.shadowing
+    def __init__(
+        self,
+        governor: ComponentSpec | Mapping | str,
+        supply: ComponentSpec | Mapping | str | None = None,
+        platform: ComponentSpec | Mapping | str | None = None,
+        capacitor: ComponentSpec | Mapping | str | None = None,
+        workload: ComponentSpec | Mapping | str | None = None,
+        duration_s: float = 60.0,
+        monitor_quantised: bool = True,
+        *,
+        weather: "WeatherCondition | str | None" = None,
+        seed: Optional[int] = None,
+        capacitance_f: Optional[float] = None,
+        governor_overrides: Optional[Mapping | Sequence] = None,
+        shadowing: Optional[Sequence] = None,
+    ):
+        if not governor:
+            raise ValueError("governor must be a non-empty name or component spec")
+        governor_spec = ComponentSpec.coerce(governor)
+        if governor_overrides:
+            governor_spec = governor_spec.with_params(**dict(governor_overrides))
+
+        supply_spec = ComponentSpec.coerce(supply) if supply is not None else ComponentSpec("pv-array")
+        legacy_supply: dict = {}
+        if weather is not None:
+            legacy_supply["weather"] = weather.value if isinstance(weather, WeatherCondition) else str(weather)
+        if seed is not None:
+            legacy_supply["seed"] = int(seed)
+        if shadowing is not None and len(tuple(shadowing)) > 0:
+            legacy_supply["shadowing"] = tuple(shadowing)
+        if legacy_supply:
+            if supply_spec.kind != "pv-array":
+                raise ValueError(
+                    "weather/seed/shadowing are pv-array parameters; set them on the "
+                    f"supply spec instead (supply kind is {supply_spec.kind!r})"
+                )
+            supply_spec = supply_spec.with_params(**legacy_supply)
+
+        platform_spec = (
+            ComponentSpec.coerce(platform) if platform is not None else ComponentSpec("exynos5422")
         )
-        object.__setattr__(self, "shadowing", shadows)
+        capacitor_spec = (
+            ComponentSpec.coerce(capacitor)
+            if capacitor is not None
+            else ComponentSpec("supercapacitor")
+        )
+        if capacitance_f is not None:
+            capacitor_spec = capacitor_spec.with_params(capacitance_f=float(capacitance_f))
+        workload_spec = (
+            ComponentSpec.coerce(workload) if workload is not None else ComponentSpec("table2-render")
+        )
+
+        # Canonicalise: validate kinds/params and fold registry defaults in,
+        # so equivalent sparse and explicit spellings share one scenario_id.
+        object.__setattr__(self, "governor", GOVERNORS.canonical(governor_spec))
+        object.__setattr__(self, "supply", SUPPLIES.canonical(supply_spec))
+        object.__setattr__(self, "platform", PLATFORMS.canonical(platform_spec))
+        object.__setattr__(self, "capacitor", CAPACITORS.canonical(capacitor_spec))
+        object.__setattr__(self, "workload", WORKLOADS_REGISTRY.canonical(workload_spec))
+
+        duration_s = float(duration_s)
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        object.__setattr__(self, "duration_s", duration_s)
+        object.__setattr__(self, "monitor_quantised", bool(monitor_quantised))
+
+        cap = self.capacitor.get("capacitance_f")
+        if cap is None or float(cap) <= 0:
+            raise ValueError("capacitance_f must be positive")
+
+    # ------------------------------------------------------------------
+    # Flat-schema compatibility accessors
+    # ------------------------------------------------------------------
+    @property
+    def weather(self) -> Optional[str]:
+        """The pv-array weather preset (None for other supply kinds)."""
+        return self.supply.get("weather")
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The pv-array irradiance seed (None for other supply kinds)."""
+        value = self.supply.get("seed")
+        return None if value is None else int(value)
+
+    @property
+    def capacitance_f(self) -> float:
+        return float(self.capacitor.get("capacitance_f", PAPER_BUFFER_CAPACITANCE_F))
+
+    @property
+    def governor_overrides(self) -> tuple[tuple[str, object], ...]:
+        return self.governor.params
+
+    @property
+    def shadowing(self) -> tuple[ShadowSpec, ...]:
+        return tuple(ShadowSpec.from_dict(s) for s in self.supply.get("shadowing") or ())
+
+    def overrides_dict(self) -> dict:
+        return self.governor.params_dict()
+
+    # ------------------------------------------------------------------
+    # Dotted-path access (shared by Axis expansion and aggregation)
+    # ------------------------------------------------------------------
+    def get(self, path: str):
+        """Read a value by dotted path (``"supply.weather"``) or alias."""
+        path = resolve_axis_path(path)
+        head, _, sub = path.partition(".")
+        if head in _SCALAR_FIELDS:
+            return getattr(self, head)
+        spec: ComponentSpec = getattr(self, head)
+        if not sub or sub == "kind":
+            return spec.kind
+        if sub == "params":
+            return spec.params_dict()
+        return spec.get(sub)
+
+    def with_value(self, path: str, value) -> "ScenarioConfig":
+        """A copy with one dotted path (or alias) replaced.
+
+        * ``"duration_s"`` — scalar replacement;
+        * ``"supply"`` with a mapping/spec — whole-component replacement;
+        * ``"governor"`` / ``"governor.kind"`` with a string — kind switch
+          keeping explicitly-set (non-default) parameters;
+        * ``"governor.params"`` — wholesale parameter replacement;
+        * ``"capacitor.capacitance_f"`` — single parameter set/override.
+        """
+        path = resolve_axis_path(path)
+        head, _, sub = path.partition(".")
+        kwargs = {
+            "governor": self.governor,
+            "supply": self.supply,
+            "platform": self.platform,
+            "capacitor": self.capacitor,
+            "workload": self.workload,
+            "duration_s": self.duration_s,
+            "monitor_quantised": self.monitor_quantised,
+        }
+        if head in _SCALAR_FIELDS:
+            kwargs[head] = value
+        else:
+            spec: ComponentSpec = kwargs[head]
+            registry = _COMPONENT_REGISTRIES[head]
+            if not sub:  # bare component, or "<comp>.kind" (canonicalised away)
+                if isinstance(value, str):
+                    kwargs[head] = _switch_kind(spec, value, registry)
+                else:
+                    kwargs[head] = ComponentSpec.coerce(value)
+            elif sub == "params":
+                kwargs[head] = ComponentSpec(kind=spec.kind, params=dict(value or {}))
+            else:
+                kwargs[head] = spec.with_params(**{sub: value})
+        return ScenarioConfig(**kwargs)
 
     # ------------------------------------------------------------------
     # Serialisation and identity
     # ------------------------------------------------------------------
-    def overrides_dict(self) -> dict:
-        return dict(self.governor_overrides)
-
     def to_dict(self) -> dict:
+        duration = self.duration_s
         return {
-            "governor": self.governor,
-            "weather": self.weather,
-            "duration_s": self.duration_s,
-            "seed": self.seed,
-            "capacitance_f": self.capacitance_f,
-            "workload": self.workload,
-            "governor_overrides": self.overrides_dict(),
-            "shadowing": [s.to_dict() for s in self.shadowing],
+            "schema": SCHEMA_VERSION,
+            "governor": self.governor.to_dict(),
+            "supply": self.supply.to_dict(),
+            "platform": self.platform.to_dict(),
+            "capacitor": self.capacitor.to_dict(),
+            "workload": self.workload.to_dict(),
+            "duration_s": int(duration) if duration.is_integer() else duration,
             "monitor_quantised": self.monitor_quantised,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ScenarioConfig":
+        """Load a config dict — composed (schema v2) or PR-1-era flat (v1).
+
+        A schema-less dict is treated as v1 only when *no* component field is
+        spelled in the composed ``{"kind": ...}`` form; hand-written dicts
+        mixing a string governor with composed components parse as composed
+        (any flat pv-array keys riding along still fold in).
+        """
+        schema = data.get("schema")
+        composed = any(
+            isinstance(data.get(name), (Mapping, ComponentSpec))
+            for name in ("governor", *_COMPONENT_FIELDS)
+        )
+        if schema is None and not composed:
+            return cls._from_v1_dict(data)
+        if schema is not None and int(schema) > SCHEMA_VERSION:
+            raise ValueError(
+                f"scenario schema v{schema} is newer than this build understands "
+                f"(up to v{SCHEMA_VERSION})"
+            )
+        flat_extras: dict = {}
+        for key in ("weather", "seed", "capacitance_f", "governor_overrides", "shadowing"):
+            if data.get(key) is not None:
+                flat_extras[key] = data[key]
+        return cls(
+            governor=ComponentSpec.coerce(data["governor"]),
+            supply=ComponentSpec.coerce(data.get("supply", "pv-array")),
+            platform=ComponentSpec.coerce(data.get("platform", "exynos5422")),
+            capacitor=ComponentSpec.coerce(data.get("capacitor", "supercapacitor")),
+            workload=ComponentSpec.coerce(data.get("workload", "table2-render")),
+            duration_s=float(data.get("duration_s", 60.0)),
+            monitor_quantised=bool(data.get("monitor_quantised", True)),
+            **flat_extras,
+        )
+
+    @classmethod
+    def _from_v1_dict(cls, data: Mapping) -> "ScenarioConfig":
+        """Upgrade a PR-1 flat record to the composed schema."""
         return cls(
             governor=str(data["governor"]),
             weather=str(data.get("weather", WeatherCondition.FULL_SUN.value)),
@@ -163,7 +438,7 @@ class ScenarioConfig:
             seed=int(data.get("seed", 7)),
             capacitance_f=float(data.get("capacitance_f", PAPER_BUFFER_CAPACITANCE_F)),
             workload=str(data.get("workload", "table2-render")),
-            governor_overrides=tuple(sorted(dict(data.get("governor_overrides", {})).items())),
+            governor_overrides=dict(data.get("governor_overrides", {})),
             shadowing=tuple(ShadowSpec.from_dict(s) for s in data.get("shadowing", [])),
             monitor_quantised=bool(data.get("monitor_quantised", True)),
         )
@@ -179,30 +454,40 @@ class ScenarioConfig:
 
     def label(self) -> str:
         """A compact human-readable tag for progress lines and tables."""
-        parts = [self.governor, self.weather, f"{1e3 * self.capacitance_f:g}mF", f"seed{self.seed}"]
-        if self.governor_overrides:
-            parts.append("+".join(f"{k}={v}" for k, v in self.governor_overrides))
+        parts = [self.governor.kind]
+        if self.supply.kind == "pv-array":
+            parts.append(str(self.weather))
+            parts.append(f"{1e3 * self.capacitance_f:g}mF")
+            parts.append(f"seed{self.seed}")
+        else:
+            parts.append(self.supply.kind)
+            power = self.supply.get("power_w")
+            if power is not None:
+                parts.append(f"{power:g}W")
+            parts.append(f"{1e3 * self.capacitance_f:g}mF")
+        if self.governor.params:
+            parts.append("+".join(f"{k}={v}" for k, v in self.governor.params))
         if self.shadowing:
             parts.append(f"{len(self.shadowing)}shadow")
         return "/".join(parts)
 
 
-_CONFIG_FIELDS = {f.name for f in fields(ScenarioConfig)}
-
-
 @dataclass(frozen=True)
 class Axis:
-    """One swept dimension: a :class:`ScenarioConfig` field and its values."""
+    """One swept dimension: a dotted config path and the values it takes.
+
+    Paths address the composed schema (``"supply.weather"``,
+    ``"capacitor.capacitance_f"``, ``"governor.kind"``, whole components like
+    ``"supply"``, or scalars like ``"duration_s"``); PR-1 flat aliases
+    (``"governor"``, ``"weather"``, ``"seed"``, ``"capacitance_f"``,
+    ``"governor_overrides"``, ``"shadowing"``) keep working.
+    """
 
     name: str
     values: tuple
 
     def __init__(self, name: str, values: Sequence):
-        if name not in _CONFIG_FIELDS:
-            raise ValueError(
-                f"unknown axis {name!r}; must be a ScenarioConfig field "
-                f"({', '.join(sorted(_CONFIG_FIELDS))})"
-            )
+        resolve_axis_path(name)  # raises on unknown heads
         values = tuple(values)
         if not values:
             raise ValueError(f"axis {name!r} needs at least one value")
@@ -218,8 +503,9 @@ class SweepSpec:
     """A base scenario plus the axes to sweep — the declarative campaign.
 
     Expansion is the cartesian product of all axis values applied on top of
-    ``base``.  Axis order determines iteration order (last axis varies
-    fastest), which keeps progress output grouped by the first axis.
+    ``base`` via :meth:`ScenarioConfig.with_value`.  Axis order determines
+    iteration order (last axis varies fastest), which keeps progress output
+    grouped by the first axis.
     """
 
     base: ScenarioConfig
@@ -227,7 +513,7 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         axes = tuple(a if isinstance(a, Axis) else Axis(*a) for a in self.axes)
-        names = [a.name for a in axes]
+        names = [resolve_axis_path(a.name) for a in axes]
         duplicates = {n for n in names if names.count(n) > 1}
         if duplicates:
             raise ValueError(f"duplicate sweep axes: {sorted(duplicates)}")
@@ -249,7 +535,10 @@ class SweepSpec:
             return
         names = [a.name for a in self.axes]
         for combo in itertools.product(*(a.values for a in self.axes)):
-            yield replace(self.base, **dict(zip(names, combo)))
+            config = self.base
+            for name, value in zip(names, combo):
+                config = config.with_value(name, value)
+            yield config
 
     # ------------------------------------------------------------------
     # Convenience constructor for the common governor × condition grids
@@ -258,36 +547,52 @@ class SweepSpec:
     def grid(
         cls,
         governors: Sequence[str],
-        weather: Sequence[str] = (WeatherCondition.FULL_SUN.value,),
-        capacitances_f: Sequence[float] = (PAPER_BUFFER_CAPACITANCE_F,),
-        seeds: Sequence[int] = (7,),
+        weather: Optional[Sequence[str]] = None,
+        capacitances_f: Optional[Sequence[float]] = None,
+        seeds: Optional[Sequence[int]] = None,
         duration_s: float = 60.0,
         workload: str = "table2-render",
         shadowing: Sequence[ShadowSpec] = (),
         monitor_quantised: bool = True,
         extra_axes: Sequence[Axis] = (),
+        supply: "ComponentSpec | Mapping | str | None" = None,
     ) -> "SweepSpec":
         """Build the standard governor × weather × capacitance × seed grid.
 
-        Single-valued dimensions are folded into the base config so the
-        expansion (and per-axis summaries) only see genuinely swept axes.
+        ``supply`` selects the rig (default: the outdoor pv-array).  The
+        weather / capacitance / seed dimensions default to ``None`` meaning
+        "not swept": the supply/capacitor specs (and their registry defaults)
+        stay authoritative, so ``supply={"kind": "pv-array", "weather":
+        "cloud"}`` is not clobbered by a built-in default.  Weather, seed and
+        shadowing only exist on the pv-array supply; passing them with
+        another supply kind is rejected.  Single-valued dimensions fold into
+        the base config so the expansion (and per-axis summaries) only see
+        genuinely swept axes.
         """
+        supply_spec = ComponentSpec.coerce(supply) if supply is not None else ComponentSpec("pv-array")
+        pv = supply_spec.kind == "pv-array"
+        if not pv and (weather is not None or seeds is not None or shadowing):
+            raise ValueError(
+                "weather/seed/shadowing dimensions only apply to the pv-array "
+                f"supply (got supply kind {supply_spec.kind!r})"
+            )
         base = ScenarioConfig(
             governor=str(governors[0]),
-            weather=str(weather[0]),
+            supply=supply_spec,
+            weather=str(weather[0]) if weather else None,
             duration_s=duration_s,
-            seed=int(seeds[0]),
-            capacitance_f=float(capacitances_f[0]),
+            seed=int(seeds[0]) if seeds else None,
+            capacitance_f=float(capacitances_f[0]) if capacitances_f else None,
             workload=workload,
-            shadowing=tuple(shadowing),
+            shadowing=tuple(shadowing) if pv else None,
             monitor_quantised=monitor_quantised,
         )
         axes: list[Axis] = []
         for name, values in (
             ("governor", [str(g) for g in governors]),
-            ("weather", [str(w) for w in weather]),
-            ("capacitance_f", [float(c) for c in capacitances_f]),
-            ("seed", [int(s) for s in seeds]),
+            ("supply.weather", [str(w) for w in weather or ()]),
+            ("capacitor.capacitance_f", [float(c) for c in capacitances_f or ()]),
+            ("supply.seed", [int(s) for s in seeds or ()]),
         ):
             if len(values) > 1:
                 axes.append(Axis(name, values))

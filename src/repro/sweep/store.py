@@ -1,27 +1,35 @@
 """Persistent, resumable campaign results: a content-addressed JSONL store.
 
-One line per completed scenario: ``{"scenario_id", "config", "status",
-"summary", ...}``.  The scenario id is the content hash of the config
-(:attr:`~repro.sweep.spec.ScenarioConfig.scenario_id`), so lookups are purely
-structural — any campaign that regenerates the same config gets a cache hit,
-whether it is a ``--resume`` after an interrupt or a brand-new sweep sharing
-cells with an old one.
+One line per completed scenario: ``{"scenario_id", "schema_version",
+"config", "status", "summary", ...}``.  The scenario id is the content hash
+of the config (:attr:`~repro.sweep.spec.ScenarioConfig.scenario_id`), so
+lookups are purely structural — any campaign that regenerates the same config
+gets a cache hit, whether it is a ``--resume`` after an interrupt or a
+brand-new sweep sharing cells with an old one.
 
 Records are appended and flushed one at a time, so a killed campaign loses at
 most the scenario in flight; a trailing half-written line is detected and
 ignored on load.  Only ``status == "ok"`` records count as cached — failures
 and timeouts are kept for post-mortems but are retried on resume.
+
+Every appended record is stamped with the current config
+:data:`~repro.sweep.spec.SCHEMA_VERSION`.  Loading tolerates records written
+by older versions (PR-1 records carry no stamp and count as v1): they are
+kept, reported via :attr:`ResultStore.legacy_count` /
+:meth:`ResultStore.version_counts`, and simply miss the cache for new-schema
+configs instead of failing opaquely.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections import Counter
 from pathlib import Path
 from typing import Iterator, Mapping, Optional
 
 from ..sim.result import SimulationResult
-from .spec import ScenarioConfig
+from .spec import SCHEMA_VERSION, ScenarioConfig
 
 __all__ = ["ResultStore"]
 
@@ -37,6 +45,7 @@ class ResultStore:
         self.path = Path(path)
         self._records: dict[str, dict] = {}
         self._skipped_lines = 0
+        self._version_counts: Counter = Counter()
         if self.path.exists():
             self._load()
 
@@ -59,22 +68,42 @@ class ResultStore:
                 if not scenario_id:
                     self._skipped_lines += 1
                     continue
+                previous = self._records.get(scenario_id)
+                if previous is not None:
+                    self._version_counts[self._version_of(previous)] -= 1
                 self._records[scenario_id] = record
+                self._version_counts[self._version_of(record)] += 1
+
+    @staticmethod
+    def _version_of(record: Mapping) -> int:
+        """The config schema version a record was written under (v1 if unstamped)."""
+        return int(record.get("schema_version", 1))
 
     @property
     def skipped_lines(self) -> int:
         """Corrupt/partial lines ignored while loading (0 for a clean store)."""
         return self._skipped_lines
 
+    @property
+    def legacy_count(self) -> int:
+        """Loaded records written under an older config schema version."""
+        return sum(n for v, n in self._version_counts.items() if v < SCHEMA_VERSION and n > 0)
+
+    def version_counts(self) -> dict[int, int]:
+        """Record count per config schema version, for reporting."""
+        return {v: n for v, n in sorted(self._version_counts.items()) if n > 0}
+
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
     def append(self, record: Mapping) -> None:
-        """Append one record and flush it to disk immediately."""
+        """Append one record (stamped with the current schema version) and
+        flush it to disk immediately."""
         record = dict(record)
         scenario_id = record.get("scenario_id")
         if not scenario_id:
             raise ValueError("record must carry a scenario_id")
+        record.setdefault("schema_version", SCHEMA_VERSION)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         # A previous torn write may have left the file without a trailing
@@ -90,7 +119,11 @@ class ResultStore:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
+        previous = self._records.get(scenario_id)
+        if previous is not None:
+            self._version_counts[self._version_of(previous)] -= 1
         self._records[scenario_id] = record
+        self._version_counts[self._version_of(record)] += 1
 
     # ------------------------------------------------------------------
     # Lookup

@@ -1,0 +1,137 @@
+"""Tests for the generic registry layer (repro.registry) and the built-in
+scenario component registries (repro.sweep.components)."""
+
+import json
+
+import pytest
+
+from repro.registry import ComponentSpec, Registry
+from repro.sweep.components import CAPACITORS, GOVERNORS, PLATFORMS, SUPPLIES
+
+
+class TestComponentSpec:
+    def test_normalises_numeric_spellings(self):
+        a = ComponentSpec("k", {"x": 4, "y": 0.5})
+        b = ComponentSpec("k", {"x": 4.0, "y": 0.5})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.to_dict() == {"kind": "k", "x": 4, "y": 0.5}
+
+    def test_booleans_survive_normalisation(self):
+        spec = ComponentSpec("k", {"flag": True, "n": 1})
+        assert spec.get("flag") is True
+        assert spec.get("n") == 1
+
+    def test_round_trip_is_lossless(self):
+        spec = ComponentSpec(
+            "pv-array",
+            {
+                "weather": "cloud",
+                "seed": 3,
+                "shadowing": [{"start_s": 1.0, "duration_s": 0.5, "attenuation": 0.2}],
+            },
+        )
+        rebuilt = ComponentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.params_dict() == spec.params_dict()
+
+    def test_coerce_accepts_str_mapping_and_spec(self):
+        assert ComponentSpec.coerce("pv-array").kind == "pv-array"
+        assert ComponentSpec.coerce({"kind": "k", "a": 1}).get("a") == 1
+        spec = ComponentSpec("k")
+        assert ComponentSpec.coerce(spec) is spec
+        with pytest.raises(TypeError):
+            ComponentSpec.coerce(42)
+
+    def test_kind_required(self):
+        with pytest.raises(ValueError):
+            ComponentSpec("")
+        with pytest.raises(ValueError, match="kind"):
+            ComponentSpec.from_dict({"a": 1})
+
+    def test_with_params(self):
+        spec = ComponentSpec("k", {"a": 1})
+        assert spec.with_params(b=2).params_dict() == {"a": 1, "b": 2}
+        assert spec.with_params(a=3).params_dict() == {"a": 3}
+
+
+class TestRegistry:
+    def make_registry(self):
+        reg = Registry("widget")
+        reg.register("alpha", lambda **kw: ("alpha", kw), defaults={"size": 1})
+        return reg
+
+    def test_unknown_kind_error_lists_registered_kinds(self):
+        reg = self.make_registry()
+        reg.register("beta", lambda: "beta")
+        with pytest.raises(ValueError, match=r"unknown widget kind 'gamma'.*alpha, beta"):
+            reg.get("gamma")
+
+    def test_decorator_registration(self):
+        reg = Registry("widget")
+
+        @reg.register("deco", label="Decorated", defaults={"x": 0})
+        def build(**kw):
+            return kw
+
+        assert "deco" in reg
+        assert reg.get("deco").label == "Decorated"
+        assert reg.build({"kind": "deco", "x": 5}) == {"x": 5}
+
+    def test_duplicate_registration_rejected(self):
+        reg = self.make_registry()
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("alpha", lambda: None)
+
+    def test_canonical_folds_defaults_so_sparse_and_full_hash_identically(self):
+        reg = self.make_registry()
+        sparse = reg.canonical("alpha")
+        explicit = reg.canonical({"kind": "alpha", "size": 1})
+        assert sparse == explicit
+        assert sparse.params_dict() == {"size": 1}
+
+    def test_canonical_rejects_unknown_params(self):
+        reg = self.make_registry()
+        with pytest.raises(ValueError, match=r"unknown parameter.*colour.*alpha"):
+            reg.canonical({"kind": "alpha", "colour": "red"})
+
+
+class TestBuiltinRegistries:
+    def test_supply_unknown_kind_message_lists_kinds(self):
+        with pytest.raises(ValueError, match="constant-power") as excinfo:
+            SUPPLIES.get("fusion-reactor")
+        message = str(excinfo.value)
+        for kind in ("pv-array", "controlled-voltage", "constant-power", "trace-file"):
+            assert kind in message
+
+    def test_expected_kinds_are_registered(self):
+        assert {"pv-array", "controlled-voltage", "constant-power", "trace-file"} <= set(
+            SUPPLIES.names()
+        )
+        assert "exynos5422" in PLATFORMS
+        assert "supercapacitor" in CAPACITORS
+        assert {"power-neutral", "powersave", "ondemand", "solartune"} <= set(GOVERNORS.names())
+
+    def test_supply_param_validation(self):
+        with pytest.raises(ValueError, match="power_w"):
+            SUPPLIES.canonical({"kind": "constant-power", "power_w": -1.0})
+        with pytest.raises(ValueError, match="profile"):
+            SUPPLIES.canonical({"kind": "controlled-voltage", "profile": "sawtooth"})
+        with pytest.raises(ValueError, match="path"):
+            SUPPLIES.canonical({"kind": "trace-file"})
+
+    def test_new_kind_registers_and_builds(self):
+        """The extension path shown in the README: register, build, remove."""
+        from repro.energy.profiles import constant_power_profile
+        from repro.sim.supplies import ConstantPowerSupply
+
+        def build_bench_psu(duration_s, power_w=2.0):
+            return ConstantPowerSupply(constant_power_profile(duration_s, power_w))
+
+        SUPPLIES.register("bench-psu", build_bench_psu, defaults={"power_w": 2.0})
+        try:
+            supply = SUPPLIES.build({"kind": "bench-psu", "power_w": 3.0}, duration_s=10.0)
+            assert supply.available_power(5.0) == pytest.approx(3.0)
+        finally:
+            SUPPLIES.unregister("bench-psu")
+        assert "bench-psu" not in SUPPLIES

@@ -44,6 +44,27 @@ class TestParser:
         assert args.seed == 3
         assert args.duration == 30.0
 
+    def test_sweep_supply_options_parse(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--supply",
+                "constant-power",
+                "--supply-param",
+                "power_w=2.5",
+                "--supply-param",
+                "voltage_limit=6.0",
+            ]
+        )
+        assert args.supply == "constant-power"
+        assert args.supply_param == ["power_w=2.5", "voltage_limit=6.0"]
+
+    def test_sweep_preset_choices(self):
+        args = build_parser().parse_args(["sweep", "--preset", "fig11-governors"])
+        assert args.preset == "fig11-governors"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--preset", "does-not-exist"])
+
 
 class TestExecution:
     def test_sweep_runs_writes_store_and_caches(self, tmp_path, capsys):
@@ -126,6 +147,143 @@ class TestExecution:
         code = main(["figure", "fig1", "--seed", "5"])
         assert code == 0
         assert capsys.readouterr().out  # produced a report
+
+    def test_sweep_constant_power_supply_end_to_end(self, tmp_path, capsys):
+        """Acceptance: a constant-power campaign builds, runs, stores, aggregates."""
+        store = tmp_path / "cp.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--supply",
+                "constant-power",
+                "--supply-param",
+                "power_w=4.0",
+                "--governors",
+                "power-neutral,powersave",
+                "--capacitance-mf",
+                "47",
+                "--duration",
+                "4",
+                "--workers",
+                "1",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed  : 2" in out
+        assert "Table II view" in out
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert all(r["config"]["supply"]["kind"] == "constant-power" for r in records)
+        assert all(r["config"]["supply"]["power_w"] == 4.0 for r in records)
+
+    def test_sweep_fig11_preset_end_to_end(self, tmp_path, capsys):
+        """Acceptance: the controlled-supply preset runs end-to-end."""
+        store = tmp_path / "fig11.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--preset",
+                "fig11-governors",
+                "--duration",
+                "3",
+                "--workers",
+                "1",
+                "--quiet",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "preset 'fig11-governors'" in out
+        assert "executed  : 5" in out
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert all(r["config"]["supply"]["kind"] == "controlled-voltage" for r in records)
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_sweep_shadow_rejected_for_non_pv_supply(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "--supply",
+                    "constant-power",
+                    "--shadow",
+                    "1:1:0.2",
+                    "--store",
+                    str(tmp_path / "s.jsonl"),
+                ]
+            )
+
+    def test_preset_rejects_conflicting_grid_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicting"):
+            main(
+                [
+                    "sweep",
+                    "--preset",
+                    "fig11-governors",
+                    "--governors",
+                    "powersave",
+                    "--store",
+                    str(tmp_path / "s.jsonl"),
+                ]
+            )
+
+    def test_non_pv_supply_rejects_explicit_seeds_and_weather(self, tmp_path):
+        for extra in (["--seeds", "1,2,3"], ["--weather", "cloud"]):
+            with pytest.raises(SystemExit, match="pv-array"):
+                main(
+                    [
+                        "sweep",
+                        "--supply",
+                        "constant-power",
+                        *extra,
+                        "--store",
+                        str(tmp_path / "s.jsonl"),
+                    ]
+                )
+
+    def test_supply_param_weather_is_not_clobbered_by_default_grid(self, tmp_path, capsys):
+        store = tmp_path / "pinned.jsonl"
+        code = main(
+            [
+                "sweep",
+                "--supply-param",
+                "weather=hail",
+                "--governors",
+                "powersave",
+                "--capacitance-mf",
+                "47",
+                "--duration",
+                "3",
+                "--workers",
+                "1",
+                "--quiet",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["config"]["supply"]["weather"] == "hail"
+
+    def test_sweep_rejects_bad_supply_param(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "--supply",
+                    "constant-power",
+                    "--supply-param",
+                    "power_w",  # missing =VALUE
+                    "--store",
+                    str(tmp_path / "s.jsonl"),
+                ]
+            )
 
 
 class TestModuleEntryPoint:

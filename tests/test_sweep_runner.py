@@ -82,7 +82,7 @@ class TestCachingAndResume:
         assert resumed.total == 4
         assert resumed.cached == 2
         assert resumed.executed == 2
-        assert {r["config"]["governor"] for r in resumed.records} == {
+        assert {r["config"]["governor"]["kind"] for r in resumed.records} == {
             "power-neutral",
             "powersave",
         }

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.registry import ComponentSpec
 from repro.sweep.spec import Axis, ScenarioConfig, ShadowSpec, SweepSpec
 
 
@@ -23,6 +24,24 @@ class TestScenarioConfig:
         rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert rebuilt == config
         assert rebuilt.scenario_id == config.scenario_id
+        assert rebuilt.to_dict() == config.to_dict()
+
+    def test_composed_construction(self):
+        config = ScenarioConfig(
+            governor={"kind": "power-neutral", "v_q": 0.06},
+            supply={"kind": "constant-power", "power_w": 2.5},
+            platform={"kind": "exynos5422", "reboot_latency_s": 2.0},
+            capacitor={"kind": "supercapacitor", "capacitance_f": 0.02, "esr_ohm": 0.05},
+            workload={"kind": "synthetic", "instructions_per_unit": 2e9},
+            duration_s=30.0,
+        )
+        assert config.supply.kind == "constant-power"
+        assert config.supply.get("power_w") == 2.5
+        assert config.platform.get("reboot_latency_s") == 2
+        assert config.capacitance_f == pytest.approx(0.02)
+        assert config.get("workload.instructions_per_unit") == 2e9
+        rebuilt = ScenarioConfig.from_dict(config.to_dict())
+        assert rebuilt.scenario_id == config.scenario_id
 
     def test_scenario_id_is_content_addressed(self):
         a = ScenarioConfig(governor="power-neutral", seed=1)
@@ -39,10 +58,29 @@ class TestScenarioConfig:
         # from_dict(to_dict()) must be an identity for the hash as well.
         assert ScenarioConfig.from_dict(a.to_dict()).scenario_id == a.scenario_id
 
+    def test_sparse_and_explicit_component_specs_share_an_id(self):
+        """Registry defaults fold into the canonical form."""
+        sparse = ScenarioConfig(governor="power-neutral")
+        explicit = ScenarioConfig(
+            governor="power-neutral",
+            supply={"kind": "pv-array", "weather": "full_sun", "seed": 7, "shadowing": []},
+            capacitor={"kind": "supercapacitor", "capacitance_f": 47e-3},
+        )
+        assert sparse.scenario_id == explicit.scenario_id
+
     def test_override_order_does_not_change_identity(self):
         a = ScenarioConfig(governor="power-neutral", governor_overrides={"v_q": 0.06, "alpha": 0.2})
         b = ScenarioConfig(governor="power-neutral", governor_overrides={"alpha": 0.2, "v_q": 0.06})
         assert a.scenario_id == b.scenario_id
+
+    def test_override_numeric_spelling_does_not_change_identity(self):
+        """Regression: v_q=4 and v_q=4.0 are the same physics (one id)."""
+        a = ScenarioConfig(governor="power-neutral", governor_overrides={"v_q": 4})
+        b = ScenarioConfig(governor="power-neutral", governor_overrides={"v_q": 4.0})
+        assert a.scenario_id == b.scenario_id
+        # Booleans must not be coerced into numbers by the normalisation.
+        c = ScenarioConfig(governor="power-neutral", governor_overrides={"use_hotplug": False})
+        assert c.to_dict()["governor"]["use_hotplug"] is False
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -53,11 +91,100 @@ class TestScenarioConfig:
             ScenarioConfig(governor="power-neutral", capacitance_f=-1.0)
         with pytest.raises(ValueError):
             ScenarioConfig(governor="power-neutral", weather="snowstorm")
+        with pytest.raises(ValueError, match="registered kinds"):
+            ScenarioConfig(governor="power-neutral", supply="warp-core")
+        with pytest.raises(ValueError, match="pv-array"):
+            ScenarioConfig(
+                governor="power-neutral",
+                supply={"kind": "constant-power"},
+                weather="cloud",
+            )
+
+    def test_unknown_governor_is_rejected_with_known_kinds(self):
+        with pytest.raises(ValueError, match="registered kinds.*powersave"):
+            ScenarioConfig(governor="warpdrive")
 
     def test_label_mentions_the_swept_dimensions(self):
         config = ScenarioConfig(governor="powersave", weather="hail", capacitance_f=47e-3, seed=9)
         label = config.label()
         assert "powersave" in label and "hail" in label and "47mF" in label and "seed9" in label
+
+    def test_get_and_with_value_dotted_paths(self):
+        config = ScenarioConfig(governor="power-neutral")
+        assert config.get("governor") == "power-neutral"
+        assert config.get("supply.weather") == "full_sun"
+        assert config.get("capacitor.capacitance_f") == pytest.approx(0.047)
+        moved = config.with_value("supply.weather", "cloud")
+        assert moved.weather == "cloud"
+        swapped = config.with_value("supply", {"kind": "constant-power", "power_w": 1.5})
+        assert swapped.supply.kind == "constant-power"
+        assert swapped.get("supply.power_w") == 1.5
+
+    def test_kind_switch_drops_default_params_keeps_explicit_overrides(self):
+        # Supply defaults (weather/seed) must not leak into the new kind...
+        config = ScenarioConfig(governor="power-neutral")
+        swapped = config.with_value("supply.kind", "constant-power")
+        assert swapped.supply.kind == "constant-power"
+        # ...and neither must explicitly-pinned params the new kind does not
+        # declare (a whole-supply axis over a weather-pinned base must not
+        # crash the non-pv legs).
+        pinned = ScenarioConfig(governor="power-neutral", weather="cloud")
+        hopped = pinned.with_value("supply", "constant-power")
+        assert hopped.supply.kind == "constant-power"
+        assert hopped.supply.get("weather") is None
+        # ...but explicitly-set governor overrides survive a governor switch
+        # (and report a build-time error for non-tunable kinds, as before).
+        tuned = ScenarioConfig(governor="power-neutral", governor_overrides={"v_q": 0.06})
+        switched = tuned.with_value("governor", "powersave")
+        assert switched.governor.kind == "powersave"
+        assert switched.overrides_dict() == {"v_q": 0.06}
+
+
+class TestV1Upgrade:
+    V1 = {
+        "governor": "powersave",
+        "weather": "cloud",
+        "duration_s": 45.0,
+        "seed": 3,
+        "capacitance_f": 0.0154,
+        "workload": "synthetic",
+        "governor_overrides": {},
+        "shadowing": [{"start_s": 5.0, "duration_s": 2.0, "attenuation": 0.3, "ramp_s": 0.5}],
+        "monitor_quantised": True,
+    }
+
+    def test_flat_record_upgrades_to_composed_config(self):
+        config = ScenarioConfig.from_dict(self.V1)
+        assert config.supply.kind == "pv-array"
+        assert config.weather == "cloud"
+        assert config.seed == 3
+        assert config.capacitance_f == pytest.approx(0.0154)
+        assert config.workload.kind == "synthetic"
+        assert len(config.shadowing) == 1
+        assert config.to_dict()["schema"] == 2
+
+    def test_upgrade_is_equivalent_to_flat_construction(self):
+        upgraded = ScenarioConfig.from_dict(self.V1)
+        direct = ScenarioConfig(
+            governor="powersave",
+            weather="cloud",
+            duration_s=45.0,
+            seed=3,
+            capacitance_f=0.0154,
+            workload="synthetic",
+            shadowing=(ShadowSpec(start_s=5.0, duration_s=2.0, attenuation=0.3),),
+        )
+        assert upgraded == direct
+        assert upgraded.scenario_id == direct.scenario_id
+
+    def test_minimal_flat_record(self):
+        config = ScenarioConfig.from_dict({"governor": "power-neutral"})
+        assert config.governor.kind == "power-neutral"
+        assert config.supply.kind == "pv-array"
+
+    def test_future_schema_rejected_clearly(self):
+        with pytest.raises(ValueError, match="newer"):
+            ScenarioConfig.from_dict({"schema": 99, "governor": {"kind": "power-neutral"}})
 
 
 class TestAxis:
@@ -68,6 +195,13 @@ class TestAxis:
     def test_rejects_empty_values(self):
         with pytest.raises(ValueError, match="at least one"):
             Axis("seed", [])
+
+    def test_accepts_dotted_paths_and_aliases(self):
+        Axis("supply.weather", ["full_sun"])
+        Axis("capacitor.capacitance_f", [0.047])
+        Axis("governor.kind", ["powersave"])
+        Axis("weather", ["full_sun"])  # PR-1 alias
+        Axis("supply", [{"kind": "constant-power"}])
 
 
 class TestSweepSpec:
@@ -84,7 +218,7 @@ class TestSweepSpec:
         assert len(scenarios) == 24
         # Every cell unique, every combination present.
         assert len({c.scenario_id for c in scenarios}) == 24
-        combos = {(c.governor, c.weather, c.capacitance_f, c.seed) for c in scenarios}
+        combos = {(c.governor.kind, c.weather, c.capacitance_f, c.seed) for c in scenarios}
         assert ("ondemand", "cloud", 47e-3, 2) in combos
         assert all(c.duration_s == 30.0 for c in scenarios)
 
@@ -97,6 +231,11 @@ class TestSweepSpec:
         base = ScenarioConfig(governor="power-neutral")
         with pytest.raises(ValueError, match="duplicate"):
             SweepSpec(base=base, axes=(Axis("seed", [1, 2]), Axis("seed", [3])))
+
+    def test_duplicate_axes_detected_through_aliases(self):
+        base = ScenarioConfig(governor="power-neutral")
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(base=base, axes=(Axis("seed", [1, 2]), Axis("supply.seed", [3])))
 
     def test_governor_overrides_axis(self):
         base = ScenarioConfig(governor="power-neutral", duration_s=20.0)
@@ -121,3 +260,85 @@ class TestSweepSpec:
         assert len(with_shadow) == 1
         rebuilt = ScenarioConfig.from_dict(with_shadow[0].to_dict())
         assert rebuilt.scenario_id == with_shadow[0].scenario_id
+
+    def test_component_param_axis_sweeps_inside_a_component(self):
+        base = ScenarioConfig(
+            governor="power-neutral", supply={"kind": "constant-power"}, duration_s=10.0
+        )
+        spec = SweepSpec(base=base, axes=(Axis("supply.power_w", [1.0, 2.0, 4.0]),))
+        powers = [c.get("supply.power_w") for c in spec.scenarios()]
+        assert powers == [1.0, 2.0, 4.0]
+        assert len({c.scenario_id for c in spec.scenarios()}) == 3
+
+    def test_whole_supply_axis_over_pinned_base_expands(self):
+        """Regression: a pinned pv condition must not poison other supply legs."""
+        base = ScenarioConfig(governor="power-neutral", weather="cloud", duration_s=10.0)
+        spec = SweepSpec(base=base, axes=(Axis("supply", ["pv-array", "constant-power"]),))
+        kinds = [c.supply.kind for c in spec.scenarios()]
+        assert kinds == ["pv-array", "constant-power"]
+
+    def test_whole_supply_axis_swaps_rigs(self):
+        base = ScenarioConfig(governor="power-neutral", duration_s=10.0)
+        spec = SweepSpec(
+            base=base,
+            axes=(
+                Axis(
+                    "supply",
+                    [
+                        {"kind": "pv-array", "weather": "cloud"},
+                        {"kind": "constant-power", "power_w": 2.0},
+                        {"kind": "controlled-voltage"},
+                    ],
+                ),
+            ),
+        )
+        kinds = [c.supply.kind for c in spec.scenarios()]
+        assert kinds == ["pv-array", "constant-power", "controlled-voltage"]
+
+    def test_grid_with_non_pv_supply(self):
+        spec = SweepSpec.grid(
+            governors=["power-neutral", "powersave"],
+            supply=ComponentSpec("constant-power", {"power_w": 2.0}),
+            duration_s=10.0,
+        )
+        scenarios = spec.scenarios()
+        assert len(scenarios) == 2
+        assert all(c.supply.kind == "constant-power" for c in scenarios)
+
+    def test_grid_rejects_pv_dimensions_on_other_supplies(self):
+        with pytest.raises(ValueError, match="pv-array"):
+            SweepSpec.grid(
+                governors=["power-neutral"],
+                supply={"kind": "constant-power"},
+                weather=["full_sun", "cloud"],
+            )
+
+    def test_grid_does_not_clobber_pinned_supply_params(self):
+        """Regression: conditions pinned on the supply spec stay authoritative
+        when the corresponding grid dimension is not swept."""
+        spec = SweepSpec.grid(
+            governors=["power-neutral"],
+            supply={"kind": "pv-array", "weather": "cloud", "seed": 3},
+        )
+        base = spec.base
+        assert base.weather == "cloud"
+        assert base.seed == 3
+        # Explicitly passing the dimension still overrides/sweeps it.
+        swept = SweepSpec.grid(
+            governors=["power-neutral"],
+            supply={"kind": "pv-array", "weather": "cloud"},
+            weather=["full_sun", "partial_sun"],
+        )
+        assert {c.weather for c in swept.scenarios()} == {"full_sun", "partial_sun"}
+
+    def test_duplicate_axis_detected_across_kind_spelling(self):
+        """Regression: 'governor' and 'governor.kind' are one dimension."""
+        base = ScenarioConfig(governor="power-neutral")
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(
+                base=base,
+                axes=(
+                    Axis("governor", ["ondemand", "powersave"]),
+                    Axis("governor.kind", ["performance", "conservative"]),
+                ),
+            )

@@ -5,7 +5,7 @@ import json
 import numpy as np
 
 from repro.sim.result import SimulationResult
-from repro.sweep.spec import ScenarioConfig
+from repro.sweep.spec import SCHEMA_VERSION, ScenarioConfig
 from repro.sweep.store import ResultStore
 
 
@@ -98,6 +98,52 @@ class TestPersistence:
             pass
         else:
             raise AssertionError("expected ValueError for record without scenario_id")
+
+
+class TestSchemaVersions:
+    def test_appended_records_are_stamped_with_current_version(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        config = ScenarioConfig(governor="power-neutral")
+        store = ResultStore(path)
+        store.append(make_record(config))
+        assert store.get(config)["schema_version"] == SCHEMA_VERSION
+        assert json.loads(path.read_text())["schema_version"] == SCHEMA_VERSION
+        assert store.legacy_count == 0
+        assert store.version_counts() == {SCHEMA_VERSION: 1}
+
+    def test_legacy_records_are_tolerated_and_reported(self, tmp_path):
+        """A PR-1 store (flat configs, no schema_version) must load, count as
+        legacy, and simply miss the cache for new-schema configs."""
+        path = tmp_path / "store.jsonl"
+        v1_record = {
+            "scenario_id": "0123456789abcdef",
+            "config": {"governor": "powersave", "weather": "cloud", "duration_s": 5.0},
+            "status": "ok",
+            "summary": {"instructions": 1e9, "survived": True},
+        }
+        path.write_text(json.dumps(v1_record) + "\n")
+
+        store = ResultStore(path)
+        assert len(store) == 1
+        assert store.legacy_count == 1
+        assert store.version_counts() == {1: 1}
+        # The legacy record is readable but does not satisfy a new config.
+        new_config = ScenarioConfig.from_dict(v1_record["config"])
+        assert not store.is_complete(new_config)
+        # Appending the recomputed cell upgrades the version accounting.
+        store.append(make_record(new_config))
+        assert store.is_complete(new_config)
+        assert store.version_counts() == {1: 1, SCHEMA_VERSION: 1}
+
+    def test_retry_of_legacy_id_clears_legacy_count(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        legacy = {"scenario_id": "feedc0de", "status": "error", "error": "boom"}
+        path.write_text(json.dumps(legacy) + "\n")
+        store = ResultStore(path)
+        assert store.legacy_count == 1
+        store.append({"scenario_id": "feedc0de", "status": "ok", "summary": {}})
+        assert store.legacy_count == 0
+        assert ResultStore(path).legacy_count == 0
 
 
 class TestSeriesRoundTrip:
