@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Boundary campaigns: find critical scenario parameters by bisection.
+
+Instead of sweeping a dense grid and reading the flip off the table, a
+:class:`repro.sweep.BoundaryQuery` bisects one numeric config path until the
+bracket around the predicate flip is tighter than a tolerance — independently
+for every combination of the outer axes, with all cells' probes batched into
+one campaign run per round.
+
+This example asks a question the built-in presets don't: *how much constant
+supply power does each governor need to stay usefully responsive*, where
+"usefully responsive" is a custom predicate (at least 95 % uptime **and** at
+least 0.25 completed renders per minute) rather than bare survival.  Compare
+the resulting thresholds with the bare ``survived`` boundary of
+``python -m repro boundary --preset min-power``: demanding responsiveness
+moves every governor's requirement up — and a governor that can *never* meet
+the bar (powersave's pinned lowest OPP caps its throughput below it at any
+power) is reported as ``exhausted`` instead of being given a fake boundary.
+
+Every probe lands in the JSONL result store, so re-running this script is
+pure cache hits — and the same store can be shared with grid sweeps.
+
+Run with:  python examples/boundary_search.py [--duration S] [--workers N]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.sweep import (
+    Axis,
+    BoundaryQuery,
+    BoundarySearch,
+    ResultStore,
+    ScenarioConfig,
+    SweepRunner,
+)
+
+
+def responsive(record: dict) -> bool:
+    """The custom predicate: alive the whole run *and* making progress."""
+    summary = record.get("summary", {})
+    return (
+        summary.get("uptime_fraction", 0.0) >= 0.95
+        and summary.get("renders_per_minute", 0.0) >= 0.25
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=45.0, help="simulated seconds per probe")
+    parser.add_argument("--workers", type=int, default=2, help="worker processes")
+    parser.add_argument(
+        "--store", default="boundary_results.jsonl", help="JSONL result store path"
+    )
+    parser.add_argument(
+        "--fresh", action="store_true", help="delete the store first (recompute everything)"
+    )
+    args = parser.parse_args()
+
+    store_path = Path(args.store)
+    if args.fresh and store_path.exists():
+        store_path.unlink()
+
+    query = BoundaryQuery(
+        base=ScenarioConfig(
+            governor="power-neutral",
+            supply={"kind": "constant-power"},
+            duration_s=args.duration,
+        ),
+        path="supply.power_w",
+        lo=0.8,
+        hi=8.0,
+        outer_axes=(Axis("governor", ["power-neutral", "ondemand", "powersave"]),),
+        predicate=responsive,
+        rel_tol=0.05,
+    )
+
+    runner = SweepRunner(ResultStore(store_path), workers=args.workers)
+    report = BoundarySearch(
+        query, runner, progress=lambda _round, message: print(f"  {message}")
+    ).run()
+
+    print()
+    print(
+        format_table(
+            report.rows(),
+            title="Minimum constant power for >=95% uptime and >=0.25 renders/min",
+        )
+    )
+    print(
+        f"\n{report.executed} simulation(s), {report.cached} cache hit(s) over "
+        f"{report.rounds} round(s) -> {store_path}"
+    )
+    for cell in report.cells:
+        if cell.status != "converged":
+            print(f"note: {cell.outer}: {cell.status} — {cell.detail}")
+
+
+if __name__ == "__main__":
+    main()

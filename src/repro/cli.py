@@ -26,13 +26,28 @@ or run a built-in preset::
     repro-pns sweep --supply constant-power --supply-param power_w=2.5
     repro-pns sweep --preset fig11-governors --store fig11.jsonl
     repro-pns sweep --preset constant-power-survival --workers 4
+
+Find a survival boundary by bisection instead of running a dense grid (a
+re-run against the same store is pure cache hits)::
+
+    repro-pns boundary --preset min-capacitance --store boundary.jsonl
+    repro-pns boundary --preset min-power --workers 4
+    repro-pns boundary --path supply.power_w --lo 0.8 --hi 8 \
+        --supply constant-power --governors power-neutral,ondemand
+
+Compact a long-lived store (drop superseded records, write the O(1)-open
+index sidecar)::
+
+    repro-pns store compact --store campaign.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import functools
 import inspect
+import json
 import sys
 from pathlib import Path
 from typing import Callable
@@ -227,8 +242,155 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress the per-scenario progress lines"
     )
+    _add_export_flags(sweep, "per-record summary rows")
+
+    boundary = sub.add_parser(
+        "boundary",
+        help="bisect a numeric scenario parameter to its survival (or custom-predicate) boundary",
+        description=(
+            "Find the critical value of one numeric dotted config path "
+            "(capacitor.capacitance_f, supply.power_w, ...) where a predicate over "
+            "completed scenarios flips — for every combination of the outer axes. "
+            "Each round batches one probe per unconverged cell into a single "
+            "campaign run, and every probe lands in the content-addressed store: "
+            "re-running a finished query performs zero new simulations, and an "
+            "interrupted search resumes from its stored probes. Run a built-in "
+            "query with --preset (min-capacitance, min-power) or compose one with "
+            "--path/--lo/--hi."
+        ),
+    )
+    boundary.add_argument(
+        "--preset",
+        choices=sweep_module.boundary_preset_names(),
+        default=None,
+        help="run a built-in boundary query instead of composing one from flags",
+    )
+    boundary.add_argument(
+        "--path",
+        default=None,
+        help="numeric dotted config path to bisect, e.g. capacitor.capacitance_f",
+    )
+    boundary.add_argument("--lo", type=float, default=None, help="initial bracket low end")
+    boundary.add_argument("--hi", type=float, default=None, help="initial bracket high end")
+    boundary.add_argument(
+        "--predicate",
+        choices=sorted(sweep_module.PREDICATES),
+        default="survived",
+        help="predicate whose flip is searched for (default: %(default)s)",
+    )
+    boundary.add_argument(
+        "--decreasing",
+        action="store_true",
+        help="predicate passes below the boundary instead of above it",
+    )
+    boundary.add_argument(
+        "--scale",
+        choices=("linear", "log"),
+        default=None,
+        help="bisection scale (default: linear, or the preset's own choice)",
+    )
+    boundary.add_argument(
+        "--rel-tol",
+        type=float,
+        default=None,
+        help="relative bracket-width tolerance (default: 0.05, or the preset's)",
+    )
+    boundary.add_argument(
+        "--abs-tol", type=float, default=None, help="absolute bracket-width tolerance"
+    )
+    boundary.add_argument(
+        "--max-probes",
+        type=int,
+        default=None,
+        help="per-cell probe budget (default: 48)",
+    )
+    boundary.add_argument(
+        "--governors",
+        default=None,
+        help=(
+            "comma-separated outer governor axis (min-power preset or custom "
+            "queries; a single name just pins the governor)"
+        ),
+    )
+    boundary.add_argument(
+        "--weather",
+        default=None,
+        help=(
+            "comma-separated outer weather axis (min-capacitance preset or custom "
+            "pv-array queries)"
+        ),
+    )
+    boundary.add_argument(
+        "--supply",
+        choices=sweep_module.SUPPLIES.names(),
+        default=None,
+        help="supply component kind for custom queries (default: pv-array)",
+    )
+    boundary.add_argument(
+        "--supply-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="set one supply parameter for custom queries (repeatable)",
+    )
+    boundary.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds per probe (default: 60, or the preset's own default)",
+    )
+    boundary.add_argument("--workers", type=int, default=2, help="worker processes (1 = inline)")
+    boundary.add_argument(
+        "--timeout", type=float, default=600.0, help="per-probe wall-clock budget in seconds"
+    )
+    boundary.add_argument(
+        "--store",
+        default="boundary_results.jsonl",
+        help="JSONL result store path, shareable with sweep campaigns (default: %(default)s)",
+    )
+    boundary.add_argument(
+        "--fresh",
+        action="store_true",
+        help="delete the existing store first and recompute every probe",
+    )
+    boundary.add_argument(
+        "--quiet", action="store_true", help="suppress the per-round progress lines"
+    )
+    _add_export_flags(boundary, "per-cell boundary rows")
+
+    store = sub.add_parser(
+        "store",
+        help="maintain a JSONL result store",
+        description=(
+            "Store maintenance. 'compact' rewrites the JSONL keeping only the "
+            "newest record per scenario id and writes the key-to-offset index "
+            "sidecar (<store>.idx.json) that lets later opens skip parsing "
+            "record payloads entirely."
+        ),
+    )
+    store.add_argument("action", choices=("compact",), help="maintenance action")
+    store.add_argument(
+        "--store",
+        default="sweep_results.jsonl",
+        help="JSONL result store path (default: %(default)s)",
+    )
 
     return parser
+
+
+def _add_export_flags(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--export",
+        choices=("csv", "json"),
+        default=None,
+        help=f"also write the {what} to a file ({{csv,json}})",
+    )
+    parser.add_argument(
+        "--export-path",
+        default=None,
+        metavar="FILE",
+        help="export destination (default: <store>.summary.<format>)",
+    )
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -441,14 +603,38 @@ def _build_sweep_spec(args: argparse.Namespace) -> "sweep_module.SweepSpec":
         raise SystemExit(str(exc)) from None
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
-    spec = _build_sweep_spec(args)
+def _export_rows(args: argparse.Namespace, rows: list[dict], payload=None) -> None:
+    """Write the summary rows to --export-path as CSV or JSON (if requested).
 
-    if args.fresh and args.resume:
-        raise SystemExit("--fresh and --resume are mutually exclusive")
+    ``payload`` overrides the JSON document (e.g. a full boundary report);
+    CSV always writes the flat rows.
+    """
+    if args.export is None:
+        return
+    destination = Path(
+        args.export_path
+        if args.export_path is not None
+        else str(Path(args.store)) + f".summary.{args.export}"
+    )
+    if args.export == "csv":
+        text = sweep_module.rows_to_csv(rows)
+    else:
+        text = json.dumps(payload if payload is not None else rows, indent=2, default=str) + "\n"
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(text, encoding="utf-8")
+    print(f"exported {len(rows)} row(s) to {destination}")
+
+
+def _open_store(args: argparse.Namespace) -> "sweep_module.ResultStore":
+    """Open the campaign store honouring --fresh, with resume/legacy notes."""
     store_path = Path(args.store)
     if store_path.exists() and args.fresh:
         store_path.unlink()
+        # The compaction sidecar indexes the file just deleted; left behind
+        # it would resurrect phantom records on the next open.
+        index_path = Path(str(store_path) + ".idx.json")
+        if index_path.exists():
+            index_path.unlink()
         print(f"starting fresh campaign (deleted existing {store_path})")
     store = sweep_module.ResultStore(store_path)
     if len(store):
@@ -466,6 +652,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
             f"note: {store.legacy_count} record(s) use an older config schema "
             f"({versions}); they are kept but will not cache-hit new-schema scenarios"
         )
+    return store
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    spec = _build_sweep_spec(args)
+
+    if args.fresh and args.resume:
+        raise SystemExit("--fresh and --resume are mutually exclusive")
+    store = _open_store(args)
+    store_path = store.path
 
     def progress(done: int, total: int, record: dict, cached: bool) -> None:
         if args.quiet:
@@ -505,6 +701,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         if any(sweep_module.resolve_axis_path(axis.name) == "governor" for axis in spec.axes):
             print()
             print(format_table(sweep_module.table2_rows(ok_records), title="Table II view"))
+    _export_rows(args, sweep_module.records_table(report.records))
     for record in report.records:
         if record.get("status") not in (None, "ok"):
             config = record.get("config", {})
@@ -519,6 +716,148 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0 if report.succeeded else 1
 
 
+def _validate_boundary_axis_names(governors, weather) -> None:
+    """Reject unknown governor/weather names before any simulation starts."""
+    for name in governors or ():
+        if name not in sweep_module.GOVERNORS:
+            raise SystemExit(
+                f"unknown governor {name!r}; known: {', '.join(sweep_module.GOVERNORS.names())}"
+            )
+    for name in weather or ():
+        try:
+            WeatherCondition(name)
+        except ValueError:
+            raise SystemExit(
+                f"unknown weather {name!r}; known: {', '.join(w.value for w in WeatherCondition)}"
+            ) from None
+
+
+def _build_boundary_query(args: argparse.Namespace) -> "sweep_module.BoundaryQuery":
+    """Turn the boundary flags (or a preset name) into a BoundaryQuery."""
+    governors = _parse_csv(args.governors) if args.governors is not None else None
+    weather = _parse_csv(args.weather) if args.weather is not None else None
+    _validate_boundary_axis_names(governors, weather)
+    if args.preset is not None:
+        for flag in ("path", "lo", "hi", "supply"):
+            if getattr(args, flag) is not None:
+                raise SystemExit(
+                    f"--preset {args.preset} defines its own search; drop --{flag}"
+                )
+        if args.supply_param:
+            raise SystemExit(f"--preset {args.preset} defines its own rig; drop --supply-param")
+        try:
+            query = sweep_module.build_boundary_preset(
+                args.preset,
+                duration_s=args.duration,
+                rel_tol=args.rel_tol,
+                weather=weather,
+                governors=governors,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        # The remaining search knobs apply uniformly to any query.
+        overrides = {
+            name: value
+            for name, value in (
+                ("abs_tol", args.abs_tol),
+                ("max_probes", args.max_probes),
+                ("scale", args.scale),
+            )
+            if value is not None
+        }
+        if args.predicate != "survived":
+            overrides["predicate"] = args.predicate
+        if args.decreasing:
+            overrides["increasing"] = False
+        if overrides:
+            query = dataclasses.replace(query, **overrides)
+        return query
+
+    missing = [flag for flag in ("path", "lo", "hi") if getattr(args, flag) is None]
+    if missing:
+        raise SystemExit(
+            "a custom boundary query needs " + ", ".join(f"--{m}" for m in missing) + " "
+            f"(or use --preset {{{','.join(sweep_module.boundary_preset_names())}}})"
+        )
+    if governors is None:
+        governors = ["power-neutral"]
+    supply = sweep_module.ComponentSpec(
+        kind=args.supply if args.supply is not None else "pv-array",
+        params=_parse_params(args.supply_param, "--supply-param"),
+    )
+    if weather is not None and supply.kind != "pv-array":
+        raise SystemExit(f"--weather only applies to the pv-array supply (got {supply.kind!r})")
+    axes: list[sweep_module.Axis] = []
+    if len(governors) > 1:
+        axes.append(sweep_module.Axis("governor", governors))
+    if weather is not None and len(weather) > 1:
+        axes.append(sweep_module.Axis("supply.weather", weather))
+    try:
+        base = sweep_module.ScenarioConfig(
+            governor=governors[0],
+            supply=supply,
+            weather=weather[0] if weather else None,
+            duration_s=args.duration if args.duration is not None else 60.0,
+        )
+        return sweep_module.BoundaryQuery(
+            base=base,
+            path=args.path,
+            lo=args.lo,
+            hi=args.hi,
+            outer_axes=tuple(axes),
+            predicate=args.predicate,
+            increasing=not args.decreasing,
+            rel_tol=args.rel_tol if args.rel_tol is not None else 0.05,
+            abs_tol=args.abs_tol if args.abs_tol is not None else 0.0,
+            scale=args.scale if args.scale is not None else "linear",
+            max_probes=args.max_probes if args.max_probes is not None else 48,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _command_boundary(args: argparse.Namespace) -> int:
+    query = _build_boundary_query(args)
+    store = _open_store(args)
+
+    runner = sweep_module.SweepRunner(store, workers=args.workers, timeout_s=args.timeout)
+    mode = f"{args.workers} worker processes" if args.workers > 1 else "inline (serial)"
+    title = f"preset {args.preset!r}" if args.preset else f"search on {query.path!r}"
+    print(
+        f"boundary {title}: {len(query.cells())} cell(s), predicate "
+        f"{query.predicate_name!r}, bracket [{query.lo:g}, {query.hi:g}] over {mode} "
+        f"-> {store.path}"
+    )
+    progress = None if args.quiet else (lambda _round, message: print(f"  {message}"))
+    report = sweep_module.BoundarySearch(query, runner, progress=progress).run()
+
+    print()
+    print(format_kv(report.summary(), title="Boundary search"))
+    print()
+    print(
+        format_table(
+            report.rows(),
+            title=f"Critical {query.path} per cell (predicate: {report.predicate})",
+        )
+    )
+    _export_rows(args, report.rows(), payload=report.to_dict())
+    for cell in report.cells:
+        if cell.status != "converged":
+            where = ", ".join(f"{k}={v}" for k, v in cell.outer.items()) or "(single cell)"
+            print(f"NOT CONVERGED [{where}]: {cell.status} — {cell.detail}", file=sys.stderr)
+    return 0 if report.converged else 1
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    store_path = Path(args.store)
+    if not store_path.exists():
+        raise SystemExit(f"no store at {store_path}")
+    store = sweep_module.ResultStore(store_path)
+    stats = store.compact()
+    print(format_kv(stats, title=f"Compacted {store_path}"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by the ``repro-pns`` console script."""
     parser = build_parser()
@@ -531,6 +870,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_figure(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "boundary":
+        return _command_boundary(args)
+    if args.command == "store":
+        return _command_store(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

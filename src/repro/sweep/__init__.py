@@ -21,10 +21,15 @@ registry-backed scenario components:
   tolerance;
 * :mod:`repro.sweep.runner`   — serial or multiprocessing execution with
   per-scenario timeouts and progress reporting;
-* :mod:`repro.sweep.aggregate`— per-axis mean/p50/p95 tables and Table II
-  reconstruction from stored records;
+* :mod:`repro.sweep.aggregate`— per-axis mean/p50/p95 tables, Table II
+  reconstruction and CSV export from stored records;
+* :mod:`repro.sweep.adaptive` — survival-boundary search: bisection of any
+  numeric config path (with bracket expansion and non-monotonicity
+  detection) batched through the runner/store, one probe per outer cell per
+  round;
 * :mod:`repro.sweep.presets`  — ready-made campaigns (Table II outdoor grid,
-  the Fig. 11 controlled-supply sweep, a constant-power survival survey).
+  the Fig. 11 controlled-supply sweep, a constant-power survival survey) and
+  boundary queries (``min-capacitance``, ``min-power``).
 
 Quick start::
 
@@ -48,7 +53,22 @@ any campaign sharing cells) against the same store recomputes nothing.
 """
 
 from ..registry import ComponentSpec, Registry, RegistryEntry
-from .aggregate import METRIC_FIELDS, axis_summary, campaign_overview, table2_rows
+from .adaptive import (
+    PREDICATES,
+    BoundaryQuery,
+    BoundaryReport,
+    BoundarySearch,
+    CellResult,
+    find_boundary,
+)
+from .aggregate import (
+    METRIC_FIELDS,
+    axis_summary,
+    campaign_overview,
+    records_table,
+    rows_to_csv,
+    table2_rows,
+)
 from .build import (
     BuiltSystem,
     build_capacitor,
@@ -60,7 +80,14 @@ from .build import (
     run_system,
 )
 from .components import CAPACITORS, GOVERNORS, PLATFORMS, SUPPLIES, WORKLOADS_REGISTRY
-from .presets import CAMPAIGN_PRESETS, build_preset, preset_names
+from .presets import (
+    BOUNDARY_PRESETS,
+    CAMPAIGN_PRESETS,
+    boundary_preset_names,
+    build_boundary_preset,
+    build_preset,
+    preset_names,
+)
 from .runner import SweepReport, SweepRunner
 from .scenario import (
     GOVERNOR_SPECS,
@@ -109,6 +136,15 @@ __all__ = [
     "CAMPAIGN_PRESETS",
     "build_preset",
     "preset_names",
+    "BOUNDARY_PRESETS",
+    "boundary_preset_names",
+    "build_boundary_preset",
+    "PREDICATES",
+    "BoundaryQuery",
+    "BoundaryReport",
+    "BoundarySearch",
+    "CellResult",
+    "find_boundary",
     "ResultStore",
     "SweepReport",
     "SweepRunner",
@@ -121,6 +157,8 @@ __all__ = [
     "scenario_summary",
     "axis_summary",
     "campaign_overview",
+    "records_table",
+    "rows_to_csv",
     "table2_rows",
     "METRIC_FIELDS",
 ]

@@ -10,7 +10,12 @@ the tables a report prints:
   throughput);
 * :func:`table2_rows` — rebuild the paper's Table II rows (renders/min,
   lifetime, instructions, survival) from a governor-axis campaign;
-* :func:`campaign_overview` — whole-campaign totals.
+* :func:`campaign_overview` — whole-campaign totals;
+* :func:`records_table` — one flat row per successful record (scenario
+  identity + headline metrics), the shape ``--export csv`` writes so
+  aggregates can leave the JSONL store without custom scripts;
+* :func:`rows_to_csv` — render any list of row dicts (axis summaries,
+  Table II views, boundary reports) as CSV text.
 
 Record configs are upgraded through
 :meth:`~repro.sweep.spec.ScenarioConfig.from_dict` before grouping, so
@@ -24,6 +29,8 @@ the benchmarks all render the same way.
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from typing import Iterable, Optional, Sequence
 
@@ -32,7 +39,14 @@ import numpy as np
 from .scenario import governor_label
 from .spec import _SCALAR_FIELDS, ScenarioConfig, component_label, resolve_axis_path
 
-__all__ = ["axis_summary", "table2_rows", "campaign_overview", "METRIC_FIELDS"]
+__all__ = [
+    "axis_summary",
+    "table2_rows",
+    "campaign_overview",
+    "records_table",
+    "rows_to_csv",
+    "METRIC_FIELDS",
+]
 
 #: metric name in the summary dict -> short column prefix in the axis tables.
 METRIC_FIELDS: dict[str, str] = {
@@ -173,6 +187,67 @@ def table2_rows(records: Iterable[dict]) -> list[dict]:
             }
         )
     return rows
+
+
+#: Summary metrics carried into the flat per-record export rows.
+_EXPORT_METRICS: tuple[str, ...] = (
+    "survived",
+    "lifetime_s",
+    "uptime_fraction",
+    "brownouts",
+    "consumed_energy_j",
+    "instructions_billions",
+    "renders_per_minute",
+)
+
+
+def records_table(records: Iterable[dict]) -> list[dict]:
+    """One flat row per successful record: scenario identity + metrics.
+
+    This is the denormalised view ``--export csv`` writes — every row names
+    its cell (governor / supply / weather / seed / capacitance / workload /
+    duration) so the CSV stands alone outside the JSONL store.
+    """
+    rows = []
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        summary = record.get("summary", {})
+        row: dict = {"scenario_id": record.get("scenario_id")}
+        try:
+            config = _record_config(record)
+        except (KeyError, ValueError, TypeError):
+            row["governor"] = "?"
+        else:
+            row.update(
+                {
+                    "governor": component_label(config.governor, "governor"),
+                    "supply": component_label(config.supply, "supply"),
+                    "weather": config.weather,
+                    "seed": config.seed,
+                    "capacitance_mf": 1e3 * config.capacitance_f,
+                    "workload": config.workload.kind,
+                    "duration_s": config.duration_s,
+                }
+            )
+        row.update({metric: summary.get(metric) for metric in _EXPORT_METRICS})
+        rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: Sequence[dict]) -> str:
+    """Render row dicts as CSV text (column order: first appearance)."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=columns, restval="", extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()
 
 
 def campaign_overview(records: Iterable[dict]) -> dict:

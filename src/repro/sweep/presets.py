@@ -13,16 +13,36 @@ makes sense but otherwise pin the rig the way the paper ran it:
 * ``constant-power-survival`` — an idealised constant-power survey of the
   survival boundary: which governors stay up (and what they complete) as the
   prescribed harvest steps from starvation to surplus.
+
+Alongside the grid presets live the *boundary* presets — ready-made
+:class:`~repro.sweep.adaptive.BoundaryQuery` searches behind
+``python -m repro boundary --preset <name>``:
+
+* ``min-capacitance`` — the smallest buffer that rides a train of sharp
+  shadowing transients, per weather preset (the closed-loop counterpart of
+  Table I's analytic minimum);
+* ``min-power`` — the smallest constant harvest power at which each governor
+  survives (the survival boundary the constant-power-survival grid brackets
+  by brute force).
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Optional, Sequence
 
+from .adaptive import BoundaryQuery
 from .scenario import TABLE2_GOVERNOR_AXIS
-from .spec import Axis, SweepSpec
+from .spec import Axis, ScenarioConfig, ShadowSpec, SweepSpec
 
-__all__ = ["CAMPAIGN_PRESETS", "preset_names", "build_preset"]
+__all__ = [
+    "CAMPAIGN_PRESETS",
+    "preset_names",
+    "build_preset",
+    "BOUNDARY_PRESETS",
+    "boundary_preset_names",
+    "build_boundary_preset",
+]
 
 
 def table2_pv_preset(
@@ -98,6 +118,121 @@ def table2_shootout_preset(
         seeds=list(seeds) or [11],
         duration_s=duration_s if duration_s is not None else 900.0,
     )
+
+
+# ----------------------------------------------------------------------
+# Boundary presets (adaptive bisection searches)
+# ----------------------------------------------------------------------
+def min_capacitance_boundary(
+    duration_s: Optional[float] = None,
+    rel_tol: Optional[float] = None,
+    weather: Sequence[str] = ("full_sun", "partial_sun", "cloud"),
+    seed: int = 11,
+) -> BoundaryQuery:
+    """Minimum buffer capacitance riding through shadowing, per weather.
+
+    The proposed governor faces three sharp shadowing transients (at 1/4, 1/2
+    and 3/4 of the run, the Table I follow-up rig); the search bisects
+    ``capacitor.capacitance_f`` on the survival predicate.  The initial
+    bracket spans the paper's 2 mF undersized probe to its 47 mF chosen
+    component; milder weather pushes the boundary below it and heavy cloud
+    far above, exercising bracket expansion in both directions.
+    """
+    if isinstance(weather, str):
+        weather = (weather,)
+    duration = float(duration_s) if duration_s is not None else 32.0
+    if duration < 4.0:
+        raise ValueError("min-capacitance needs duration_s >= 4 to fit the shadowing train")
+    shadows = tuple(
+        ShadowSpec(start_s=f * duration, duration_s=0.6, attenuation=0.05, ramp_s=0.05)
+        for f in (0.25, 0.5, 0.75)
+    )
+    base = ScenarioConfig(
+        governor="power-neutral",
+        weather=str(weather[0]),
+        seed=int(seed),
+        duration_s=duration,
+        shadowing=shadows,
+    )
+    outer = (Axis("supply.weather", [str(w) for w in weather]),) if len(weather) > 1 else ()
+    return BoundaryQuery(
+        base=base,
+        path="capacitor.capacitance_f",
+        lo=2e-3,
+        hi=47e-3,
+        outer_axes=outer,
+        predicate="survived",
+        scale="log",
+        rel_tol=float(rel_tol) if rel_tol is not None else 0.1,
+    )
+
+
+def min_power_boundary(
+    duration_s: Optional[float] = None,
+    rel_tol: Optional[float] = None,
+    governors: Sequence[str] = ("power-neutral", "performance", "ondemand", "powersave"),
+) -> BoundaryQuery:
+    """Minimum constant supply power at which each governor survives.
+
+    The idealised constant-power rig of the Fig. 11 / controlled-supply
+    verification: bisects ``supply.power_w`` per governor between deep
+    starvation (0.8 W, below the lowest OPP's draw) and surplus (8 W, above
+    the highest).  The proposed governor's boundary sits near the lowest
+    OPP; performance-greedy baselines need several times more.
+    """
+    if isinstance(governors, str):
+        governors = (governors,)
+    base = ScenarioConfig(
+        governor=str(governors[0]),
+        supply={"kind": "constant-power"},
+        duration_s=float(duration_s) if duration_s is not None else 45.0,
+    )
+    outer = (Axis("governor", [str(g) for g in governors]),) if len(governors) > 1 else ()
+    return BoundaryQuery(
+        base=base,
+        path="supply.power_w",
+        lo=0.8,
+        hi=8.0,
+        outer_axes=outer,
+        predicate="survived",
+        scale="linear",
+        rel_tol=float(rel_tol) if rel_tol is not None else 0.05,
+    )
+
+
+#: name -> boundary preset factory -> BoundaryQuery
+BOUNDARY_PRESETS: dict[str, Callable[..., BoundaryQuery]] = {
+    "min-capacitance": min_capacitance_boundary,
+    "min-power": min_power_boundary,
+}
+
+
+def boundary_preset_names() -> list[str]:
+    return sorted(BOUNDARY_PRESETS)
+
+
+def build_boundary_preset(name: str, **overrides) -> BoundaryQuery:
+    """Instantiate a named boundary preset, applying only the overrides it takes.
+
+    ``overrides`` whose value is ``None`` are dropped (flag left at its CLI
+    default); passing an override the preset does not accept raises
+    ``ValueError`` naming the preset.
+    """
+    try:
+        factory = BOUNDARY_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown boundary preset {name!r}; known: {', '.join(boundary_preset_names())}"
+        ) from None
+    kwargs = {k: v for k, v in overrides.items() if v is not None}
+    accepted = set(inspect.signature(factory).parameters)
+    unknown = sorted(set(kwargs) - accepted)
+    if unknown:
+        raise ValueError(
+            f"boundary preset {name!r} does not take: {', '.join(unknown)} "
+            f"(it accepts: {', '.join(sorted(accepted))})"
+        )
+    return factory(**kwargs)
 
 
 #: name -> preset factory (duration_s=None, seeds=...) -> SweepSpec

@@ -18,6 +18,15 @@ by older versions (PR-1 records carry no stamp and count as v1): they are
 kept, reported via :attr:`ResultStore.legacy_count` /
 :meth:`ResultStore.version_counts`, and simply miss the cache for new-schema
 configs instead of failing opaquely.
+
+Large stores: :meth:`ResultStore.compact` rewrites the JSONL keeping only the
+newest record per scenario id and persists a key→offset **index sidecar**
+(``<store>.idx.json``).  A store with a valid sidecar opens in O(index) —
+record payloads are seek-loaded lazily on first access, so cache-hit checks
+over a 100k-cell store never parse a line.  Appending after a compaction
+leaves the sidecar in place; the next open replays only the appended tail on
+top of the indexed portion.  A sidecar that no longer matches its store (the
+store was rewritten or truncated) is ignored and the store is fully parsed.
 """
 
 from __future__ import annotations
@@ -26,12 +35,26 @@ import json
 import os
 from collections import Counter
 from pathlib import Path
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Mapping, Optional, Union
 
 from ..sim.result import SimulationResult
 from .spec import SCHEMA_VERSION, ScenarioConfig
 
 __all__ = ["ResultStore"]
+
+#: Index sidecar layout version.
+_INDEX_VERSION = 1
+
+
+class _LazyRecord:
+    """Placeholder for an indexed record not yet read from disk."""
+
+    __slots__ = ("offset", "status", "schema_version")
+
+    def __init__(self, offset: int, status: str, schema_version: int):
+        self.offset = int(offset)
+        self.status = str(status)
+        self.schema_version = int(schema_version)
 
 
 class ResultStore:
@@ -43,41 +66,160 @@ class ResultStore:
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
-        self._records: dict[str, dict] = {}
+        #: scenario_id -> record dict, or _LazyRecord for indexed-but-unread.
+        self._entries: dict[str, Union[dict, _LazyRecord]] = {}
         self._skipped_lines = 0
         self._version_counts: Counter = Counter()
         if self.path.exists():
             self._load()
+        elif self.index_path.exists():
+            # The data file is gone (e.g. a fresh restart deleted it); the
+            # sidecar indexes nothing and would poison a future reopen once
+            # new records grow the file past its recorded size.
+            self.index_path.unlink()
+
+    @property
+    def index_path(self) -> Path:
+        """The sidecar written by :meth:`compact` (``<store>.idx.json``)."""
+        return Path(str(self.path) + ".idx.json")
 
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
     def _load(self) -> None:
+        if self._load_from_index():
+            return
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # Interrupted mid-write: drop the partial line.
-                    self._skipped_lines += 1
-                    continue
-                scenario_id = record.get("scenario_id")
-                if not scenario_id:
-                    self._skipped_lines += 1
-                    continue
-                previous = self._records.get(scenario_id)
-                if previous is not None:
-                    self._version_counts[self._version_of(previous)] -= 1
-                self._records[scenario_id] = record
-                self._version_counts[self._version_of(record)] += 1
+                self._ingest_line(line)
+
+    def _ingest_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            # Interrupted mid-write: drop the partial line.
+            self._skipped_lines += 1
+            return
+        scenario_id = record.get("scenario_id") if isinstance(record, dict) else None
+        if not scenario_id:
+            self._skipped_lines += 1
+            return
+        self._set_entry(scenario_id, record)
+
+    def _set_entry(self, scenario_id: str, entry: Union[dict, _LazyRecord]) -> None:
+        previous = self._entries.get(scenario_id)
+        if previous is not None:
+            self._version_counts[self._version_of(previous)] -= 1
+        self._entries[scenario_id] = entry
+        self._version_counts[self._version_of(entry)] += 1
+
+    def _load_from_index(self) -> bool:
+        """Open via the compaction sidecar, if present and still valid."""
+        try:
+            index = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        entries = index.get("entries")
+        data_bytes = index.get("data_bytes")
+        if (
+            index.get("version") != _INDEX_VERSION
+            or not isinstance(entries, dict)
+            or not isinstance(data_bytes, int)
+        ):
+            return False
+        size = self.path.stat().st_size
+        if size < data_bytes:
+            # The store shrank since the index was written: the offsets no
+            # longer point at line starts.  Fall back to a full parse.
+            return False
+        for scenario_id, entry in entries.items():
+            try:
+                offset, status, version = entry
+                self._set_entry(scenario_id, _LazyRecord(offset, status, version))
+            except (TypeError, ValueError):
+                return self._full_reload()
+        if size > data_bytes:
+            # Records appended after the compaction: replay just the tail.
+            with self.path.open("rb") as fh:
+                fh.seek(data_bytes)
+                for raw in fh:
+                    self._ingest_line(raw.decode("utf-8", errors="replace"))
+        return True
+
+    def _full_reload(self) -> bool:
+        """Discard any index-derived state and parse the whole file."""
+        self._entries.clear()
+        self._version_counts.clear()
+        self._skipped_lines = 0
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                self._ingest_line(line)
+        return True
 
     @staticmethod
-    def _version_of(record: Mapping) -> int:
+    def _read_at(fh, scenario_id: str, offset: int) -> Optional[dict]:
+        """Parse the record line at a byte offset; None if it doesn't match."""
+        try:
+            fh.seek(offset)
+            record = json.loads(fh.readline().decode("utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("scenario_id") != scenario_id:
+            return None
+        return record
+
+    def _materialise(self, scenario_id: str) -> Optional[dict]:
+        """Turn a lazy index entry into the record dict, reading one line."""
+        entry = self._entries.get(scenario_id)
+        if not isinstance(entry, _LazyRecord):
+            return entry
+        record = None
+        try:
+            with self.path.open("rb") as fh:
+                record = self._read_at(fh, scenario_id, entry.offset)
+        except OSError:
+            record = None
+        if record is None:
+            # Stale or corrupt index: recover by parsing the whole store.
+            self._full_reload()
+            entry = self._entries.get(scenario_id)
+            return entry if isinstance(entry, dict) else None
+        # Replace in place: the version count is unchanged by materialisation.
+        self._entries[scenario_id] = record
+        return record
+
+    def _materialise_all(self) -> None:
+        """Load every lazy entry in one sequential pass over the file."""
+        lazy = sorted(
+            (entry.offset, key)
+            for key, entry in self._entries.items()
+            if isinstance(entry, _LazyRecord)
+        )
+        if not lazy:
+            return
+        stale = False
+        try:
+            with self.path.open("rb") as fh:
+                for offset, key in lazy:
+                    record = self._read_at(fh, key, offset)
+                    if record is None:
+                        stale = True
+                        break
+                    self._entries[key] = record
+        except OSError:
+            stale = True
+        if stale:
+            self._full_reload()
+
+    @staticmethod
+    def _version_of(entry: Union[Mapping, _LazyRecord]) -> int:
         """The config schema version a record was written under (v1 if unstamped)."""
-        return int(record.get("schema_version", 1))
+        if isinstance(entry, _LazyRecord):
+            return entry.schema_version
+        return int(entry.get("schema_version", 1))
 
     @property
     def skipped_lines(self) -> int:
@@ -119,37 +261,100 @@ class ResultStore:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
-        previous = self._records.get(scenario_id)
-        if previous is not None:
-            self._version_counts[self._version_of(previous)] -= 1
-        self._records[scenario_id] = record
-        self._version_counts[self._version_of(record)] += 1
+        self._set_entry(scenario_id, record)
+
+    def compact(self) -> dict:
+        """Rewrite the store keeping only the newest record per scenario id,
+        and persist the key→offset index sidecar.
+
+        The rewrite is atomic (written beside the store, then renamed over
+        it); the sidecar is written after the data file, so a crash between
+        the two leaves a valid store with, at worst, a stale sidecar — which
+        the next open detects and ignores.  Returns a stats dict
+        (``records``, ``dropped_lines``, ``bytes_before``, ``bytes_after``,
+        ``index_path``).
+        """
+        lines_before = 0
+        bytes_before = 0
+        if self.path.exists():
+            bytes_before = self.path.stat().st_size
+            with self.path.open("rb") as fh:
+                lines_before = sum(1 for _ in fh)
+        self._materialise_all()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        index_entries: dict[str, list] = {}
+        offset = 0
+        with tmp.open("wb") as fh:
+            for scenario_id, record in self._entries.items():
+                assert isinstance(record, dict)
+                payload = (
+                    json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+                ).encode("utf-8")
+                index_entries[scenario_id] = [
+                    offset,
+                    record.get("status", "?"),
+                    self._version_of(record),
+                ]
+                fh.write(payload)
+                offset += len(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        index = {
+            "version": _INDEX_VERSION,
+            "data_bytes": offset,
+            "records": len(index_entries),
+            "entries": index_entries,
+        }
+        index_tmp = self.index_path.with_name(self.index_path.name + ".tmp")
+        index_tmp.write_text(json.dumps(index, separators=(",", ":")), encoding="utf-8")
+        os.replace(index_tmp, self.index_path)
+        self._skipped_lines = 0
+        return {
+            "records": len(index_entries),
+            "dropped_lines": max(0, lines_before - len(index_entries)),
+            "bytes_before": bytes_before,
+            "bytes_after": offset,
+            "index_path": str(self.index_path),
+        }
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return self._key(key) in self._records
+        return self._key(key) in self._entries
 
     def get(self, key) -> Optional[dict]:
         """The latest record for a scenario id / config, or None."""
-        return self._records.get(self._key(key))
+        scenario_id = self._key(key)
+        entry = self._entries.get(scenario_id)
+        if isinstance(entry, _LazyRecord):
+            return self._materialise(scenario_id)
+        return entry
 
     def is_complete(self, key) -> bool:
-        """Whether the scenario already has a successful (cached) record."""
-        record = self.get(key)
-        return record is not None and record.get("status") == "ok"
+        """Whether the scenario already has a successful (cached) record.
+
+        O(1) even for index-backed entries — the sidecar carries each
+        record's status, so no line is read to answer a cache-hit check.
+        """
+        entry = self._entries.get(self._key(key))
+        if isinstance(entry, _LazyRecord):
+            return entry.status == "ok"
+        return entry is not None and entry.get("status") == "ok"
 
     def records(self) -> Iterator[dict]:
         """All loaded records (latest per scenario id), insertion-ordered."""
-        return iter(list(self._records.values()))
+        self._materialise_all()
+        return iter([e for e in self._entries.values() if isinstance(e, dict)])
 
     def ok_records(self) -> list[dict]:
         """Only the successful records — what aggregation consumes."""
-        return [r for r in self._records.values() if r.get("status") == "ok"]
+        return [r for r in self.records() if r.get("status") == "ok"]
 
     def result_for(self, key) -> Optional[SimulationResult]:
         """Rebuild the stored (decimated) SimulationResult, if series were kept."""

@@ -1,0 +1,346 @@
+"""Tests for the adaptive boundary-search subsystem (repro.sweep.adaptive)."""
+
+import math
+
+import pytest
+
+import repro.sweep.runner as runner_module
+from repro.sweep import (
+    Axis,
+    BoundaryQuery,
+    BoundarySearch,
+    ResultStore,
+    ScenarioConfig,
+    SweepRunner,
+    build_boundary_preset,
+)
+from repro.sweep.spec import SCHEMA_VERSION
+
+#: Synthetic survival thresholds (capacitance in farads) per weather preset.
+THRESHOLDS = {"full_sun": 0.02, "partial_sun": 0.004, "cloud": 0.3}
+
+
+def fake_executor(predicate_of_config):
+    """A drop-in for runner._execute_payload computing outcomes analytically."""
+
+    def execute(payload):
+        config_dict, _series = payload
+        config = ScenarioConfig.from_dict(config_dict)
+        return {
+            "scenario_id": config.scenario_id,
+            "schema_version": SCHEMA_VERSION,
+            "config": config.to_dict(),
+            "status": "ok",
+            "summary": {"survived": bool(predicate_of_config(config)), "brownouts": 0},
+            "elapsed_s": 0.0,
+        }
+
+    return execute
+
+
+@pytest.fixture
+def capacitance_world(monkeypatch):
+    """Survival iff the buffer is at least the weather's threshold."""
+    calls = []
+
+    def survived(config):
+        calls.append(config.scenario_id)
+        return config.capacitance_f >= THRESHOLDS[config.weather]
+
+    monkeypatch.setattr(runner_module, "_execute_payload", fake_executor(survived))
+    return calls
+
+
+def capacitance_query(**overrides) -> BoundaryQuery:
+    defaults = dict(
+        base=ScenarioConfig(governor="power-neutral", duration_s=10.0),
+        path="capacitor.capacitance_f",
+        lo=10e-3,
+        hi=80e-3,
+        outer_axes=(Axis("supply.weather", ["full_sun", "partial_sun"]),),
+        scale="log",
+        rel_tol=0.05,
+    )
+    defaults.update(overrides)
+    return BoundaryQuery(**defaults)
+
+
+class TestQueryValidation:
+    def test_rejects_inverted_bracket(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            capacitance_query(lo=0.08, hi=0.01)
+
+    def test_rejects_unknown_predicate(self):
+        with pytest.raises(ValueError, match="unknown predicate"):
+            capacitance_query(predicate="flies")
+
+    def test_rejects_search_path_also_on_outer_axis(self):
+        with pytest.raises(ValueError, match="outer axis"):
+            capacitance_query(outer_axes=(Axis("capacitance_f", [0.01, 0.02]),))
+
+    def test_rejects_non_positive_log_bracket(self):
+        with pytest.raises(ValueError, match="positive"):
+            capacitance_query(lo=0.0, hi=0.08)
+
+    def test_rejects_zero_tolerance(self):
+        with pytest.raises(ValueError, match="tol"):
+            capacitance_query(rel_tol=0.0, abs_tol=0.0)
+
+    def test_cells_are_the_outer_product(self):
+        query = capacitance_query(
+            outer_axes=(
+                Axis("supply.weather", ["full_sun", "cloud"]),
+                Axis("governor", ["power-neutral", "powersave"]),
+            )
+        )
+        assert len(query.cells()) == 4
+
+
+class TestConvergence:
+    def test_converges_within_tolerance_per_cell(self, tmp_path, capacitance_world):
+        query = capacitance_query()
+        runner = SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        report = BoundarySearch(query, runner).run()
+
+        assert report.converged
+        assert {tuple(c.outer.items()) for c in report.cells} == {
+            (("supply.weather", "full_sun"),),
+            (("supply.weather", "partial_sun"),),
+        }
+        for cell in report.cells:
+            weather = cell.outer["supply.weather"]
+            lo, hi = cell.bracket
+            threshold = THRESHOLDS[weather]
+            # The true boundary is inside the final bracket, the bracket is
+            # within tolerance, and the critical value is its passing end.
+            assert lo < threshold <= hi
+            assert hi - lo <= max(query.abs_tol, query.rel_tol * hi) + 1e-12
+            assert cell.critical == hi
+
+    def test_probe_counts_are_logarithmic_not_grid_sized(self, tmp_path, capacitance_world):
+        report = BoundarySearch(
+            capacitance_query(),
+            SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1),
+        ).run()
+        assert all(cell.probes <= 14 for cell in report.cells)
+
+    def test_decreasing_orientation(self, tmp_path, monkeypatch):
+        """A predicate passing *below* the boundary (max tolerable value)."""
+        monkeypatch.setattr(
+            runner_module,
+            "_execute_payload",
+            fake_executor(lambda config: config.capacitance_f <= 0.02),
+        )
+        query = capacitance_query(outer_axes=(), increasing=False)
+        report = BoundarySearch(
+            query, SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        assert report.converged
+        (cell,) = report.cells
+        lo, hi = cell.bracket
+        assert lo <= 0.02 < hi
+        assert cell.critical == lo  # the largest value observed to pass
+
+
+class TestBracketExpansion:
+    def test_expands_upward_when_bracket_is_below_boundary(self, tmp_path, capacitance_world):
+        query = capacitance_query(
+            lo=1e-3, hi=2e-3, outer_axes=(Axis("supply.weather", ["full_sun"]),)
+        )
+        report = BoundarySearch(
+            query, SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        (cell,) = report.cells
+        assert cell.status == "converged"
+        assert cell.bracket[0] < 0.02 <= cell.bracket[1]
+
+    def test_expands_downward_when_bracket_is_above_boundary(self, tmp_path, capacitance_world):
+        query = capacitance_query(
+            lo=0.1, hi=0.2, outer_axes=(Axis("supply.weather", ["full_sun"]),)
+        )
+        report = BoundarySearch(
+            query, SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        (cell,) = report.cells
+        assert cell.status == "converged"
+        assert cell.bracket[0] < 0.02 <= cell.bracket[1]
+
+    def test_reports_exhausted_when_no_flip_exists(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            runner_module, "_execute_payload", fake_executor(lambda config: False)
+        )
+        query = capacitance_query(outer_axes=(), max_expansions=2)
+        report = BoundarySearch(
+            query, SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        (cell,) = report.cells
+        assert cell.status == "exhausted"
+        assert "no predicate flip" in cell.detail
+        assert not report.converged
+
+    def test_linear_downward_expansion_clamps_at_zero(self, tmp_path, monkeypatch):
+        """A linear search whose predicate passes down to the domain edge must
+        probe 0 and then report exhausted — never probe a negative value."""
+        probed = []
+
+        def always_passes(config):
+            probed.append(config.supply.get("power_w"))
+            return True
+
+        monkeypatch.setattr(runner_module, "_execute_payload", fake_executor(always_passes))
+        query = BoundaryQuery(
+            base=ScenarioConfig(
+                governor="power-neutral", supply={"kind": "constant-power"}, duration_s=10.0
+            ),
+            path="supply.power_w",
+            lo=0.8,
+            hi=8.0,
+            scale="linear",
+            rel_tol=0.05,
+        )
+        report = BoundarySearch(
+            query, SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        (cell,) = report.cells
+        assert cell.status == "exhausted"
+        assert "cannot extend below" in cell.detail
+        assert min(probed) == 0.0
+        assert all(p >= 0 for p in probed)
+
+    def test_max_probes_budget_is_respected(self, tmp_path, capacitance_world):
+        query = capacitance_query(
+            outer_axes=(Axis("supply.weather", ["full_sun"]),),
+            rel_tol=1e-9,  # unreachably tight
+            max_probes=6,
+        )
+        report = BoundarySearch(
+            query, SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        (cell,) = report.cells
+        assert cell.status == "max-probes"
+        assert cell.probes <= 6
+
+
+class TestNonMonotone:
+    def test_detects_and_reports_instead_of_misbracketing(self, tmp_path, monkeypatch):
+        """Survival only inside a band: the search must say so, not bisect on."""
+        monkeypatch.setattr(
+            runner_module,
+            "_execute_payload",
+            fake_executor(lambda config: 0.01 <= config.capacitance_f <= 0.03),
+        )
+        # lo passes (inside the band), hi fails (above it) -> an increasing
+        # search sees a pass below a fail immediately.
+        query = capacitance_query(lo=0.02, hi=0.08, outer_axes=())
+        report = BoundarySearch(
+            query, SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        (cell,) = report.cells
+        assert cell.status == "non-monotone"
+        assert "not monotone" in cell.detail
+        assert cell.critical is None
+        assert not report.converged
+
+    def test_failed_probe_marks_the_cell_errored(self, tmp_path, monkeypatch):
+        def explode(payload):
+            config = ScenarioConfig.from_dict(payload[0])
+            return {
+                "scenario_id": config.scenario_id,
+                "config": config.to_dict(),
+                "status": "error",
+                "error": "ZeroDivisionError: boom",
+            }
+
+        monkeypatch.setattr(runner_module, "_execute_payload", explode)
+        report = BoundarySearch(
+            capacitance_query(outer_axes=()),
+            SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1),
+        ).run()
+        (cell,) = report.cells
+        assert cell.status == "error"
+        assert "boom" in cell.detail
+
+
+class TestStoreReuse:
+    def test_warm_rerun_performs_zero_new_simulations(self, tmp_path, capacitance_world):
+        path = tmp_path / "b.jsonl"
+        first = BoundarySearch(
+            capacitance_query(), SweepRunner(ResultStore(path), workers=1)
+        ).run()
+        assert first.converged and first.executed > 0
+
+        executed_before = len(capacitance_world)
+        second = BoundarySearch(
+            capacitance_query(), SweepRunner(ResultStore(path), workers=1)
+        ).run()
+        assert second.converged
+        assert second.executed == 0
+        assert second.cached == first.executed + first.cached
+        assert len(capacitance_world) == executed_before  # no simulator calls at all
+        # Same critical values, probe for probe.
+        assert [c.critical for c in second.cells] == [c.critical for c in first.cells]
+        assert all(c.cached == c.probes for c in second.cells)
+
+    def test_interrupted_search_resumes_from_stored_probes(self, tmp_path, capacitance_world):
+        path = tmp_path / "b.jsonl"
+        query = capacitance_query(outer_axes=(Axis("supply.weather", ["full_sun"]),))
+
+        # Simulate an interrupt: run with a budget too small to converge.
+        import dataclasses
+
+        partial = BoundarySearch(
+            dataclasses.replace(query, max_probes=4),
+            SweepRunner(ResultStore(path), workers=1),
+        ).run()
+        assert not partial.converged
+
+        resumed = BoundarySearch(query, SweepRunner(ResultStore(path), workers=1)).run()
+        assert resumed.converged
+        # The first 4 probes of the deterministic sequence came from the store.
+        assert resumed.cached >= 4
+
+
+class TestReport:
+    def test_rows_and_dict_shapes(self, tmp_path, capacitance_world):
+        report = BoundarySearch(
+            capacitance_query(), SweepRunner(ResultStore(tmp_path / "b.jsonl"), workers=1)
+        ).run()
+        rows = report.rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["status"] == "converged"
+            assert math.isfinite(row["critical_capacitance_f"])
+            assert row["probes"] > 0
+        data = report.to_dict()
+        assert data["path"] == "capacitor.capacitance_f"
+        assert data["predicate"] == "survived"
+        assert len(data["results"]) == 2
+        assert all(r["status"] == "converged" for r in data["results"])
+
+
+class TestPresets:
+    def test_min_capacitance_preset_shape(self):
+        query = build_boundary_preset("min-capacitance")
+        assert query.path == "capacitor.capacitance_f"
+        assert query.scale == "log"
+        assert query.predicate == "survived"
+        assert [a.name for a in query.outer_axes] == ["supply.weather"]
+        assert len(query.base.shadowing) == 3
+
+    def test_min_power_preset_shape(self):
+        query = build_boundary_preset("min-power", governors=["power-neutral"])
+        assert query.path == "supply.power_w"
+        assert query.base.supply.kind == "constant-power"
+        assert query.outer_axes == ()
+
+    def test_preset_rejects_inapplicable_override(self):
+        with pytest.raises(ValueError, match="does not take"):
+            build_boundary_preset("min-power", weather=["cloud"])
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown boundary preset"):
+            build_boundary_preset("min-entropy")
+
+    def test_min_capacitance_rejects_too_short_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            build_boundary_preset("min-capacitance", duration_s=1.0)

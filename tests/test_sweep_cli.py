@@ -65,6 +65,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--preset", "does-not-exist"])
 
+    def test_boundary_options_parse(self):
+        args = build_parser().parse_args(
+            [
+                "boundary",
+                "--path",
+                "supply.power_w",
+                "--lo",
+                "0.8",
+                "--hi",
+                "8",
+                "--supply",
+                "constant-power",
+                "--predicate",
+                "survived",
+                "--scale",
+                "log",
+                "--decreasing",
+            ]
+        )
+        assert args.path == "supply.power_w"
+        assert args.lo == 0.8 and args.hi == 8.0
+        assert args.scale == "log" and args.decreasing
+
+    def test_boundary_preset_choices(self):
+        args = build_parser().parse_args(["boundary", "--preset", "min-capacitance"])
+        assert args.preset == "min-capacitance"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["boundary", "--preset", "does-not-exist"])
+
+    def test_store_compact_parses(self):
+        args = build_parser().parse_args(["store", "compact", "--store", "x.jsonl"])
+        assert args.action == "compact" and args.store == "x.jsonl"
+
 
 class TestExecution:
     def test_sweep_runs_writes_store_and_caches(self, tmp_path, capsys):
@@ -284,6 +317,237 @@ class TestExecution:
                     str(tmp_path / "s.jsonl"),
                 ]
             )
+
+
+class TestBoundaryExecution:
+    def test_min_capacitance_round_trip_and_warm_rerun(self, tmp_path, capsys):
+        """Acceptance: the preset converges, and a re-run against the same
+        store performs zero new simulations."""
+        store = tmp_path / "boundary.jsonl"
+        argv = [
+            "boundary",
+            "--preset",
+            "min-capacitance",
+            "--weather",
+            "full_sun",
+            "--duration",
+            "8",
+            "--rel-tol",
+            "0.4",
+            "--workers",
+            "1",
+            "--store",
+            str(store),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "converged : 1" in out
+        assert "critical_capacitance_f" in out
+        assert store.exists()
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert all(r["status"] == "ok" for r in records)
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed  : 0" in out
+        assert "converged : 1" in out
+        # Still the same number of stored probes: nothing was recomputed.
+        assert len(store.read_text().splitlines()) == len(records)
+
+    def test_min_power_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "power.jsonl"
+        code = main(
+            [
+                "boundary",
+                "--preset",
+                "min-power",
+                "--governors",
+                "power-neutral",
+                "--duration",
+                "6",
+                "--rel-tol",
+                "0.5",
+                "--workers",
+                "1",
+                "--quiet",
+                "--store",
+                str(store),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical_power_w" in out
+        records = [json.loads(line) for line in store.read_text().splitlines()]
+        assert all(r["config"]["supply"]["kind"] == "constant-power" for r in records)
+
+    def test_custom_query_requires_path_lo_hi(self, tmp_path):
+        with pytest.raises(SystemExit, match="--path"):
+            main(["boundary", "--store", str(tmp_path / "b.jsonl")])
+
+    def test_preset_rejects_conflicting_search_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="drop --path"):
+            main(
+                [
+                    "boundary",
+                    "--preset",
+                    "min-power",
+                    "--path",
+                    "supply.power_w",
+                    "--store",
+                    str(tmp_path / "b.jsonl"),
+                ]
+            )
+
+    def test_preset_rejects_unknown_governor_before_running(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown governor"):
+            main(
+                [
+                    "boundary",
+                    "--preset",
+                    "min-power",
+                    "--governors",
+                    "power-neutral,ondemnd",
+                    "--store",
+                    str(tmp_path / "b.jsonl"),
+                ]
+            )
+
+    def test_preset_honours_predicate_override(self):
+        from repro.cli import _build_boundary_query
+
+        args = build_parser().parse_args(
+            ["boundary", "--preset", "min-power", "--predicate", "uptime-95"]
+        )
+        assert _build_boundary_query(args).predicate == "uptime-95"
+
+    def test_fresh_removes_index_sidecar(self, tmp_path, capsys):
+        store = tmp_path / "boundary.jsonl"
+        argv = [
+            "boundary",
+            "--preset",
+            "min-capacitance",
+            "--weather",
+            "full_sun",
+            "--duration",
+            "8",
+            "--rel-tol",
+            "0.4",
+            "--workers",
+            "1",
+            "--quiet",
+            "--store",
+            str(store),
+        ]
+        assert main(argv) == 0
+        assert main(["store", "compact", "--store", str(store)]) == 0
+        index = tmp_path / "boundary.jsonl.idx.json"
+        assert index.exists()
+        # --fresh must drop the sidecar with the store, or the next open
+        # would resurrect phantom records from stale offsets.
+        assert main(argv + ["--fresh"]) == 0
+        capsys.readouterr()
+        assert not index.exists()
+
+    def test_preset_rejects_inapplicable_axis_override(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not take"):
+            main(
+                [
+                    "boundary",
+                    "--preset",
+                    "min-power",
+                    "--weather",
+                    "cloud",
+                    "--store",
+                    str(tmp_path / "b.jsonl"),
+                ]
+            )
+
+    def test_boundary_export_csv(self, tmp_path, capsys):
+        store = tmp_path / "boundary.jsonl"
+        export = tmp_path / "boundary.csv"
+        code = main(
+            [
+                "boundary",
+                "--preset",
+                "min-capacitance",
+                "--weather",
+                "full_sun",
+                "--duration",
+                "8",
+                "--rel-tol",
+                "0.4",
+                "--workers",
+                "1",
+                "--quiet",
+                "--store",
+                str(store),
+                "--export",
+                "csv",
+                "--export-path",
+                str(export),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        lines = export.read_text().strip().splitlines()
+        # A single weather folds into the base config, so the only columns
+        # are the search outcome itself.
+        assert lines[0].startswith("status,critical_capacitance_f,bracket_lo")
+        assert len(lines) == 2 and "converged" in lines[1]
+
+
+class TestExportAndStoreMaintenance:
+    def _tiny_sweep_argv(self, store) -> list:
+        return [
+            "sweep",
+            "--governors",
+            "power-neutral",
+            "--weather",
+            "full_sun",
+            "--capacitance-mf",
+            "47",
+            "--duration",
+            "4",
+            "--workers",
+            "1",
+            "--quiet",
+            "--store",
+            str(store),
+        ]
+
+    def test_sweep_export_csv(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        export = tmp_path / "campaign.csv"
+        argv = self._tiny_sweep_argv(store) + ["--export", "csv", "--export-path", str(export)]
+        assert main(argv) == 0
+        assert "exported 1 row(s)" in capsys.readouterr().out
+        lines = export.read_text().strip().splitlines()
+        assert lines[0].startswith("scenario_id,governor,supply,weather")
+        assert len(lines) == 2
+        assert "power-neutral" in lines[1]
+
+    def test_sweep_export_default_path_json(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        assert main(self._tiny_sweep_argv(store) + ["--export", "json"]) == 0
+        capsys.readouterr()
+        exported = json.loads((tmp_path / "campaign.jsonl.summary.json").read_text())
+        assert len(exported) == 1 and exported[0]["survived"] is True
+
+    def test_store_compact_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        assert main(self._tiny_sweep_argv(store)) == 0
+        assert main(["store", "compact", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Compacted" in out
+        assert (tmp_path / "campaign.jsonl.idx.json").exists()
+        # The compacted store still serves the campaign entirely from cache.
+        assert main(self._tiny_sweep_argv(store)) == 0
+        out = capsys.readouterr().out
+        assert "cached    : 1" in out and "executed  : 0" in out
+
+    def test_store_compact_missing_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="no store"):
+            main(["store", "compact", "--store", str(tmp_path / "absent.jsonl")])
 
 
 class TestModuleEntryPoint:

@@ -146,6 +146,96 @@ class TestSchemaVersions:
         assert ResultStore(path).legacy_count == 0
 
 
+class TestCompaction:
+    def _filled_store(self, path, n=4) -> tuple[ResultStore, list[ScenarioConfig]]:
+        store = ResultStore(path)
+        configs = [ScenarioConfig(governor="power-neutral", seed=i) for i in range(n)]
+        for config in configs:  # first pass: failures, later superseded
+            store.append(make_record(config, status="error", error="boom"))
+        for config in configs:
+            store.append(make_record(config, status="ok"))
+        return store, configs
+
+    def test_compact_drops_superseded_lines_and_writes_index(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store, configs = self._filled_store(path)
+        stats = store.compact()
+        assert stats["records"] == 4
+        assert stats["dropped_lines"] == 4
+        assert stats["bytes_after"] < stats["bytes_before"]
+        assert len(path.read_text().splitlines()) == 4
+        assert store.index_path.exists()
+        assert stats["index_path"] == str(store.index_path)
+        # The compacted store is still fully queryable in-process.
+        assert all(store.is_complete(c) for c in configs)
+
+    def test_indexed_open_is_lazy_and_complete(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store, configs = self._filled_store(path)
+        store.compact()
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 4
+        # Cache-hit checks answer from the index without parsing any record.
+        from repro.sweep.store import _LazyRecord
+
+        assert all(isinstance(e, _LazyRecord) for e in reloaded._entries.values())
+        assert all(reloaded.is_complete(c) for c in configs)
+        assert all(isinstance(e, _LazyRecord) for e in reloaded._entries.values())
+        # Materialisation on demand returns the real payload.
+        record = reloaded.get(configs[0])
+        assert record["summary"]["instructions"] == 1e9
+        assert len(reloaded.ok_records()) == 4
+
+    def test_appends_after_compaction_replay_as_tail(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store, configs = self._filled_store(path)
+        store.compact()
+        extra = ScenarioConfig(governor="powersave")
+        ResultStore(path).append(make_record(extra))
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 5
+        assert reloaded.is_complete(extra)
+        assert all(reloaded.is_complete(c) for c in configs)
+
+    def test_stale_index_is_ignored(self, tmp_path):
+        """A store rewritten to be shorter than its sidecar claims must fall
+        back to a full parse instead of seeking at dead offsets."""
+        path = tmp_path / "store.jsonl"
+        store, _ = self._filled_store(path)
+        store.compact()
+        first_line = path.read_text().splitlines(keepends=True)[0]
+        path.write_text(first_line)
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert len(reloaded.ok_records()) == 1
+
+    def test_corrupt_index_is_ignored(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store, configs = self._filled_store(path)
+        store.compact()
+        store.index_path.write_text("{not json")
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 4
+        assert all(reloaded.is_complete(c) for c in configs)
+
+    def test_compact_preserves_schema_version_accounting(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            json.dumps({"scenario_id": "feedc0de", "status": "ok", "summary": {}}) + "\n"
+        )
+        store = ResultStore(path)
+        store.append(make_record(ScenarioConfig(governor="power-neutral")))
+        store.compact()
+
+        reloaded = ResultStore(path)
+        assert reloaded.legacy_count == 1
+        assert reloaded.version_counts() == {1: 1, SCHEMA_VERSION: 1}
+
+
 class TestSeriesRoundTrip:
     def test_result_for_rebuilds_simulation_result(self, tmp_path):
         path = tmp_path / "store.jsonl"
