@@ -116,6 +116,41 @@ class PVArray:
         cell_voltages = voltages / self.cells_in_series
         return self.cell.current_array(cell_voltages, irradiance_w_m2) * self.strings_in_parallel
 
+    def current_surface(self, voltages: np.ndarray, irradiances: np.ndarray) -> np.ndarray:
+        """Array currents on a (voltage x irradiance) outer grid.
+
+        Shape ``(len(voltages), len(irradiances))``; one vectorised Lambert-W
+        evaluation for the whole surface.  This is what the fast-path I-V
+        tabulation of :class:`repro.sim.supplies.PVArraySupply` samples.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        cell_voltages = voltages / self.cells_in_series
+        return self.cell.current_surface(cell_voltages, irradiances) * self.strings_in_parallel
+
+    def open_circuit_voltage_array(self, irradiances: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`open_circuit_voltage`."""
+        return self.cell.open_circuit_voltage_array(irradiances) * self.cells_in_series
+
+    def mpp_power_array(self, irradiances: np.ndarray, voltage_points: int = 512) -> np.ndarray:
+        """Maximum extractable power per irradiance, by dense surface scan.
+
+        A vectorised stand-in for calling :meth:`power_at_mpp` per irradiance:
+        the power surface is sampled on ``voltage_points`` voltages up to the
+        largest open-circuit voltage and maximised per column.  With the
+        default grid the scan sits well inside the interpolation tolerance of
+        the supply-level MPP cache that consumes it.
+        """
+        if voltage_points < 2:
+            raise ValueError("voltage_points must be at least 2")
+        g = np.asarray(irradiances, dtype=float)
+        voc = self.open_circuit_voltage_array(g)
+        v_max = float(np.max(voc)) if len(voc) else 0.0
+        if v_max <= 0.0:
+            return np.zeros_like(g)
+        voltages = np.linspace(0.0, v_max, voltage_points)
+        powers = voltages[:, None] * self.current_surface(voltages, g)
+        return np.max(powers, axis=0)
+
     def power(self, voltage: float, irradiance_w_m2: float = STC_IRRADIANCE) -> float:
         """Array output power (W) at a terminal voltage."""
         return voltage * self.current(voltage, irradiance_w_m2)

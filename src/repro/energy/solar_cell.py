@@ -174,12 +174,96 @@ class SolarCell:
     def current_array(
         self, voltages: np.ndarray, irradiance_w_m2: float = STC_IRRADIANCE
     ) -> np.ndarray:
-        """Vectorised :meth:`current` over an array of voltages."""
+        """Vectorised :meth:`current` over an array of voltages.
+
+        One Lambert-W evaluation over the whole array instead of a Python
+        loop of scalar solves; used by :meth:`iv_curve`,
+        :meth:`maximum_power_point` and the I-V surface tabulation of
+        :class:`repro.sim.supplies.PVArraySupply`.
+        """
         voltages = np.asarray(voltages, dtype=float)
-        out = np.empty_like(voltages)
-        for idx, v in np.ndenumerate(voltages):
-            out[idx] = self.current(float(v), irradiance_w_m2)
+        return self._current_clipped_vec(voltages, float(irradiance_w_m2))
+
+    def current_surface(
+        self, voltages: np.ndarray, irradiances: np.ndarray
+    ) -> np.ndarray:
+        """Clipped terminal currents on a (voltage x irradiance) outer grid.
+
+        Returns an array of shape ``(len(voltages), len(irradiances))`` with
+        ``out[i, j] = current(voltages[i], irradiances[j])``, computed with a
+        single vectorised Lambert-W evaluation.
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        irradiances = np.asarray(irradiances, dtype=float)
+        return self._current_clipped_vec(voltages[:, None], irradiances[None, :])
+
+    def _current_clipped_vec(self, voltages, irradiances) -> np.ndarray:
+        """Vectorised clipped current with the scalar path's special cases."""
+        out = self._current_unclipped_vec(voltages, irradiances)
+        # Mirror the scalar shortcut: a dark cell at non-positive voltage
+        # sources no current (the formula would report the shunt path).
+        dark = (np.asarray(irradiances) <= 0.0) & (np.asarray(voltages) <= 0.0)
+        if np.any(dark):
+            out = np.where(np.broadcast_to(dark, out.shape), 0.0, out)
+        return np.maximum(out, 0.0)
+
+    def _current_unclipped_vec(self, voltages, irradiances) -> np.ndarray:
+        """Vectorised :meth:`_current_unclipped` (broadcasting inputs)."""
+        p = self.parameters
+        v = np.asarray(voltages, dtype=float)
+        g = np.asarray(irradiances, dtype=float)
+        i_l = p.photo_current_stc * np.clip(g, 0.0, None) / STC_IRRADIANCE
+        rs = p.series_resistance
+        rp = p.shunt_resistance
+        i0 = p.saturation_current
+        nvt = p.modified_thermal_voltage
+
+        if rs == 0.0:
+            with np.errstate(over="ignore"):
+                exp_term = np.exp(np.minimum(v / nvt, 700.0))
+            return i_l - i0 * (exp_term - 1.0) - v / rp
+
+        denom = nvt * (rs + rp)
+        exponent = rp * (rs * i_l + rs * i0 + v) / denom
+        safe = exponent <= 690.0
+        x = (rs * rp * i0) / denom * np.exp(np.where(safe, exponent, 0.0))
+        w = lambertw(x).real
+        out = np.asarray((rp * (i_l + i0) - v) / (rs + rp) - (nvt / rs) * w, dtype=float)
+
+        if not np.all(safe):
+            # exp() would overflow double precision for these elements; fall
+            # back to the numerically-safe scalar bisection, as current() does.
+            out = np.array(out, dtype=float)  # ensure writable, broadcast-free
+            v_b = np.broadcast_to(v, out.shape)
+            i_l_b = np.broadcast_to(i_l, out.shape)
+            for idx in np.argwhere(~np.broadcast_to(safe, out.shape)):
+                key = tuple(idx)
+                out[key] = self._current_bisection(float(v_b[key]), float(i_l_b[key]))
         return out
+
+    def open_circuit_voltage_array(self, irradiances: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`open_circuit_voltage` over an irradiance array.
+
+        Runs the same bracket-expansion + bisection as the scalar method, but
+        on all irradiances at once (one Lambert-W array evaluation per
+        bisection iteration instead of one scalar solve).
+        """
+        g = np.asarray(irradiances, dtype=float)
+        positive = g > 0.0
+        hi = np.ones_like(g)
+        for _ in range(20):
+            growing = positive & (self._current_unclipped_vec(hi, g) > 0.0) & (hi < 1e4)
+            if not np.any(growing):
+                break
+            hi = np.where(growing, hi * 2.0, hi)
+        lo = np.zeros_like(g)
+        for _ in range(100):
+            mid = 0.5 * (lo + hi)
+            above = self._current_unclipped_vec(mid, g) > 0.0
+            lo = np.where(above, mid, lo)
+            hi = np.where(above, hi, mid)
+        out = 0.5 * (lo + hi)
+        return np.where(positive, out, 0.0)
 
     def _current_unclipped(self, voltage: float, irradiance_w_m2: float) -> float:
         p = self.parameters

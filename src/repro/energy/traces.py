@@ -13,13 +13,14 @@ trace abstraction with CSV persistence, resampling and interpolation, used for
 from __future__ import annotations
 
 import csv
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Trace", "IrradianceTrace", "PowerTrace", "trace_from_function"]
+__all__ = ["Trace", "IrradianceTrace", "PowerTrace", "TraceCursor", "trace_from_function"]
 
 
 @dataclass
@@ -86,6 +87,10 @@ class Trace:
     def value_at(self, t: float) -> float:
         """Linearly interpolated value at time ``t`` (clamped at the ends)."""
         return float(np.interp(t, self.times, self.values))
+
+    def cursor(self) -> "TraceCursor":
+        """A stateful O(1)-amortised sampler for mostly-forward access."""
+        return TraceCursor(self)
 
     def values_at(self, ts: Sequence[float] | np.ndarray) -> np.ndarray:
         """Vectorised :meth:`value_at`."""
@@ -189,6 +194,49 @@ class Trace:
                 times.append(float(row[0]))
                 values.append(float(row[1]))
         return cls(times=np.array(times), values=np.array(values), name=name, units=units)
+
+
+class TraceCursor:
+    """Sequential sampler over a :class:`Trace` with an O(1) hot path.
+
+    ``np.interp`` re-runs a binary search (plus array plumbing) on every
+    scalar lookup, which dominates the simulator's per-step supply
+    evaluation.  A cursor remembers the segment of the previous lookup:
+    simulation time is (almost) monotone, so the next sample is found by
+    advancing at most a few segments of plain Python floats.  Backward jumps
+    fall back to a bisection re-seek, so the cursor is correct — just not
+    O(1) — for arbitrary access patterns.
+
+    Values match :meth:`Trace.value_at` (linear interpolation, clamped at the
+    trace ends) up to floating-point rounding.
+    """
+
+    __slots__ = ("_times", "_values", "_n", "_i")
+
+    def __init__(self, trace: "Trace"):
+        self._times = [float(x) for x in trace.times]
+        self._values = [float(x) for x in trace.values]
+        self._n = len(self._times)
+        self._i = 0
+
+    def value(self, t: float) -> float:
+        times = self._times
+        n = self._n
+        i = self._i
+        if t < times[i]:
+            # Backward jump: re-seek (rare in simulation use).
+            i = bisect_right(times, t) - 1
+            if i < 0:
+                self._i = 0
+                return self._values[0]
+        while i + 1 < n and t >= times[i + 1]:
+            i += 1
+        self._i = i
+        if i + 1 >= n:
+            return self._values[-1]
+        t0 = times[i]
+        v0 = self._values[i]
+        return v0 + (self._values[i + 1] - v0) * (t - t0) / (times[i + 1] - t0)
 
 
 class IrradianceTrace(Trace):

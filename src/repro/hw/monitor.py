@@ -62,6 +62,10 @@ class ThresholdChannel:
     potentiometer: DigitalPotentiometer = field(default_factory=DigitalPotentiometer)
     comparator: Comparator = field(default_factory=Comparator)
     _ideal_threshold: float | None = None
+    # Memoised threshold keyed by the potentiometer tap: the simulator reads
+    # the threshold every sample but reprograms it only at governor events.
+    _cached_tap: int | None = field(default=None, repr=False, compare=False)
+    _cached_threshold: float = field(default=0.0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.r_top_ohm <= 0:
@@ -110,7 +114,13 @@ class ThresholdChannel:
         """The presently programmed threshold voltage."""
         if self._ideal_threshold is not None:
             return self._ideal_threshold
-        return self.threshold_for_resistance(self.potentiometer.resistance_ohm)
+        tap = self.potentiometer.tap
+        if tap != self._cached_tap:
+            self._cached_tap = tap
+            self._cached_threshold = self.threshold_for_resistance(
+                self.potentiometer.resistance_ohm
+            )
+        return self._cached_threshold
 
     # ------------------------------------------------------------------
     # Sampling
@@ -202,8 +212,8 @@ class VoltageMonitor:
         new interrupt fires until the supply genuinely re-crosses a threshold.
         This mirrors the edge-triggered GPIO path of the real hardware.
         """
-        self._was_above_low = supply_v > self.v_low
-        self._was_below_high = supply_v < self.v_high
+        self._was_above_low = supply_v > self.low_channel.threshold
+        self._was_below_high = supply_v < self.high_channel.threshold
         self._armed = True
 
     def sample(self, supply_v: float) -> list[ThresholdCrossing]:
@@ -218,18 +228,22 @@ class VoltageMonitor:
             self.prime(supply_v)
             return []
 
-        events: list[ThresholdCrossing] = []
-
-        above_low = supply_v > self.v_low
-        if self._was_above_low and not above_low:
-            events.append(ThresholdCrossing.LOW)
+        # The channel thresholds are tap-memoised, so these reads are cheap
+        # even though sample() runs once per simulation step.
+        above_low = supply_v > self.low_channel.threshold
+        below_high = supply_v < self.high_channel.threshold
+        fire_low = self._was_above_low and not above_low
+        fire_high = self._was_below_high and not below_high
         self._was_above_low = above_low
-
-        below_high = supply_v < self.v_high
-        if self._was_below_high and not below_high:
-            events.append(ThresholdCrossing.HIGH)
         self._was_below_high = below_high
+        if not (fire_low or fire_high):
+            return []
 
+        events: list[ThresholdCrossing] = []
+        if fire_low:
+            events.append(ThresholdCrossing.LOW)
+        if fire_high:
+            events.append(ThresholdCrossing.HIGH)
         self.interrupt_count += len(events)
         return events
 

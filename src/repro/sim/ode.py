@@ -38,11 +38,24 @@ class IntegrationResult:
         return self.states[-1]
 
     def state_at(self, t: float) -> np.ndarray:
-        """Linearly interpolated state at an arbitrary time."""
-        out = np.empty(self.states.shape[1])
-        for j in range(self.states.shape[1]):
-            out[j] = np.interp(t, self.times, self.states[:, j])
-        return out
+        """Linearly interpolated state at an arbitrary time.
+
+        One searchsorted over the time grid and one vectorised blend across
+        all state columns (instead of a per-column ``np.interp`` pass).
+        """
+        times = self.times
+        t = float(t)
+        if t <= times[0]:
+            return self.states[0].copy()
+        if t >= times[-1]:
+            return self.states[-1].copy()
+        j = int(np.searchsorted(times, t, side="right")) - 1
+        t0 = times[j]
+        t1 = times[j + 1]
+        if t1 == t0:
+            return self.states[j + 1].copy()
+        w = (t - t0) / (t1 - t0)
+        return self.states[j] + w * (self.states[j + 1] - self.states[j])
 
 
 def _as_state(y) -> np.ndarray:
@@ -128,7 +141,8 @@ def integrate_rk23(
             y = y_new
             k1 = k4  # FSAL: last stage is the first stage of the next step.
             times.append(t)
-            states.append(y.copy())
+            # y is rebound (never mutated in place), so no defensive copy.
+            states.append(y)
             n_steps += 1
             # Step-size growth (bounded).
             factor = 0.9 * (1.0 / max(error_norm, 1e-10)) ** (1.0 / 3.0)
@@ -146,6 +160,18 @@ def integrate_rk23(
     )
 
 
+def _fixed_step_buffers(t0: float, t1: float, dt: float, dim: int):
+    """Preallocated output buffers for a fixed-step integration.
+
+    Sized for the nominal step count plus slack for floating-point
+    accumulation of the time variable; the integrators fill them positionally
+    and slice at the end, avoiding the per-step ``list.append`` plus the
+    final ``np.array`` copy of the previous implementation.
+    """
+    capacity = int((t1 - t0) / dt) + 3
+    return np.empty(capacity), np.empty((capacity, dim))
+
+
 def integrate_euler(
     f: StateFunction, t_span: tuple[float, float], y0, dt: float
 ) -> IntegrationResult:
@@ -156,18 +182,19 @@ def integrate_euler(
     if dt <= 0:
         raise ValueError("dt must be positive")
     y = _as_state(y0)
-    times = [t0]
-    states = [y.copy()]
+    times, states = _fixed_step_buffers(t0, t1, dt, len(y))
+    times[0] = t0
+    states[0] = y
     t = t0
     n = 0
     while t < t1:
         h = min(dt, t1 - t)
         y = y + h * np.asarray(f(t, y), dtype=float)
         t += h
-        times.append(t)
-        states.append(y.copy())
         n += 1
-    return IntegrationResult(np.array(times), np.array(states), n_steps=n, n_rejected=0)
+        times[n] = t
+        states[n] = y
+    return IntegrationResult(times[: n + 1], states[: n + 1], n_steps=n, n_rejected=0)
 
 
 def integrate_rk4(
@@ -180,8 +207,9 @@ def integrate_rk4(
     if dt <= 0:
         raise ValueError("dt must be positive")
     y = _as_state(y0)
-    times = [t0]
-    states = [y.copy()]
+    times, states = _fixed_step_buffers(t0, t1, dt, len(y))
+    times[0] = t0
+    states[0] = y
     t = t0
     n = 0
     while t < t1:
@@ -192,7 +220,7 @@ def integrate_rk4(
         k4 = np.asarray(f(t + h, y + h * k3), dtype=float)
         y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
         t += h
-        times.append(t)
-        states.append(y.copy())
         n += 1
-    return IntegrationResult(np.array(times), np.array(states), n_steps=n, n_rejected=0)
+        times[n] = t
+        states[n] = y
+    return IntegrationResult(times[: n + 1], states[: n + 1], n_steps=n, n_rejected=0)

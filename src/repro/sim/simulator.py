@@ -22,6 +22,22 @@ Each step the simulator:
 
 The recorded time series and summary metrics are returned as a
 :class:`~repro.sim.result.SimulationResult`.
+
+Two engines implement that loop:
+
+* the **fast engine** (``SimulationConfig.fast = True``, the default) caches
+  the load power between platform actuation events (it only changes at OPP
+  transitions, brown-outs, reboots and transition boundaries — see
+  :attr:`repro.soc.platform.SoCPlatform.actuation_epoch`), evaluates the
+  supply's available (MPP) power lazily on actual record ticks, and records
+  into preallocated NumPy ring buffers written positionally; together with
+  the tabulated I-V surface of
+  :class:`~repro.sim.supplies.PVArraySupply` this makes a PV scenario several
+  times faster than the reference at bounded accuracy loss;
+* the **reference engine** (``fast=False``) keeps the original
+  straight-line implementation — per-step supply solves and eager MPP
+  lookups — and is the baseline ``benchmarks/bench_perf_sim.py`` measures
+  and asserts metric parity against.
 """
 
 from __future__ import annotations
@@ -72,6 +88,10 @@ class SimulationConfig:
     #: Constant CPU utilisation presented to utilisation-driven governors
     #: (the ray-tracing workload is CPU bound, so 1.0).
     utilization: float = 1.0
+    #: Use the fast engine (event-driven load power, lazy available-power
+    #: evaluation, allocation-free recording).  ``False`` selects the
+    #: reference engine, the parity/measurement baseline.
+    fast: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -90,8 +110,95 @@ class SimulationConfig:
             raise ValueError("utilization must lie in [0, 1]")
 
 
+#: Column order of the recorders' sample rows.
+_RECORD_COLUMNS = (
+    "times",
+    "voltage",
+    "harvested",
+    "available",
+    "consumed",
+    "frequency",
+    "n_little",
+    "n_big",
+    "running",
+    "instructions",
+    "v_low",
+    "v_high",
+)
+
+
 class _Recorder:
-    """Accumulates the decimated output time series."""
+    """Accumulates the decimated output series in a preallocated buffer.
+
+    Rows are written positionally into one ``(capacity, 12)`` float array —
+    no per-step kwargs dicts, no Python lists, no growth in the common case
+    (capacity is sized from the run duration; forced extra records trigger a
+    doubling growth).
+    """
+
+    __slots__ = ("record_interval_s", "next_record_time", "_buf", "_n")
+
+    def __init__(self, record_interval_s: float, duration_s: float):
+        self.record_interval_s = record_interval_s
+        self.next_record_time = 0.0
+        capacity = int(duration_s / record_interval_s) + 8
+        self._buf = np.empty((capacity, len(_RECORD_COLUMNS)), dtype=float)
+        self._n = 0
+
+    def record(
+        self,
+        t: float,
+        voltage: float,
+        harvested: float,
+        available: float,
+        consumed: float,
+        frequency: float,
+        n_little: int,
+        n_big: int,
+        running: float,
+        instructions: float,
+        v_low: float,
+        v_high: float,
+    ) -> None:
+        n = self._n
+        buf = self._buf
+        if n >= buf.shape[0]:
+            self._buf = buf = np.concatenate([buf, np.empty_like(buf)])
+        row = buf[n]
+        row[0] = t
+        row[1] = voltage
+        row[2] = harvested
+        row[3] = available
+        row[4] = consumed
+        row[5] = frequency
+        row[6] = n_little
+        row[7] = n_big
+        row[8] = running
+        row[9] = instructions
+        row[10] = v_low
+        row[11] = v_high
+        self._n = n + 1
+
+    def record_tick(self, t: float, *signals) -> None:
+        """Record a decimation-tick sample and advance the tick clock."""
+        self.record(t, *signals)
+        while self.next_record_time <= t + 1e-12:
+            self.next_record_time += self.record_interval_s
+
+    def to_arrays(self) -> dict:
+        data = self._buf[: self._n]
+        return {
+            name: data[:, j].astype(np.int64) if name in ("n_little", "n_big") else data[:, j].copy()
+            for j, name in enumerate(_RECORD_COLUMNS)
+        }
+
+
+class _ListRecorder:
+    """The reference engine's recorder (per-step kwargs, Python lists).
+
+    Kept verbatim as the measurement baseline for the allocation-free
+    recorder above.
+    """
 
     def __init__(self, record_interval_s: float):
         self.record_interval_s = record_interval_s
@@ -129,6 +236,22 @@ class _Recorder:
         self.instructions.append(signals["instructions"])
         self.v_low.append(signals["v_low"])
         self.v_high.append(signals["v_high"])
+
+    def to_arrays(self) -> dict:
+        return {
+            "times": np.array(self.times),
+            "voltage": np.array(self.voltage),
+            "harvested": np.array(self.harvested),
+            "available": np.array(self.available),
+            "consumed": np.array(self.consumed),
+            "frequency": np.array(self.frequency),
+            "n_little": np.array(self.n_little),
+            "n_big": np.array(self.n_big),
+            "running": np.array(self.running),
+            "instructions": np.array(self.instructions),
+            "v_low": np.array(self.v_low),
+            "v_high": np.array(self.v_high),
+        }
 
 
 class EnergyHarvestingSimulation:
@@ -188,6 +311,275 @@ class EnergyHarvestingSimulation:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
+        if self.config.fast:
+            return self._run_fast()
+        return self._run_reference()
+
+    def _run_fast(self) -> SimulationResult:
+        """The fast engine.
+
+        Numerically it performs the same adaptive Heun integration and the
+        same event handling as the reference engine; it differs in *when*
+        derived quantities are evaluated — load power per actuation epoch
+        instead of per step, available power per record tick instead of per
+        step — and in recording into preallocated buffers.
+        """
+        cfg = self.config
+        platform = self.platform
+        governor = self.governor
+        supply = self.supply
+        capacitor = self.capacitor
+        monitor = self.monitor
+
+        platform.reset()
+        governor.reset_accounting()
+
+        t = 0.0
+        vc = self._initial_voltage()
+        capacitor.reset(min(vc, capacitor.max_voltage))
+
+        governor.initialise(platform, t, vc)
+        uses_monitor = governor.uses_voltage_monitor
+        if uses_monitor:
+            self._program_monitor(vc)
+
+        recorder = _Recorder(cfg.record_interval_s, cfg.duration_s)
+        events: list[SimulationEvent] = []
+
+        instructions = 0.0
+        harvested_energy = 0.0
+        consumed_energy = 0.0
+        first_brownout: Optional[float] = None
+        was_running = platform.running
+
+        sampling_interval = governor.sampling_interval_s
+        next_tick = 0.0 if sampling_interval else float("inf")
+        next_monitor_rearm = cfg.monitor_rearm_interval_s
+        monitor_power = monitor.power_w if cfg.include_monitor_power else 0.0
+
+        # Hot-loop locals (attribute lookups hoisted out of the loop).
+        duration = cfg.duration_s
+        max_step = cfg.max_step_s
+        min_step = cfg.min_step_s
+        target_dv = cfg.target_dv_per_step
+        stop_on_brownout = cfg.stop_on_brownout
+        rearm_interval = cfg.monitor_rearm_interval_s
+        is_voltage_source = supply.is_voltage_source
+        supply_current = supply.step_current_fn()
+        supply_voltage_at = supply.voltage if is_voltage_source else None
+        cap_c = capacitor.capacitance_f
+        g_leak = capacitor.leakage_conductance_s
+        cap_vmax = capacitor.max_voltage
+        plat_min_v = platform.spec.minimum_voltage
+        utilization = cfg.utilization
+        monitor_sample = monitor.sample
+        platform_advance = platform.advance
+        next_record = recorder.next_record_time
+
+        # Event-driven load power: platform power and instruction rate are
+        # piecewise constant between actuation events; re-read them only when
+        # the platform's actuation epoch moves.
+        epoch = -1
+        load_power = 0.0
+        inst_rate = 0.0
+
+        while t < duration:
+            p_epoch = platform.actuation_epoch
+            if p_epoch != epoch:
+                epoch = p_epoch
+                load_power = platform.power(t) + monitor_power
+                inst_rate = platform.instruction_rate()
+
+            # --------------------------------------------------------------
+            # 1. Currents at the present node voltage; one Heun (RK2) step
+            # --------------------------------------------------------------
+            if is_voltage_source:
+                remaining = duration - t
+                dt = max_step if remaining > max_step else remaining
+                t_new = t + dt
+                vc_new = supply_voltage_at(t_new)
+                harvested_power = load_power
+            else:
+                i_load = load_power / (vc if vc > 0.5 else 0.5)
+                i_supply = supply_current(vc, t)
+                dvdt = (i_supply - i_load - g_leak * vc) / cap_c
+                # Adaptive step: keep the per-step voltage change small, never
+                # step past the end of the run or the next governor tick.
+                # (Branches instead of min()/max() calls: this arithmetic runs
+                # every step and builtin-call overhead is measurable here.)
+                dvdt_abs = dvdt if dvdt >= 0.0 else -dvdt
+                dt = target_dv / (dvdt_abs if dvdt_abs > 1e-9 else 1e-9)
+                if dt < min_step:
+                    dt = min_step
+                if dt > max_step:
+                    dt = max_step
+                remaining = duration - t
+                if dt > remaining:
+                    dt = remaining
+                if next_tick > t:
+                    gap = next_tick - t
+                    if gap < min_step:
+                        gap = min_step
+                    if dt > gap:
+                        dt = gap
+                vc_pred = vc + dvdt * dt
+                if vc_pred < 0.0:
+                    vc_pred = 0.0
+                elif vc_pred > cap_vmax:
+                    vc_pred = cap_vmax
+                i_supply_pred = supply_current(vc_pred, t + dt)
+                i_load_pred = load_power / (vc_pred if vc_pred > 0.5 else 0.5)
+                dvdt_pred = (i_supply_pred - i_load_pred - g_leak * vc_pred) / cap_c
+                vc_new = vc + 0.5 * (dvdt + dvdt_pred) * dt
+                if vc_new < 0.0:
+                    vc_new = 0.0
+                elif vc_new > cap_vmax:
+                    vc_new = cap_vmax
+                t_new = t + dt
+                harvested_power = i_supply * vc
+                capacitor.voltage = vc_new
+
+            # --------------------------------------------------------------
+            # 2. Accounting over the step
+            # --------------------------------------------------------------
+            instructions += inst_rate * dt
+            harvested_energy += harvested_power * dt
+            consumed_energy += load_power * dt
+
+            t = t_new
+            vc = vc_new
+
+            # --------------------------------------------------------------
+            # 3. Platform state machine: transitions, brown-out, reboot
+            #
+            # advance() is a no-op while the platform is running above the
+            # brown-out threshold with no transition in flight; skip the call
+            # in that (overwhelmingly common) case.
+            # --------------------------------------------------------------
+            if vc < plat_min_v or platform.pending is not None or not was_running:
+                platform_advance(t, vc)
+            running = platform.running
+            if was_running and not running:
+                events.append(SimulationEvent(t, "brownout", f"V_C={vc:.3f}V"))
+                if first_brownout is None:
+                    first_brownout = t
+                if stop_on_brownout:
+                    was_running = running
+                    recorder.record(
+                        t,
+                        vc,
+                        harvested_power,
+                        supply.available_power(t),
+                        load_power,
+                        0.0,
+                        0,
+                        0,
+                        0.0,
+                        instructions,
+                        monitor.v_low,
+                        monitor.v_high,
+                    )
+                    break
+            elif not was_running and running:
+                events.append(SimulationEvent(t, "reboot", f"V_C={vc:.3f}V"))
+                governor.initialise(platform, t, vc)
+                if uses_monitor:
+                    self._program_monitor(vc)
+            was_running = running
+
+            # --------------------------------------------------------------
+            # 4. Voltage monitor -> governor interrupts
+            #
+            # Interrupts are held off while an OPP transition is in flight:
+            # the ISR performs the sysfs writes synchronously, so the next
+            # threshold crossing is serviced only once the previous response
+            # has taken effect (this is the dead time Table I budgets for).
+            # --------------------------------------------------------------
+            if uses_monitor and running and platform.pending is None:
+                if t >= next_monitor_rearm:
+                    # Periodic re-poll of a persistently asserted comparator.
+                    monitor.prime(vc)
+                    next_monitor_rearm = t + rearm_interval
+                crossings = monitor_sample(vc)
+                if crossings:
+                    for crossing in crossings:
+                        events.append(SimulationEvent(t, crossing.value, f"V_C={vc:.3f}V"))
+                        thresholds_before = monitor.v_low, monitor.v_high
+                        decision = governor.on_interrupt(crossing, t, vc, platform)
+                        self._apply_decision(decision, t, events)
+                        self._program_monitor(vc)
+                        thresholds_after = monitor.v_low, monitor.v_high
+                        if decision is None and thresholds_after == thresholds_before:
+                            # The governor is saturated (nothing changed):
+                            # fall back to edge semantics so a supply that
+                            # stays beyond the threshold does not generate an
+                            # interrupt storm.
+                            monitor.acknowledge(vc)
+
+            # --------------------------------------------------------------
+            # 5. Periodic governor tick (Linux-style governors)
+            # --------------------------------------------------------------
+            if sampling_interval and t >= next_tick:
+                if running:
+                    decision = governor.on_tick(t, vc, utilization, platform)
+                    self._apply_decision(decision, t, events)
+                next_tick += sampling_interval
+
+            # --------------------------------------------------------------
+            # 6. Record (decimated; available power evaluated lazily, only
+            #    when this step actually lands on a record tick)
+            # --------------------------------------------------------------
+            if t + 1e-12 >= next_record:
+                if running:
+                    opp = platform.current_opp
+                    recorder.record_tick(
+                        t,
+                        vc,
+                        harvested_power,
+                        supply.available_power(t),
+                        load_power,
+                        opp.frequency_hz,
+                        opp.config.n_little,
+                        opp.config.n_big,
+                        1.0,
+                        instructions,
+                        monitor.v_low,
+                        monitor.v_high,
+                    )
+                else:
+                    recorder.record_tick(
+                        t,
+                        vc,
+                        harvested_power,
+                        supply.available_power(t),
+                        monitor_power,
+                        0.0,
+                        0,
+                        0,
+                        0.0,
+                        instructions,
+                        monitor.v_low,
+                        monitor.v_high,
+                    )
+                next_record = recorder.next_record_time
+
+        return self._finalise(
+            recorder.to_arrays(),
+            events,
+            t,
+            instructions,
+            harvested_energy,
+            consumed_energy,
+            first_brownout,
+        )
+
+    def _run_reference(self) -> SimulationResult:
+        """The reference engine: the original straight-line implementation.
+
+        Per-step supply solves, eager available-power lookups and the
+        kwargs-based recorder, kept as the baseline the fast engine is
+        measured and parity-checked against (``bench_perf_sim.py``).
+        """
         cfg = self.config
         platform = self.platform
         governor = self.governor
@@ -204,7 +596,7 @@ class EnergyHarvestingSimulation:
         if governor.uses_voltage_monitor:
             self._program_monitor(vc)
 
-        recorder = _Recorder(cfg.record_interval_s)
+        recorder = _ListRecorder(cfg.record_interval_s)
         events: list[SimulationEvent] = []
 
         instructions = 0.0
@@ -230,7 +622,6 @@ class EnergyHarvestingSimulation:
                 dt = min(cfg.max_step_s, cfg.duration_s - t)
                 t_new = t + dt
                 vc_new = supply.voltage(t_new)
-                i_supply = i_load
                 harvested_power = load_power
             else:
                 i_supply = supply.current(vc, t)
@@ -296,12 +687,7 @@ class EnergyHarvestingSimulation:
             was_running = platform.running
 
             # --------------------------------------------------------------
-            # 4. Voltage monitor -> governor interrupts
-            #
-            # Interrupts are held off while an OPP transition is in flight:
-            # the ISR performs the sysfs writes synchronously, so the next
-            # threshold crossing is serviced only once the previous response
-            # has taken effect (this is the dead time Table I budgets for).
+            # 4. Voltage monitor -> governor interrupts (see _run_fast)
             # --------------------------------------------------------------
             if governor.uses_voltage_monitor and platform.running and not platform.is_transitioning:
                 if t >= next_monitor_rearm:
@@ -316,9 +702,6 @@ class EnergyHarvestingSimulation:
                     self._program_monitor(vc)
                     thresholds_after = self.monitor.v_low, self.monitor.v_high
                     if decision is None and thresholds_after == thresholds_before:
-                        # The governor is saturated (nothing changed): fall
-                        # back to edge semantics so a supply that stays beyond
-                        # the threshold does not generate an interrupt storm.
                         self.monitor.acknowledge(vc)
 
             # --------------------------------------------------------------
@@ -348,33 +731,53 @@ class EnergyHarvestingSimulation:
                 v_high=self.monitor.v_high,
             )
 
+        return self._finalise(
+            recorder.to_arrays(),
+            events,
+            t,
+            instructions,
+            harvested_energy,
+            consumed_energy,
+            first_brownout,
+        )
+
+    def _finalise(
+        self,
+        arrays: dict,
+        events: list[SimulationEvent],
+        t: float,
+        instructions: float,
+        harvested_energy: float,
+        consumed_energy: float,
+        first_brownout: Optional[float],
+    ) -> SimulationResult:
         return SimulationResult(
-            times=np.array(recorder.times),
-            supply_voltage=np.array(recorder.voltage),
-            harvested_power=np.array(recorder.harvested),
-            available_power=np.array(recorder.available),
-            consumed_power=np.array(recorder.consumed),
-            frequency_hz=np.array(recorder.frequency),
-            n_little=np.array(recorder.n_little),
-            n_big=np.array(recorder.n_big),
-            running=np.array(recorder.running),
-            instructions=np.array(recorder.instructions),
-            v_low=np.array(recorder.v_low),
-            v_high=np.array(recorder.v_high),
+            times=arrays["times"],
+            supply_voltage=arrays["voltage"],
+            harvested_power=arrays["harvested"],
+            available_power=arrays["available"],
+            consumed_power=arrays["consumed"],
+            frequency_hz=arrays["frequency"],
+            n_little=arrays["n_little"],
+            n_big=arrays["n_big"],
+            running=arrays["running"],
+            instructions=arrays["instructions"],
+            v_low=arrays["v_low"],
+            v_high=arrays["v_high"],
             events=events,
-            duration_s=min(t, cfg.duration_s),
+            duration_s=min(t, self.config.duration_s),
             total_instructions=instructions,
             harvested_energy_j=harvested_energy,
             consumed_energy_j=consumed_energy,
-            brownout_count=platform.brownout_count,
+            brownout_count=self.platform.brownout_count,
             first_brownout_time=first_brownout,
-            transition_count=platform.transition_count,
-            dvfs_transition_count=platform.dvfs_transition_count,
-            hotplug_transition_count=platform.hotplug_transition_count,
+            transition_count=self.platform.transition_count,
+            dvfs_transition_count=self.platform.dvfs_transition_count,
+            hotplug_transition_count=self.platform.hotplug_transition_count,
             interrupt_count=self.monitor.interrupt_count,
-            governor_invocations=governor.invocation_count,
-            governor_cpu_time_s=governor.cpu_time_s,
-            governor_name=governor.name,
+            governor_invocations=self.governor.invocation_count,
+            governor_cpu_time_s=self.governor.cpu_time_s,
+            governor_name=self.governor.name,
         )
 
     def _apply_decision(

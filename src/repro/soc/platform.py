@@ -112,6 +112,7 @@ class SoCPlatform:
         self.dvfs_transition_count: int = 0
         self.hotplug_transition_count: int = 0
         self.brownout_count: int = 0
+        self.actuation_epoch: int = getattr(self, "actuation_epoch", 0) + 1
 
     @property
     def opp_table(self) -> OPPTable:
@@ -128,6 +129,19 @@ class SoCPlatform:
     # ------------------------------------------------------------------
     # Power / performance queries
     # ------------------------------------------------------------------
+    # ``actuation_epoch`` is the cached-value protocol for :meth:`power` and
+    # :meth:`instruction_rate`: both are piecewise constant between actuation
+    # events (OPP requests, transition completions, brown-outs, reboots,
+    # resets), and the counter increments exactly at those events.  A caller
+    # that evaluates power every step — the system simulator's hot loop —
+    # caches the value and recomputes only when the epoch moved, instead of
+    # re-walking the power model per step.
+
+    def power_changed_since(self, epoch: int) -> bool:
+        """Whether board power / instruction rate may differ from when the
+        caller last observed :attr:`actuation_epoch` equal to ``epoch``."""
+        return self.actuation_epoch != epoch
+
     def power(self, now: float | None = None) -> float:
         """Board power draw right now (W)."""
         if not self.running:
@@ -193,6 +207,7 @@ class SoCPlatform:
         if abs(origin.frequency_hz - target.frequency_hz) > 1.0:
             self.dvfs_transition_count += 1
         self.transition_count += 1
+        self.actuation_epoch += 1
 
         if latency <= 0.0:
             self.current_opp = target
@@ -217,16 +232,19 @@ class SoCPlatform:
                 self.pending = None
                 self.brownout_count += 1
                 self._reboot_ready_at = now + self.spec.reboot_latency_s
+                self.actuation_epoch += 1
                 return
             if self.pending is not None and now >= self.pending.completes_at:
                 self.current_opp = self.pending.target
                 self.pending = None
+                self.actuation_epoch += 1
         else:
             if supply_voltage >= self.spec.reboot_voltage and now >= self._reboot_ready_at:
                 # Cold boot back to the lowest OPP.
                 self.running = True
                 self.current_opp = self._initial_opp
                 self.pending = None
+                self.actuation_epoch += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "running" if self.running else "off"

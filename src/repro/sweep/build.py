@@ -117,6 +117,7 @@ def build_system(
     initial_voltage=_UNSET,
     record_interval_s: Optional[float] = None,
     max_step_s: Optional[float] = None,
+    fast: bool = True,
     **sim_overrides,
 ) -> BuiltSystem:
     """Resolve a scenario config into a ready simulation.
@@ -134,6 +135,16 @@ def build_system(
         the supply's open-circuit voltage").
     record_interval_s / max_step_s:
         Override the supply kind's registered simulation step defaults.
+    fast:
+        Run the simulator's fast engine (the default for every campaign and
+        experiment).  ``fast=False`` selects the exact reference path: the
+        straight-line simulator loop *and* per-call Lambert-W supply solves
+        (the ``exact`` flag of the supply built here is set to ``not fast``;
+        a pre-built ``supply=`` instance is never mutated).  The choice
+        is an execution detail — it is not part of the scenario identity, so
+        stored campaign results remain comparable across both engines (the
+        fast path's accuracy loss is bounded well inside the metric
+        tolerances the parity suite enforces).
     sim_overrides:
         Any further :class:`~repro.sim.simulator.SimulationConfig` fields.
     """
@@ -142,6 +153,11 @@ def build_system(
 
     if supply is None:
         supply = build_supply(config.supply, config.duration_s)
+        # Supplies built here follow the engine choice symmetrically; a
+        # caller-passed supply instance keeps whatever exact setting the
+        # caller gave it.
+        if hasattr(supply, "exact"):
+            supply.exact = not fast
     if platform is None:
         platform = build_platform(config.platform)
     if governor is None:
@@ -165,6 +181,7 @@ def build_system(
         initial_voltage=initial_voltage,
         monitor_quantised=config.monitor_quantised,
         utilization=workload.utilization,
+        fast=fast,
         **sim_defaults,
         **sim_overrides,
     )

@@ -1,0 +1,328 @@
+"""Fast-path vs exact parity suite (PR 4 tentpole).
+
+Covers the three layers of the fast simulation core:
+
+* the tabulated bilinear I-V surface against the exact Lambert-W solve
+  (grid parity within the declared tolerance, ``exact=True`` bypass),
+* the vectorised building blocks it rests on (``current_array``,
+  ``open_circuit_voltage_array``, ``TraceCursor``, ``state_at``),
+* the fast simulator engine end-to-end against the reference engine on the
+  Table II seed scenarios (summary metrics within 1%, brown-out counts
+  exactly equal).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.energy.irradiance import constant_irradiance
+from repro.energy.pv_array import paper_pv_array
+from repro.energy.traces import Trace, TraceCursor
+from repro.sim.ode import integrate_euler, integrate_rk23, integrate_rk4
+from repro.sim.supplies import ConstantPowerSupply, PVArraySupply
+from repro.soc.cores import CoreConfig
+from repro.soc.exynos5422 import build_exynos5422_platform
+from repro.soc.opp import GHZ, OperatingPoint
+from repro.sweep.build import build_system
+from repro.sweep.spec import ScenarioConfig
+
+
+# ----------------------------------------------------------------------
+# Tabulated I-V surface
+# ----------------------------------------------------------------------
+class TestIVSurfaceTable:
+    @pytest.fixture(scope="class")
+    def supply(self):
+        return PVArraySupply(paper_pv_array(), constant_irradiance(1000.0, duration=30.0, dt=1.0))
+
+    def test_grid_parity_within_declared_tolerance(self, supply):
+        """Tabulated currents match the exact solve over a dense
+        (irradiance x voltage) probe grid, within the declared full-scale
+        tolerance."""
+        array = paper_pv_array()
+        table = supply.iv_table
+        assert table is not None
+        assert table.max_rel_error <= 5e-3  # the declared construction bound
+        full_scale = array.short_circuit_current(1000.0)
+        rng = np.random.default_rng(42)
+        voltages = rng.uniform(0.0, 7.3, size=400)
+        irradiances = rng.uniform(0.0, 1000.0, size=400)
+        for v, g in zip(voltages, irradiances):
+            exact = array.current(float(v), float(g))
+            fast = table.current(float(v), float(g))
+            assert abs(fast - exact) <= table.max_rel_error * full_scale * 1.05
+
+    def test_lookup_clamps_to_grid_edges(self, supply):
+        table = supply.iv_table
+        # Beyond open-circuit voltage the clipped current is zero.
+        assert table.current(9.5, 1000.0) == pytest.approx(0.0, abs=1e-9)
+        # Negative voltage clamps onto the short-circuit row.
+        isc = paper_pv_array().short_circuit_current(1000.0)
+        assert table.current(-0.2, 1000.0) == pytest.approx(isc, rel=5e-3)
+        # Irradiance beyond the trace maximum clamps onto the brightest column.
+        assert table.current(3.0, 2000.0) == pytest.approx(table.current(3.0, 1000.0))
+
+    def test_exact_true_bypasses_tabulation(self):
+        supply = PVArraySupply(
+            paper_pv_array(), constant_irradiance(800.0, duration=10.0), exact=True
+        )
+        assert supply.iv_table is None
+        assert supply.current(5.0, 1.0) == paper_pv_array().current(5.0, 800.0)
+
+    def test_toggling_exact_builds_table_lazily(self):
+        supply = PVArraySupply(
+            paper_pv_array(), constant_irradiance(800.0, duration=10.0), exact=True
+        )
+        supply.exact = False
+        assert supply.iv_table is not None
+        assert supply.current(5.0, 1.0) == pytest.approx(
+            paper_pv_array().current(5.0, 800.0), rel=2e-2
+        )
+
+    def test_unreachable_tolerance_raises_at_table_build(self):
+        supply = PVArraySupply(
+            paper_pv_array(),
+            constant_irradiance(1000.0, duration=10.0),
+            table_voltage_points=3,
+            table_irradiance_points=3,
+            table_rel_tol=1e-9,
+        )
+        # The table is lazy: the failure surfaces at the first fast lookup
+        # (before any interpolated current is ever answered).
+        with pytest.raises(ValueError, match="use exact=True"):
+            supply.current(5.0, 0.0)
+
+    def test_step_current_fn_matches_current(self, supply):
+        fn = supply.step_current_fn()
+        for v, t in ((5.1, 0.0), (5.2, 3.0), (4.9, 3.0), (6.5, 12.0), (0.1, 29.0)):
+            assert fn(v, t) == pytest.approx(supply.current(v, t), rel=1e-12, abs=1e-15)
+
+    def test_step_current_fn_clamps_before_trace_start(self):
+        # Regression: a trace recorded mid-day starts at t > 0; lookups in
+        # the pre-trace prefix must clamp to the first sample (like
+        # Trace.value_at), not linearly extrapolate into darkness.
+        from repro.energy.traces import IrradianceTrace
+
+        trace = IrradianceTrace(times=[100.0, 200.0], values=[800.0, 900.0])
+        supply = PVArraySupply(paper_pv_array(), trace)
+        fn = supply.step_current_fn()
+        assert fn(5.0, 0.0) == pytest.approx(supply.current(5.0, 0.0), rel=1e-12)
+        assert fn(5.0, 150.0) == pytest.approx(supply.current(5.0, 150.0), rel=1e-12)
+        # Exactly on a sample instant, after having advanced past it.
+        assert fn(5.0, 200.0) == pytest.approx(supply.current(5.0, 200.0), rel=1e-12)
+        assert fn(5.0, 100.0) == pytest.approx(supply.current(5.0, 100.0), rel=1e-12)
+
+    def test_step_current_fn_exact_mode(self):
+        supply = PVArraySupply(
+            paper_pv_array(), constant_irradiance(700.0, duration=10.0), exact=True
+        )
+        fn = supply.step_current_fn()
+        assert fn(5.0, 2.0) == supply.current(5.0, 2.0)
+
+    def test_constant_power_step_current_fn(self):
+        supply = ConstantPowerSupply(Trace(times=[0.0, 10.0], values=[3.0, 1.0]))
+        fn = supply.step_current_fn()
+        for v, t in ((5.0, 0.0), (5.5, 5.0), (0.2, 9.0), (7.0, 2.0)):
+            assert fn(v, t) == pytest.approx(supply.current(v, t))
+
+
+# ----------------------------------------------------------------------
+# Vectorised building blocks
+# ----------------------------------------------------------------------
+class TestVectorisedSolves:
+    def test_current_array_matches_scalar_loop(self):
+        cell = paper_pv_array().cell
+        voltages = np.linspace(-0.1, 0.9, 37)
+        for g in (0.0, 4.0, 220.0, 1000.0):
+            vec = cell.current_array(voltages, g)
+            scalar = np.array([cell.current(float(v), g) for v in voltages])
+            np.testing.assert_allclose(vec, scalar, rtol=1e-12, atol=1e-15)
+
+    def test_current_surface_matches_scalar_grid(self):
+        array = paper_pv_array()
+        voltages = np.linspace(0.0, 7.2, 9)
+        irradiances = np.linspace(0.0, 1000.0, 7)
+        surface = array.current_surface(voltages, irradiances)
+        for i, v in enumerate(voltages):
+            for j, g in enumerate(irradiances):
+                assert surface[i, j] == pytest.approx(
+                    array.current(float(v), float(g)), rel=1e-12, abs=1e-15
+                )
+
+    def test_open_circuit_voltage_array_matches_scalar(self):
+        array = paper_pv_array()
+        irradiances = np.array([0.0, 15.0, 340.0, 1000.0])
+        vec = array.open_circuit_voltage_array(irradiances)
+        scalar = np.array([array.open_circuit_voltage(float(g)) for g in irradiances])
+        np.testing.assert_allclose(vec, scalar, atol=1e-6)
+
+    def test_mpp_power_array_matches_golden_section(self):
+        array = paper_pv_array()
+        irradiances = np.array([0.0, 120.0, 560.0, 1000.0])
+        dense = array.mpp_power_array(irradiances)
+        golden = np.array([array.power_at_mpp(float(g)) if g > 0 else 0.0 for g in irradiances])
+        np.testing.assert_allclose(dense, golden, rtol=1e-3, atol=1e-9)
+
+
+class TestTraceCursor:
+    def test_matches_np_interp_forward_and_backward(self):
+        rng = np.random.default_rng(3)
+        times = np.sort(rng.uniform(0.0, 100.0, size=40))
+        values = rng.normal(size=40)
+        trace = Trace(times=times, values=values)
+        cursor = TraceCursor(trace)
+        ts = list(np.linspace(-5.0, 105.0, 73))
+        # Forward sweep, then deliberately out-of-order probes.
+        for t in ts + [50.0, 3.0, 99.0, 0.5]:
+            assert cursor.value(float(t)) == pytest.approx(trace.value_at(float(t)), abs=1e-12)
+
+    def test_clamps_at_trace_ends(self):
+        trace = Trace(times=[1.0, 2.0], values=[10.0, 20.0])
+        cursor = trace.cursor()
+        assert cursor.value(0.0) == 10.0
+        assert cursor.value(5.0) == 20.0
+
+
+class TestStateAtVectorised:
+    def test_matches_per_column_interp(self):
+        result = integrate_rk23(
+            lambda t, y: np.array([y[1], -y[0]]), (0.0, 6.0), [1.0, 0.0], rtol=1e-6, atol=1e-9
+        )
+        for t in (-1.0, 0.0, 0.7, 3.1415, 6.0, 9.0):
+            expected = np.array(
+                [np.interp(t, result.times, result.states[:, j]) for j in range(2)]
+            )
+            np.testing.assert_allclose(result.state_at(t), expected, atol=1e-12)
+
+    def test_fixed_step_integrators_cover_interval(self):
+        for integrate in (integrate_euler, integrate_rk4):
+            result = integrate(lambda t, y: -y, (0.0, 1.0), 1.0, dt=0.093)
+            assert result.times[0] == 0.0
+            assert result.times[-1] == pytest.approx(1.0)
+            assert np.all(np.diff(result.times) > 0)
+            assert len(result.times) == len(result.states)
+            assert result.final_state[0] == pytest.approx(math.exp(-1.0), rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# Platform actuation-epoch protocol
+# ----------------------------------------------------------------------
+class TestActuationEpoch:
+    def test_epoch_moves_exactly_at_power_events(self):
+        platform = build_exynos5422_platform()
+        epoch = platform.actuation_epoch
+
+        # Idle advance above the brown-out threshold: no change.
+        platform.advance(1.0, 5.3)
+        assert not platform.power_changed_since(epoch)
+
+        # An OPP request starts a transition: power changes.
+        target = OperatingPoint(CoreConfig(4, 4), 1.8 * GHZ)
+        latency = platform.request_opp(target, 1.0)
+        assert latency > 0
+        assert platform.power_changed_since(epoch)
+        epoch = platform.actuation_epoch
+
+        # In-flight advance: no change until the transition completes.
+        platform.advance(1.0 + latency / 2, 5.3)
+        assert not platform.power_changed_since(epoch)
+        platform.advance(1.0 + latency + 1e-6, 5.3)
+        assert platform.power_changed_since(epoch)
+        epoch = platform.actuation_epoch
+
+        # Brown-out, then reboot: both are power events.
+        platform.advance(3.0, 3.0)
+        assert not platform.running
+        assert platform.power_changed_since(epoch)
+        epoch = platform.actuation_epoch
+        platform.advance(3.0 + platform.spec.reboot_latency_s + 1.0, 5.0)
+        assert platform.running
+        assert platform.power_changed_since(epoch)
+
+    def test_noop_request_does_not_move_epoch(self):
+        platform = build_exynos5422_platform()
+        epoch = platform.actuation_epoch
+        platform.request_opp(platform.current_opp, 0.0)
+        assert platform.actuation_epoch == epoch
+
+
+# ----------------------------------------------------------------------
+# End-to-end engine parity on the Table II seed scenarios
+# ----------------------------------------------------------------------
+def _run_both(config: ScenarioConfig):
+    fast = build_system(config, fast=True).run()
+    exact = build_system(config, fast=False).run()
+    return fast, exact
+
+
+def _assert_metric_parity(fast, exact, rel=0.01):
+    assert fast.brownout_count == exact.brownout_count
+    for name in ("total_instructions", "harvested_energy_j", "consumed_energy_j"):
+        a = float(getattr(fast, name))
+        b = float(getattr(exact, name))
+        assert a == pytest.approx(b, rel=rel, abs=1e-9), name
+
+
+class TestEndToEndParity:
+    def test_pv_interrupt_governor(self):
+        config = ScenarioConfig(governor="power-neutral", supply="pv-array", duration_s=12.0)
+        fast, exact = _run_both(config)
+        _assert_metric_parity(fast, exact)
+        assert len(fast.times) == len(exact.times)
+        np.testing.assert_allclose(fast.supply_voltage, exact.supply_voltage, atol=0.05)
+
+    def test_pv_tick_governor(self):
+        config = ScenarioConfig(governor="ondemand", supply="pv-array", duration_s=12.0)
+        fast, exact = _run_both(config)
+        _assert_metric_parity(fast, exact)
+
+    def test_constant_power_supply(self):
+        config = ScenarioConfig(
+            governor="ondemand",
+            supply={"kind": "constant-power", "power_w": 2.5},
+            duration_s=12.0,
+        )
+        fast, exact = _run_both(config)
+        _assert_metric_parity(fast, exact)
+
+    def test_controlled_voltage_series_identical(self):
+        config = ScenarioConfig(
+            governor="power-neutral-fig11", supply="controlled-voltage", duration_s=12.0
+        )
+        fast, exact = _run_both(config)
+        _assert_metric_parity(fast, exact, rel=1e-9)
+        np.testing.assert_allclose(fast.supply_voltage, exact.supply_voltage, atol=1e-12)
+
+    def test_build_system_fast_flag_plumbs_through(self):
+        config = ScenarioConfig(governor="power-neutral", supply="pv-array", duration_s=5.0)
+        fast_system = build_system(config, fast=True)
+        exact_system = build_system(config, fast=False)
+        assert fast_system.simulation.config.fast is True
+        assert fast_system.simulation.supply.exact is False
+        assert exact_system.simulation.config.fast is False
+        assert exact_system.simulation.supply.exact is True
+        # The exact system must never have paid for (or built) the table.
+        assert exact_system.simulation.supply._table is None
+
+    def test_recorded_series_consistent_with_decimation(self):
+        config = ScenarioConfig(governor="power-neutral", supply="pv-array", duration_s=8.0)
+        result = build_system(config, record_interval_s=0.1).run()
+        assert len(result.times) == pytest.approx(8.0 / 0.1, abs=3)
+        assert np.all(np.diff(result.times) > 0)
+        assert result.n_little.dtype.kind == "i"
+        assert result.n_big.dtype.kind == "i"
+
+    def test_recorder_growth_beyond_initial_capacity(self):
+        # Forced (non-tick) records can exceed the duration-derived capacity;
+        # the buffer must grow transparently.
+        from repro.sim.simulator import _Recorder
+
+        recorder = _Recorder(record_interval_s=1.0, duration_s=2.0)
+        for k in range(100):
+            recorder.record(float(k), 5.0, 1.0, 2.0, 3.0, 1e9, 4, 1, 1.0, float(k), 4.9, 5.4)
+        arrays = recorder.to_arrays()
+        assert len(arrays["times"]) == 100
+        np.testing.assert_allclose(arrays["times"], np.arange(100.0))
+        assert arrays["n_little"].dtype.kind == "i"
+        assert list(arrays["n_little"][:3]) == [4, 4, 4]

@@ -18,8 +18,20 @@ def pv_supply():
 
 class TestPVArraySupply:
     def test_current_matches_array_model(self, pv_supply):
+        # The default (tabulated) supply matches the exact solve within the
+        # table's declared full-scale tolerance ...
         array = paper_pv_array()
-        assert pv_supply.current(5.0, t=10.0) == pytest.approx(array.current(5.0, 1000.0), rel=1e-6)
+        exact = array.current(5.0, 1000.0)
+        full_scale = array.short_circuit_current(1000.0)
+        tol = pv_supply.iv_table.max_rel_error * full_scale
+        assert abs(pv_supply.current(5.0, t=10.0) - exact) <= tol
+
+    def test_exact_supply_matches_array_model_exactly(self):
+        # ... and an exact=True supply bypasses tabulation entirely.
+        array = paper_pv_array()
+        supply = PVArraySupply(array, constant_irradiance(1000.0, duration=60.0, dt=1.0), exact=True)
+        assert supply.iv_table is None
+        assert supply.current(5.0, t=10.0) == pytest.approx(array.current(5.0, 1000.0), rel=1e-12)
 
     def test_available_power_is_mpp_power(self, pv_supply):
         array = paper_pv_array()
