@@ -1,0 +1,185 @@
+"""Sharded campaign execution and store merging: measurement harness.
+
+Measures the two costs the distributed subsystem (``repro.sweep.dist``)
+introduces and the win it buys:
+
+* **fan-out** — one campaign run single-process (``SweepRunner``) vs the
+  same campaign as N local shard worker processes (``DistRunner``), with the
+  merged stores verified key-identical and record-equal before any number is
+  reported;
+* **merge throughput** — ``merge_stores`` over synthetic shard stores
+  (compacted, so the idx-sidecar fast path is exercised), reported as
+  records merged per second.
+
+Writes ``BENCH_dist.json`` so the trajectory is tracked from PR 5 onward.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_dist_shard_merge.py           # full
+    PYTHONPATH=src python benchmarks/bench_dist_shard_merge.py --quick   # CI smoke
+
+The exit code reflects *correctness only* (merged-vs-single store equality):
+raw timing never fails the run — process spawn overhead dominates tiny
+grids, and CI runners are noisy — the numbers are for the log and the JSON.
+"""
+
+import argparse
+import json
+import os
+import platform as platform_mod
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _bench_utils import emit, print_header
+
+from repro.sweep import (
+    DistRunner,
+    ResultStore,
+    ScenarioConfig,
+    SweepRunner,
+    SweepSpec,
+    merge_stores,
+    shard_index_of,
+)
+
+
+def campaign(duration_s: float, seeds) -> SweepSpec:
+    return SweepSpec.grid(
+        governors=["power-neutral", "powersave", "ondemand"],
+        weather=["full_sun", "cloud"],
+        seeds=list(seeds),
+        duration_s=duration_s,
+    )
+
+
+def records_without_timing(store: ResultStore) -> dict:
+    return {
+        r["scenario_id"]: {k: v for k, v in r.items() if k != "elapsed_s"}
+        for r in store.records()
+    }
+
+
+def bench_fan_out(workdir: Path, duration_s: float, seeds, n_shards: int) -> dict:
+    spec = campaign(duration_s, seeds)
+
+    single_store = ResultStore(workdir / "single.jsonl")
+    started = time.perf_counter()
+    single_report = SweepRunner(single_store, workers=1).run(spec)
+    single_s = time.perf_counter() - started
+    assert single_report.succeeded, "single-process campaign failed"
+
+    dist_store = ResultStore(workdir / "dist.jsonl")
+    started = time.perf_counter()
+    dist_report = DistRunner(dist_store, n_shards=n_shards).run(spec)
+    dist_s = time.perf_counter() - started
+    assert dist_report.succeeded, "distributed campaign failed"
+
+    identical = records_without_timing(ResultStore(workdir / "dist.jsonl")) == (
+        records_without_timing(single_store)
+    )
+    return {
+        "scenarios": len(spec),
+        "n_shards": n_shards,
+        "single_s": round(single_s, 4),
+        "dist_s": round(dist_s, 4),
+        "speedup": round(single_s / dist_s, 3) if dist_s > 0 else None,
+        "stores_identical": identical,
+    }
+
+
+def synthetic_record(i: int) -> dict:
+    config = ScenarioConfig(governor="power-neutral", seed=i, duration_s=30.0)
+    return {
+        "scenario_id": config.scenario_id,
+        "config": config.to_dict(),
+        "status": "ok",
+        "summary": {"survived": True, "instructions": 1e9 + i},
+        "elapsed_s": 0.01,
+    }
+
+
+def bench_merge(workdir: Path, n_records: int, n_shards: int) -> dict:
+    """Merge throughput over synthetic compacted shard stores."""
+    shard_paths = [workdir / f"merge-shard-{i}.jsonl" for i in range(n_shards)]
+    stores = [ResultStore(p) for p in shard_paths]
+    for i in range(n_records):
+        record = synthetic_record(i)
+        stores[shard_index_of(record["scenario_id"], n_shards)].append(record)
+    for store in stores:
+        store.compact()  # exercise the idx-sidecar merge fast path
+
+    dest = ResultStore(workdir / "merge-dest.jsonl")
+    started = time.perf_counter()
+    stats = merge_stores(dest, shard_paths)
+    elapsed = time.perf_counter() - started
+    assert stats["records"] == n_records, stats
+    return {
+        "records": n_records,
+        "n_shards": n_shards,
+        "merge_s": round(elapsed, 4),
+        "records_per_s": round(n_records / elapsed) if elapsed > 0 else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized campaign and merge")
+    parser.add_argument("--shards", type=int, default=2, help="shard worker count")
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_dist.json"), help="JSON output path"
+    )
+    args = parser.parse_args(argv)
+
+    duration_s = 4.0 if args.quick else 20.0
+    seeds = (1,) if args.quick else (1, 2)
+    merge_records = 500 if args.quick else 5000
+
+    print_header(
+        "Sharded campaign execution + store merge (repro.sweep.dist)",
+        "ROADMAP: distributed / multi-host campaign execution",
+    )
+    workdir = Path(tempfile.mkdtemp(prefix="bench_dist_"))
+    try:
+        fan_out = bench_fan_out(workdir, duration_s, seeds, args.shards)
+        cores = os.cpu_count() or 1
+        emit(
+            f"fan-out: {fan_out['scenarios']} scenarios | single {fan_out['single_s']:.2f} s "
+            f"| {args.shards} shards {fan_out['dist_s']:.2f} s "
+            f"| speedup {fan_out['speedup']}x on {cores} core(s) "
+            f"| stores identical: {fan_out['stores_identical']}"
+        )
+        if cores < args.shards:
+            emit(
+                f"note: only {cores} core(s) visible — shard workers time-share, "
+                "so the speedup here measures overhead, not scaling"
+            )
+        merge = bench_merge(workdir, merge_records, args.shards)
+        emit(
+            f"merge: {merge['records']} records from {merge['n_shards']} shard stores "
+            f"in {merge['merge_s']:.3f} s ({merge['records_per_s']} records/s)"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    record = {
+        "bench": "dist_shard_merge",
+        "python": platform_mod.python_version(),
+        "machine": platform_mod.machine(),
+        "cpus": os.cpu_count() or 1,
+        "quick": bool(args.quick),
+        "fan_out": fan_out,
+        "merge": merge,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    emit(f"wrote {args.out}")
+    if not fan_out["stores_identical"]:
+        emit("FAIL: merged shard stores differ from the single-process run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,21 @@ Compact a long-lived store (drop superseded records, write the O(1)-open
 index sidecar)::
 
     repro-pns store compact --store campaign.jsonl
+
+Distribute a campaign: run disjoint, content-addressed shards (one per host
+or one per terminal), then merge the shard stores into the one store every
+other subcommand consumes::
+
+    repro-pns shard --preset table2-pv --num-shards 2 --shard-index 0 --store shard-0.jsonl
+    repro-pns shard --preset table2-pv --num-shards 2 --shard-index 1 --store shard-1.jsonl
+    repro-pns store merge campaign.jsonl shard-0.jsonl shard-1.jsonl
+    repro-pns sweep --preset table2-pv --store campaign.jsonl --resume   # executed: 0
+
+Any campaign or boundary search can run on the exact reference engine
+instead of the fast core (``--exact``); the engine is not part of the
+scenario identity, so both engines share one store::
+
+    repro-pns sweep --preset table2-pv --exact --store campaign.jsonl
 """
 
 from __future__ import annotations
@@ -152,64 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
             "campaign (e.g. the Fig. 11 controlled-supply governor sweep)."
         ),
     )
-    sweep.add_argument(
-        "--preset",
-        choices=sweep_module.preset_names(),
-        default=None,
-        help="run a built-in campaign preset instead of composing a grid from flags",
-    )
-    sweep.add_argument(
-        "--supply",
-        choices=sweep_module.SUPPLIES.names(),
-        default="pv-array",
-        help="supply component kind driving every scenario (default: %(default)s)",
-    )
-    sweep.add_argument(
-        "--supply-param",
-        action="append",
-        default=[],
-        metavar="KEY=VALUE",
-        help="set one supply parameter, e.g. power_w=2.5 or profile=fig11 (repeatable)",
-    )
-    sweep.add_argument(
-        "--governors",
-        default="power-neutral,powersave,ondemand,conservative",
-        help="comma-separated governor names, or 'all' (default: %(default)s)",
-    )
-    sweep.add_argument(
-        "--weather",
-        default="full_sun,partial_sun,cloud",
-        help="comma-separated weather presets (pv-array supply only; default: %(default)s)",
-    )
-    sweep.add_argument(
-        "--capacitance-mf",
-        default="15.4,47",
-        help="comma-separated buffer capacitances in mF (default: %(default)s)",
-    )
-    sweep.add_argument(
-        "--seeds",
-        default="7",
-        help="comma-separated irradiance seeds (pv-array supply only; default: %(default)s)",
-    )
-    sweep.add_argument(
-        "--duration",
-        type=float,
-        default=None,
-        help="simulated seconds per scenario (default: 60, or the preset's own default)",
-    )
-    sweep.add_argument(
-        "--workload",
-        choices=sorted(sweep_module.WORKLOADS),
-        default="table2-render",
-        help="work-unit model for throughput metrics",
-    )
-    sweep.add_argument(
-        "--shadow",
-        action="append",
-        default=[],
-        metavar="START:DURATION:ATTENUATION",
-        help="add a deterministic shadowing event to every scenario (pv-array only; repeatable)",
-    )
+    _add_grid_flags(sweep)
     sweep.add_argument("--workers", type=int, default=2, help="worker processes (1 = inline)")
     sweep.add_argument(
         "--timeout", type=float, default=600.0, help="per-scenario wall-clock budget in seconds"
@@ -239,10 +197,77 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="store each scenario's time series decimated to N samples (0 = summaries only)",
     )
+    _add_exact_flag(sweep)
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress the per-scenario progress lines"
     )
     _add_export_flags(sweep, "per-record summary rows")
+
+    shard = sub.add_parser(
+        "shard",
+        help="run one shard of a partitioned campaign against its own store (distributed worker)",
+        description=(
+            "Execute shard INDEX of a campaign split NUM ways. Sharding is "
+            "deterministic and content-addressed (a scenario's shard is a pure "
+            "function of its config hash), so N workers given the same spec — "
+            "via --spec FILE, --preset, or identical grid flags — run disjoint "
+            "subsets covering the whole campaign. The shard's store carries a "
+            "JSON manifest (<store>.manifest.json) stamping the campaign hash, "
+            "shard geometry and engine; re-invocations verify it and refuse to "
+            "mix campaigns in one shard store. Assemble the final store with "
+            "'store merge'; re-running a shard against the merged store "
+            "recomputes nothing."
+        ),
+    )
+    _add_grid_flags(shard)
+    shard.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON campaign spec (SweepSpec.to_dict()) or shard manifest to run, "
+            "instead of composing a grid from flags"
+        ),
+    )
+    shard.add_argument(
+        "--num-shards", type=int, required=True, metavar="N", help="total shard count"
+    )
+    shard.add_argument(
+        "--shard-index", type=int, required=True, metavar="I", help="this worker's shard (0-based)"
+    )
+    shard.add_argument(
+        "--workers", type=int, default=1, help="worker processes inside this shard (1 = inline)"
+    )
+    shard.add_argument(
+        "--timeout", type=float, default=600.0, help="per-scenario wall-clock budget in seconds"
+    )
+    shard.add_argument(
+        "--series",
+        type=int,
+        default=0,
+        metavar="N",
+        help="store each scenario's time series decimated to N samples (0 = summaries only)",
+    )
+    _add_exact_flag(shard)
+    shard.add_argument(
+        "--store",
+        default=None,
+        help="shard result store path (default: shard-<INDEX>.jsonl)",
+    )
+    shard.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="shard manifest path (default: <store>.manifest.json)",
+    )
+    shard.add_argument(
+        "--fresh",
+        action="store_true",
+        help="delete the existing shard store (and its manifest) first",
+    )
+    shard.add_argument(
+        "--quiet", action="store_true", help="suppress the per-scenario progress lines"
+    )
 
     boundary = sub.add_parser(
         "boundary",
@@ -353,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="delete the existing store first and recompute every probe",
     )
+    _add_exact_flag(boundary)
     boundary.add_argument(
         "--quiet", action="store_true", help="suppress the per-round progress lines"
     )
@@ -360,22 +386,107 @@ def build_parser() -> argparse.ArgumentParser:
 
     store = sub.add_parser(
         "store",
-        help="maintain a JSONL result store",
+        help="maintain JSONL result stores (compact, merge shards)",
         description=(
             "Store maintenance. 'compact' rewrites the JSONL keeping only the "
             "newest record per scenario id and writes the key-to-offset index "
             "sidecar (<store>.idx.json) that lets later opens skip parsing "
-            "record payloads entirely."
+            "record payloads entirely. 'merge DEST SRC [SRC ...]' unions shard "
+            "stores into DEST (creating it if needed): successful records "
+            "always supersede failures, later sources win ties, legacy v1 "
+            "records are upgraded and re-keyed, and DEST is compacted with a "
+            "fresh sidecar — ready for sweep --resume, boundary, or "
+            "aggregation."
         ),
     )
-    store.add_argument("action", choices=("compact",), help="maintenance action")
+    store.add_argument("action", choices=("compact", "merge"), help="maintenance action")
+    store.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="for merge: DEST SRC [SRC ...] (ignored by compact, which uses --store)",
+    )
     store.add_argument(
         "--store",
         default="sweep_results.jsonl",
-        help="JSONL result store path (default: %(default)s)",
+        help="JSONL result store path for compact (default: %(default)s)",
     )
 
     return parser
+
+
+def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
+    """The campaign-shaping flags shared by ``sweep`` and ``shard``."""
+    parser.add_argument(
+        "--preset",
+        choices=sweep_module.preset_names(),
+        default=None,
+        help="run a built-in campaign preset instead of composing a grid from flags",
+    )
+    parser.add_argument(
+        "--supply",
+        choices=sweep_module.SUPPLIES.names(),
+        default="pv-array",
+        help="supply component kind driving every scenario (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--supply-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="set one supply parameter, e.g. power_w=2.5 or profile=fig11 (repeatable)",
+    )
+    parser.add_argument(
+        "--governors",
+        default="power-neutral,powersave,ondemand,conservative",
+        help="comma-separated governor names, or 'all' (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--weather",
+        default="full_sun,partial_sun,cloud",
+        help="comma-separated weather presets (pv-array supply only; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--capacitance-mf",
+        default="15.4,47",
+        help="comma-separated buffer capacitances in mF (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="7",
+        help="comma-separated irradiance seeds (pv-array supply only; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds per scenario (default: 60, or the preset's own default)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=sorted(sweep_module.WORKLOADS),
+        default="table2-render",
+        help="work-unit model for throughput metrics",
+    )
+    parser.add_argument(
+        "--shadow",
+        action="append",
+        default=[],
+        metavar="START:DURATION:ATTENUATION",
+        help="add a deterministic shadowing event to every scenario (pv-array only; repeatable)",
+    )
+
+
+def _add_exact_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--exact",
+        action="store_true",
+        help=(
+            "run the exact reference simulation engine (build_system(fast=False)) "
+            "instead of the fast core; an execution detail only — stores stay "
+            "comparable because the engine is not part of the scenario hash"
+        ),
+    )
 
 
 def _add_export_flags(parser: argparse.ArgumentParser, what: str) -> None:
@@ -678,8 +789,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         series_samples=args.series,
         progress=progress,
+        fast=not args.exact,
     )
     mode = f"{args.workers} worker processes" if args.workers > 1 else "inline (serial)"
+    if args.exact:
+        mode += ", exact engine"
     title = f"preset {args.preset!r}" if args.preset else "sweep"
     print(f"{title}: {len(spec)} scenarios over {mode} -> {store_path}")
     report = runner.run(spec)
@@ -820,8 +934,12 @@ def _command_boundary(args: argparse.Namespace) -> int:
     query = _build_boundary_query(args)
     store = _open_store(args)
 
-    runner = sweep_module.SweepRunner(store, workers=args.workers, timeout_s=args.timeout)
+    runner = sweep_module.SweepRunner(
+        store, workers=args.workers, timeout_s=args.timeout, fast=not args.exact
+    )
     mode = f"{args.workers} worker processes" if args.workers > 1 else "inline (serial)"
+    if args.exact:
+        mode += ", exact engine"
     title = f"preset {args.preset!r}" if args.preset else f"search on {query.path!r}"
     print(
         f"boundary {title}: {len(query.cells())} cell(s), predicate "
@@ -848,7 +966,168 @@ def _command_boundary(args: argparse.Namespace) -> int:
     return 0 if report.converged else 1
 
 
+def _load_spec_file(
+    path: str,
+) -> "tuple[sweep_module.SweepSpec, sweep_module.ShardPlan | None]":
+    """Read a campaign from a JSON file: a SweepSpec snapshot or a manifest.
+
+    Returns ``(spec, plan)`` where ``plan`` is the *verified* source plan
+    when the file is a shard manifest (``None`` for a plain spec snapshot).
+    The caller must honour the plan's stamped engine — a worker pointed at
+    an exact-engine manifest must not quietly contribute fast-engine records
+    — and can re-slice it with :meth:`ShardPlan.with_geometry`, reusing the
+    expansion the verification already paid for.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"unreadable --spec file {path}: {exc}") from None
+    try:
+        if isinstance(data, dict) and "spec" in data and "campaign_hash" in data:
+            plan = sweep_module.ShardPlan.from_manifest(data)
+            return plan.spec, plan
+        return sweep_module.SweepSpec.from_dict(data), None
+    except (ValueError, TypeError, KeyError) as exc:
+        raise SystemExit(f"invalid --spec file {path}: {exc}") from None
+
+
+def _command_shard(args: argparse.Namespace) -> int:
+    if args.num_shards < 1:
+        raise SystemExit("--num-shards must be at least 1")
+    if not 0 <= args.shard_index < args.num_shards:
+        raise SystemExit(
+            f"--shard-index must be in [0, {args.num_shards}) (got {args.shard_index})"
+        )
+    source_plan = None
+    if args.spec is not None:
+        conflicting = _explicit_grid_flags(args)
+        if args.preset is not None:
+            conflicting.insert(0, "--preset")
+        if conflicting:
+            raise SystemExit(
+                f"--spec carries the whole campaign; "
+                f"drop the conflicting flag(s): {', '.join(conflicting)}"
+            )
+        spec, source_plan = _load_spec_file(args.spec)
+        if args.duration is not None:
+            raise SystemExit("--spec carries the whole campaign; drop --duration")
+    else:
+        spec = _build_sweep_spec(args)
+
+    engine = "exact" if args.exact else "fast"
+    if source_plan is not None and source_plan.engine != engine:
+        if args.exact:
+            # The user explicitly demanded the opposite of the manifest:
+            # refuse rather than fracture the campaign across engines.
+            raise SystemExit(
+                f"--spec manifest stamps the {source_plan.engine!r} engine but "
+                f"--exact was passed; all shards of a campaign must agree on "
+                f"the engine"
+            )
+        engine = source_plan.engine
+        print(f"adopting the {engine!r} engine stamped in {args.spec}")
+    if source_plan is not None:
+        # Re-slice the verified plan: the manifest check already paid for
+        # the campaign expansion, so this worker's geometry costs nothing.
+        plan = source_plan.with_geometry(args.num_shards, args.shard_index, engine)
+    else:
+        plan = sweep_module.ShardPlan.partition(
+            spec, args.num_shards, args.shard_index, engine=engine
+        )
+    args.store = str(args.store if args.store else f"shard-{args.shard_index}.jsonl")
+    manifest_path = Path(
+        args.manifest if args.manifest else args.store + ".manifest.json"
+    )
+    if args.fresh and manifest_path.exists():
+        manifest_path.unlink()
+    store = _open_store(args)  # honours --fresh for the store + idx sidecar
+
+    if manifest_path.exists():
+        # Compare the stamped identity fields only — the snapshot behind
+        # them is irrelevant here (this invocation runs `plan` either way),
+        # and skipping its re-expansion keeps resuming a 100k-cell shard at
+        # one expansion total.
+        try:
+            stamped = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if not isinstance(stamped, dict):
+                raise ValueError("not a JSON object")
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            raise SystemExit(f"corrupt shard manifest {manifest_path}: {exc}") from None
+        matches = (
+            stamped.get("campaign_hash") == plan.campaign_hash
+            and stamped.get("n_shards") == plan.n_shards
+            and stamped.get("shard_index") == plan.shard_index
+            and stamped.get("engine", "fast") == plan.engine
+        )
+        if not matches:
+            raise SystemExit(
+                f"store {store.path} belongs to campaign "
+                f"{stamped.get('campaign_hash')} shard "
+                f"{stamped.get('shard_index', 0) + 1}/{stamped.get('n_shards', 0)} "
+                f"({stamped.get('engine', 'fast')} engine) but this invocation is "
+                f"campaign {plan.campaign_hash} shard "
+                f"{plan.shard_index + 1}/{plan.n_shards} ({plan.engine} engine); "
+                f"use a different --store or --fresh"
+            )
+    else:
+        plan.write_manifest(manifest_path)
+
+    # Materialise the store file even for an empty (or fully cached) shard:
+    # the merge step expects one store per shard, and a content-addressed
+    # partition is allowed to leave a shard with nothing to do.
+    store.path.parent.mkdir(parents=True, exist_ok=True)
+    store.path.touch(exist_ok=True)
+
+    configs = plan.configs()
+    print(
+        f"shard {plan.shard_index + 1}/{plan.n_shards} of campaign {plan.campaign_hash}: "
+        f"{len(configs)} of {len(spec)} scenario(s), {plan.engine} engine -> {store.path}"
+    )
+
+    def progress(done: int, total: int, record: dict, cached: bool) -> None:
+        if args.quiet:
+            return
+        status = "cached" if cached else record.get("status", "?")
+        config = sweep_module.ScenarioConfig.from_dict(record["config"])
+        print(f"  [{done}/{total}] {status:7s} {config.label()}")
+
+    runner = sweep_module.SweepRunner(
+        store,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        series_samples=args.series,
+        progress=progress,
+        fast=plan.engine == "fast",
+    )
+    report = runner.run(configs)
+    print()
+    print(
+        format_kv(
+            report.summary(), title=f"Shard {plan.shard_index + 1}/{plan.n_shards}"
+        )
+    )
+    for record in report.records:
+        if record.get("status") not in (None, "ok"):
+            print(
+                f"FAILED {record.get('scenario_id')}: {record.get('error')}",
+                file=sys.stderr,
+            )
+    return 0 if report.succeeded else 1
+
+
 def _command_store(args: argparse.Namespace) -> int:
+    if args.action == "merge":
+        if len(args.paths) < 2:
+            raise SystemExit("store merge needs DEST SRC [SRC ...]")
+        dest, *sources = args.paths
+        try:
+            stats = sweep_module.merge_stores(dest, sources)
+        except (FileNotFoundError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        print(format_kv(stats, title=f"Merged {len(sources)} store(s) into {dest}"))
+        return 0
+    if args.paths:
+        raise SystemExit("store compact takes no positional paths; use --store")
     store_path = Path(args.store)
     if not store_path.exists():
         raise SystemExit(f"no store at {store_path}")
@@ -870,6 +1149,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_figure(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "shard":
+        return _command_shard(args)
     if args.command == "boundary":
         return _command_boundary(args)
     if args.command == "store":

@@ -84,9 +84,26 @@ class IVSurfaceTable:
     would be unsatisfiable at any practical grid size, while the quantity
     that bounds simulation error is the absolute current error against the
     currents the node actually integrates.
+
+    Alongside the surface, the table carries the two 1-D curves the
+    simulator samples on record ticks — MPP power and open-circuit voltage
+    vs irradiance — on the same irradiance grid, so :meth:`mpp_power` and
+    :meth:`open_circuit_voltage` are a couple of float operations instead of
+    a ``np.interp`` dispatch each.
     """
 
-    __slots__ = ("v_max", "g_max", "_nv", "_ng", "_inv_dv", "_inv_dg", "_rows", "max_rel_error")
+    __slots__ = (
+        "v_max",
+        "g_max",
+        "_nv",
+        "_ng",
+        "_inv_dv",
+        "_inv_dg",
+        "_rows",
+        "_mpp_row",
+        "_voc_row",
+        "max_rel_error",
+    )
 
     #: Hard cap on grid refinement (per axis) before construction fails.
     _MAX_REFINEMENTS = 3
@@ -132,6 +149,8 @@ class IVSurfaceTable:
         # Nested Python lists: element access beats numpy scalar indexing in
         # the per-step lookup by a wide margin.
         self._rows = surface.tolist()
+        self._mpp_row = array.mpp_power_array(irradiances).tolist()
+        self._voc_row = array.open_circuit_voltage_array(irradiances).tolist()
         self.max_rel_error = float(error)
 
     @staticmethod
@@ -176,19 +195,40 @@ class IVSurfaceTable:
         b += (r1[iy + 1] - b) * wy
         return a + (b - a) * wx
 
+    def _sample_irradiance_row(self, row: list, irradiance: float) -> float:
+        """Clamped linear interpolation of a 1-D curve on the irradiance grid."""
+        fy = irradiance * self._inv_dg
+        if fy <= 0.0:
+            return row[0]
+        if fy >= self._ng - 1:
+            return row[-1]
+        iy = int(fy)
+        a = row[iy]
+        return a + (row[iy + 1] - a) * (fy - iy)
+
+    def mpp_power(self, irradiance: float) -> float:
+        """Tabulated maximum-power-point power at an irradiance (W)."""
+        return self._sample_irradiance_row(self._mpp_row, irradiance)
+
+    def open_circuit_voltage(self, irradiance: float) -> float:
+        """Tabulated open-circuit voltage at an irradiance (V)."""
+        return self._sample_irradiance_row(self._voc_row, irradiance)
+
 
 class PVArraySupply(Supply):
     """A PV array illuminated by an irradiance trace.
 
-    By default the supply answers :meth:`current` from a tabulated bilinear
-    I-V surface (:class:`IVSurfaceTable`) — the simulator's fast path.  The
-    table is built lazily, at the first fast lookup (so a supply that is
-    only ever queried for available power, or immediately switched to
-    ``exact``, never pays the tabulation cost), and its interpolation error
-    is checked against the exact solve at build time, before any lookup is
-    answered.  ``exact=True`` bypasses tabulation and solves the
-    single-diode equation (Lambert-W) on every call; the flag can also be
-    toggled on a built supply.
+    By default the supply answers :meth:`current` — and, on record ticks,
+    :meth:`available_power` / :meth:`open_circuit_voltage` — from a tabulated
+    :class:`IVSurfaceTable` (the bilinear I-V surface plus its 1-D MPP/Voc
+    curves): the simulator's fast path.  The table is built lazily, at the
+    first fast lookup (so a supply immediately switched to ``exact`` never
+    pays the tabulation cost), and its interpolation error is checked against
+    the exact solve at build time, before any lookup is answered.
+    ``exact=True`` bypasses tabulation and solves the single-diode equation
+    (Lambert-W) on every call, with MPP/Voc answered from the original
+    ``np.interp`` cache — the reference engine's numerics, preserved
+    verbatim; the flag can also be toggled on a built supply.
 
     Parameters
     ----------
@@ -377,11 +417,22 @@ class PVArraySupply(Supply):
         return fast_current
 
     def available_power(self, t: float) -> float:
+        """MPP power at time ``t`` — the record-tick "available power" channel.
+
+        In fast mode this samples the table's 1-D MPP curve (pure float
+        operations); in exact mode the original ``np.interp`` over the
+        dedicated MPP cache is preserved verbatim, keeping the reference
+        engine's numerics untouched.
+        """
         g = self.irradiance_at(t)
+        if not self._exact:
+            return self.iv_table.mpp_power(g)
         return float(np.interp(g, self._cache_irradiances, self._cache_mpp_power))
 
     def open_circuit_voltage(self, t: float) -> float:
         g = self.irradiance_at(t)
+        if not self._exact:
+            return self.iv_table.open_circuit_voltage(g)
         return float(np.interp(g, self._cache_irradiances, self._cache_voc))
 
 

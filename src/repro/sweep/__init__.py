@@ -27,6 +27,10 @@ registry-backed scenario components:
   numeric config path (with bracket expansion and non-monotonicity
   detection) batched through the runner/store, one probe per outer cell per
   round;
+* :mod:`repro.sweep.dist`     — sharded (multi-host) campaign execution:
+  deterministic content-addressed partitioning (:class:`ShardPlan` + JSON
+  shard manifests), store merging, and the :class:`DistRunner` local
+  fan-out over shard worker processes;
 * :mod:`repro.sweep.presets`  — ready-made campaigns (Table II outdoor grid,
   the Fig. 11 controlled-supply sweep, a constant-power survival survey) and
   boundary queries (``min-capacitance``, ``min-power``).
@@ -80,6 +84,13 @@ from .build import (
     run_system,
 )
 from .components import CAPACITORS, GOVERNORS, PLATFORMS, SUPPLIES, WORKLOADS_REGISTRY
+from .dist import (
+    MANIFEST_VERSION,
+    DistRunner,
+    ShardPlan,
+    partition_scenarios,
+    shard_index_of,
+)
 from .presets import (
     BOUNDARY_PRESETS,
     CAMPAIGN_PRESETS,
@@ -88,7 +99,7 @@ from .presets import (
     build_preset,
     preset_names,
 )
-from .runner import SweepReport, SweepRunner
+from .runner import CampaignRunner, SweepReport, SweepRunner, expand_unique
 from .scenario import (
     GOVERNOR_SPECS,
     TABLE2_GOVERNOR_AXIS,
@@ -107,7 +118,7 @@ from .spec import (
     SweepSpec,
     resolve_axis_path,
 )
-from .store import ResultStore
+from .store import ResultStore, merge_stores
 
 __all__ = [
     "Axis",
@@ -146,8 +157,16 @@ __all__ = [
     "CellResult",
     "find_boundary",
     "ResultStore",
+    "merge_stores",
     "SweepReport",
     "SweepRunner",
+    "CampaignRunner",
+    "expand_unique",
+    "MANIFEST_VERSION",
+    "ShardPlan",
+    "DistRunner",
+    "shard_index_of",
+    "partition_scenarios",
     "GovernorSpec",
     "GOVERNOR_SPECS",
     "TABLE2_GOVERNOR_AXIS",

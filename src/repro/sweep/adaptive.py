@@ -40,7 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
-from .runner import SweepRunner
+from .runner import CampaignRunner
 from .spec import Axis, ScenarioConfig, resolve_axis_path
 
 __all__ = [
@@ -437,12 +437,20 @@ class BoundarySearch:
     workers.  All probes flow through the runner's
     :class:`~repro.sweep.store.ResultStore`, giving cache hits on re-runs and
     resumption of interrupted searches.
+
+    ``runner`` is anything satisfying the
+    :class:`~repro.sweep.runner.CampaignRunner` protocol — a single-host
+    :class:`~repro.sweep.runner.SweepRunner`, or a
+    :class:`~repro.sweep.dist.DistRunner`, in which case every round's probe
+    batch is partitioned across shard worker processes (content-addressed,
+    so a probe always lands on the same shard and re-runs cache-hit its
+    shard store) and the round's results arrive via store merge.
     """
 
     def __init__(
         self,
         query: BoundaryQuery,
-        runner: SweepRunner,
+        runner: CampaignRunner,
         progress: Optional[RoundCallback] = None,
     ):
         self.query = query
@@ -489,7 +497,7 @@ class BoundarySearch:
 
 def find_boundary(
     query: BoundaryQuery,
-    runner: SweepRunner,
+    runner: CampaignRunner,
     progress: Optional[RoundCallback] = None,
 ) -> BoundaryReport:
     """Convenience wrapper: run a boundary query and return its report."""

@@ -1,0 +1,511 @@
+"""Sharded campaign execution: partition a campaign, run shards, merge stores.
+
+A :class:`~repro.sweep.spec.SweepSpec` campaign is embarrassingly parallel —
+every cell is an independent simulation keyed by its content hash — so the
+natural way past one machine's process pool is to *shard* the campaign:
+
+* :func:`shard_index_of` / :func:`partition_scenarios` — **deterministic,
+  content-addressed sharding**.  A scenario belongs to shard
+  ``int(scenario_id, 16) % n_shards``: membership depends only on the
+  scenario's content hash, never on expansion order, axis spelling or which
+  host does the partitioning, so N workers expanding the same spec agree on
+  disjoint subsets whose union is the whole campaign;
+* :class:`ShardPlan` — one worker's slice of a campaign, stamped into a JSON
+  **shard manifest** (campaign hash, shard count/index, engine choice, spec
+  snapshot).  Workers rebuild the spec from the snapshot and verify the
+  recomputed campaign hash against the stamped one, so a drifted preset, a
+  mis-copied spec file or a stale shard store is caught before any
+  simulation runs;
+* :class:`DistRunner` — the in-process fan-out fallback: launches all N
+  shards as local worker processes, each writing its own shard store, then
+  merges the shard stores into the coordinator's store via
+  :meth:`~repro.sweep.store.ResultStore.merge`.  It satisfies the
+  :class:`~repro.sweep.runner.CampaignRunner` protocol, so a
+  :class:`~repro.sweep.adaptive.BoundarySearch` handed a ``DistRunner``
+  transparently fans each round's probe batch out across the shards.
+
+Multi-host execution is the same flow without the fork: run
+``python -m repro shard --spec campaign.json --num-shards N --shard-index I
+--store shard-I.jsonl`` on each host, collect the shard stores, and assemble
+the final store with ``python -m repro store merge DEST shard-*.jsonl`` — the
+merged store is what ``sweep --resume``, ``aggregate`` and ``boundary``
+consume unchanged, and re-running any shard against it is pure cache hits.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .runner import ProgressCallback, SweepReport, SweepRunner, expand_unique
+from .spec import ScenarioConfig, SweepSpec, campaign_hash_of
+from .store import ResultStore
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "ShardPlan",
+    "shard_index_of",
+    "partition_scenarios",
+    "DistRunner",
+]
+
+#: Shard manifest layout version.
+MANIFEST_VERSION = 1
+
+#: Engine names a manifest may carry (mapped to ``build_system(fast=...)``).
+_ENGINES = ("fast", "exact")
+
+
+def shard_index_of(scenario_id: str, n_shards: int) -> int:
+    """The shard a scenario belongs to — a pure function of its content hash."""
+    return int(scenario_id, 16) % int(n_shards)
+
+
+def partition_scenarios(
+    configs: Sequence[ScenarioConfig], n_shards: int, shard_index: int
+) -> list[ScenarioConfig]:
+    """This shard's subset of a config list, in the list's (partition) order."""
+    return [c for c in configs if shard_index_of(c.scenario_id, n_shards) == shard_index]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's slice of a campaign: which scenarios, under which contract.
+
+    Attributes
+    ----------
+    spec:
+        The full campaign (every worker holds the whole spec; the slice is
+        computed, not enumerated, so manifests stay small at any grid size).
+    n_shards / shard_index:
+        The partition geometry; ``shard_index`` is 0-based.
+    engine:
+        ``"fast"`` or ``"exact"`` — the simulation engine every shard of the
+        campaign must use.  Stamped into the manifest (a half-fast,
+        half-exact campaign would be silently inconsistent) even though it
+        is not part of any scenario's identity.
+    """
+
+    spec: SweepSpec
+    n_shards: int
+    shard_index: int
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "n_shards", int(self.n_shards))
+        object.__setattr__(self, "shard_index", int(self.shard_index))
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if not 0 <= self.shard_index < self.n_shards:
+            raise ValueError(
+                f"shard_index must be in [0, {self.n_shards}) (got {self.shard_index})"
+            )
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES} (got {self.engine!r})")
+
+    @classmethod
+    def partition(
+        cls,
+        spec: Union[SweepSpec, ScenarioConfig],
+        n_shards: int,
+        shard_index: int,
+        engine: str = "fast",
+    ) -> "ShardPlan":
+        """Split a campaign: the plan for shard ``shard_index`` of ``n_shards``.
+
+        All N plans of one campaign are disjoint and their union is exactly
+        the campaign's de-duplicated expansion, regardless of which process
+        computes them (membership is content-addressed, see
+        :func:`shard_index_of`).
+        """
+        if isinstance(spec, ScenarioConfig):
+            spec = SweepSpec(base=spec)
+        return cls(spec=spec, n_shards=n_shards, shard_index=shard_index, engine=engine)
+
+    # ------------------------------------------------------------------
+    # Expanding a 100k-cell campaign hashes 100k canonical-JSON configs, so
+    # the plan expands once and every consumer (hash, configs, manifest,
+    # banner lines) reads the cache.  cached_property writes straight into
+    # __dict__, which a frozen dataclass permits.
+    @functools.cached_property
+    def _expanded(self) -> tuple[ScenarioConfig, ...]:
+        return tuple(expand_unique(self.spec))
+
+    @functools.cached_property
+    def campaign_hash(self) -> str:
+        """The campaign's content hash — shared by all shards of one campaign."""
+        return campaign_hash_of(c.scenario_id for c in self._expanded)
+
+    def configs(self) -> list[ScenarioConfig]:
+        """The scenarios this shard executes, in partition order."""
+        return partition_scenarios(self._expanded, self.n_shards, self.shard_index)
+
+    def with_geometry(
+        self, n_shards: int, shard_index: int, engine: Optional[str] = None
+    ) -> "ShardPlan":
+        """This campaign re-sliced: same spec, different shard geometry.
+
+        Carries the cached expansion across (membership is content-addressed,
+        so the expansion is geometry-independent) — re-slicing a verified
+        manifest's plan for another worker costs no re-hashing.
+        """
+        plan = ShardPlan(
+            spec=self.spec,
+            n_shards=n_shards,
+            shard_index=shard_index,
+            engine=engine if engine is not None else self.engine,
+        )
+        if "_expanded" in self.__dict__:
+            plan.__dict__["_expanded"] = self._expanded
+            plan.__dict__["campaign_hash"] = self.campaign_hash
+        return plan
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def manifest(self) -> dict:
+        """The JSON shard manifest: identity, geometry, engine, spec snapshot."""
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "campaign_hash": self.campaign_hash,
+            "n_shards": self.n_shards,
+            "shard_index": self.shard_index,
+            "engine": self.engine,
+            "total_scenarios": len(self._expanded),
+            "shard_scenarios": len(self.configs()),
+            "spec": self.spec.to_dict(),
+        }
+
+    def write_manifest(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def from_manifest(cls, source: "str | Path | dict") -> "ShardPlan":
+        """Load and *verify* a manifest.
+
+        The spec snapshot is re-expanded and its campaign hash recomputed;
+        a mismatch against the stamped hash means the snapshot was edited,
+        the manifest was written by an incompatible config schema, or two
+        different campaigns are being mixed — all of which must stop a
+        worker before it burns CPU on the wrong campaign.
+        """
+        if isinstance(source, (str, Path)):
+            try:
+                data = json.loads(Path(source).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ValueError(f"unreadable shard manifest {source}: {exc}") from None
+        else:
+            data = dict(source)
+        version = data.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"shard manifest version {version!r} is not supported "
+                f"(this build writes v{MANIFEST_VERSION})"
+            )
+        try:
+            spec = SweepSpec.from_dict(data["spec"])
+            plan = cls(
+                spec=spec,
+                n_shards=data["n_shards"],
+                shard_index=data["shard_index"],
+                engine=data.get("engine", "fast"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"invalid shard manifest: {exc}") from None
+        stamped = data.get("campaign_hash")
+        if stamped != plan.campaign_hash:
+            raise ValueError(
+                f"shard manifest campaign hash {stamped!r} does not match the "
+                f"spec snapshot (expands to {plan.campaign_hash!r}); the manifest "
+                "was edited or belongs to a different campaign"
+            )
+        return plan
+
+    def describes_same_campaign(self, other: "ShardPlan") -> bool:
+        """Whether another plan is a slice of the same partitioned campaign."""
+        return (
+            self.campaign_hash == other.campaign_hash
+            and self.n_shards == other.n_shards
+            and self.engine == other.engine
+        )
+
+
+# ----------------------------------------------------------------------
+# In-process fan-out: all N shards as local worker processes
+# ----------------------------------------------------------------------
+def _shard_worker(payload: dict, outbox) -> None:
+    """Top-level shard worker body (picklable; runs in a child process).
+
+    Executes its config subset with a serial/pooled :class:`SweepRunner`
+    against the shard's own store, streaming lightweight progress messages
+    (series payloads stripped) and a final summary over ``outbox``.
+    """
+    shard_index = payload["shard_index"]
+    try:
+        configs = [ScenarioConfig.from_dict(d) for d in payload["configs"]]
+        store = ResultStore(payload["store_path"])
+
+        def forward(done: int, total: int, record: dict, cached: bool) -> None:
+            lite = {k: v for k, v in record.items() if k != "series"}
+            outbox.put(("progress", shard_index, done, total, lite, cached))
+
+        runner = SweepRunner(
+            store,
+            workers=payload["workers"],
+            timeout_s=payload["timeout_s"],
+            series_samples=payload["series_samples"],
+            fast=payload["fast"],
+            progress=forward,
+        )
+        report = runner.run(configs)
+        outbox.put(("done", shard_index, report.summary()))
+    except Exception as exc:  # noqa: BLE001 — a shard must report, not vanish
+        outbox.put(("failed", shard_index, f"{type(exc).__name__}: {exc}"))
+
+
+class DistRunner:
+    """Run campaigns as N sharded worker processes sharing only a final merge.
+
+    The single-host counterpart of the multi-host shard/merge flow — and the
+    integration harness proving it: each shard worker is a separate process
+    with its *own* :class:`~repro.sweep.store.ResultStore` (no shared file,
+    no locking), exactly like a remote host would be.  The coordinator
+    collects each run's cells from the shard stores into its own store by
+    per-config fetch + append (so repeated runs — e.g. boundary-search
+    rounds — only ever copy the new round's records, never re-merge the
+    shard stores' history); the wholesale union of full shard stores is
+    :func:`~repro.sweep.store.merge_stores` / ``store merge``, the
+    multi-host coordinator path.
+
+    Satisfies :class:`~repro.sweep.runner.CampaignRunner`, so it drops in
+    anywhere a :class:`SweepRunner` is consumed — in particular as the
+    runner of a :class:`~repro.sweep.adaptive.BoundarySearch`, whose
+    per-round probe batches then fan out across the shards.
+
+    Parameters
+    ----------
+    store:
+        The coordinator's merged store.  Cells already complete here are
+        never dispatched (coordinator-level cache), and every run ends with
+        the shard stores merged back into it.
+    n_shards:
+        Worker process count; each gets the content-addressed subset of the
+        campaign that :func:`shard_index_of` assigns it.
+    workers_per_shard:
+        Process-pool width *inside* each shard worker (shard workers are
+        spawned non-daemonic precisely so they may pool further).
+    shard_dir:
+        Where shard stores live (default: ``<store>.shards/``).  Persistent
+        across runs, so an interrupted distributed campaign resumes with
+        per-shard cache hits before the next merge.
+    fast / timeout_s / series_samples / progress:
+        As on :class:`SweepRunner`; progress is relayed live from the shard
+        workers with coordinator-global ``done``/``total`` counts.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        n_shards: int = 2,
+        workers_per_shard: int = 1,
+        timeout_s: Optional[float] = None,
+        series_samples: int = 0,
+        fast: bool = True,
+        shard_dir: "str | Path | None" = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        if int(n_shards) < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.store = store
+        self.n_shards = int(n_shards)
+        self.workers_per_shard = max(1, int(workers_per_shard))
+        self.timeout_s = timeout_s
+        self.series_samples = int(series_samples)
+        self.fast = bool(fast)
+        self.shard_dir = Path(shard_dir) if shard_dir is not None else Path(
+            str(store.path) + ".shards"
+        )
+        self.progress = progress
+
+    def shard_store_path(self, shard_index: int) -> Path:
+        return self.shard_dir / f"shard-{shard_index}.jsonl"
+
+    # ------------------------------------------------------------------
+    def run(self, campaign: Union[SweepSpec, Sequence[ScenarioConfig]]) -> SweepReport:
+        """Partition, execute on worker processes, merge, report.
+
+        The returned report is indistinguishable from a single
+        :meth:`SweepRunner.run` over the same campaign against the same
+        store: per-config records (merged back in), coordinator cache hits
+        counted as ``cached``, worker-side failures as ``failed``; a shard
+        worker that dies leaves synthetic ``error`` records for its
+        unexecuted cells (persisted, and therefore retried on resume).
+        """
+        configs = expand_unique(campaign)
+        report = SweepReport(total=len(configs))
+        started = time.perf_counter()
+
+        done = 0
+        pending: list[ScenarioConfig] = []
+        for config in configs:
+            if self.store.is_complete(config):
+                record = self.store.get(config)
+                report.cached += 1
+                report.records.append(record)
+                done += 1
+                self._notify(done, report.total, record, cached=True)
+            else:
+                pending.append(config)
+
+        if pending:
+            worker_summaries, observed_cached = self._run_shards(pending, done, report.total)
+            # Collect exactly this run's cells from the shard stores into the
+            # coordinator store — per-config fetch + append, like a
+            # SweepRunner persisting its own completions, so repeated runs
+            # (e.g. BoundarySearch rounds) never re-copy earlier rounds'
+            # records out of the persistent shard stores.
+            shard_stores: dict[int, ResultStore] = {
+                i: ResultStore(self.shard_store_path(i))
+                for i in range(self.n_shards)
+                if self.shard_store_path(i).exists()
+            }
+            dead_shards = {
+                i for i, summary in worker_summaries.items() if "executed" not in summary
+            }
+            for summary in worker_summaries.values():
+                report.executed += summary.get("executed", 0)
+                report.cached += summary.get("cached", 0)
+            for config in pending:
+                shard = shard_index_of(config.scenario_id, self.n_shards)
+                source = shard_stores.get(shard)
+                record = source.get(config) if source is not None else None
+                if record is None:
+                    # The shard worker died before reaching this cell; leave
+                    # a retryable post-mortem record, as SweepRunner does for
+                    # in-process failures.  (Not counted as executed — no
+                    # simulation ran.)
+                    record = {
+                        "scenario_id": config.scenario_id,
+                        "config": config.to_dict(),
+                        "status": "error",
+                        "error": "shard worker exited before executing this scenario",
+                    }
+                elif shard in dead_shards:
+                    # The worker produced this record but died before
+                    # reporting its summary; account the work from the
+                    # progress messages it did send (a relayed cached=True
+                    # cell was a shard-store cache hit, not an execution).
+                    if observed_cached.get(config.scenario_id):
+                        report.cached += 1
+                    else:
+                        report.executed += 1
+                self.store.append(record)
+                report.records.append(record)
+                status = record.get("status")
+                if status == "error":
+                    report.failed += 1
+                elif status == "timeout":
+                    report.timed_out += 1
+
+        report.elapsed_s = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _notify(self, done: int, total: int, record: dict, cached: bool) -> None:
+        if self.progress is not None:
+            self.progress(done, total, record, cached)
+
+    def _payload(self, shard_index: int, shard_configs: list[ScenarioConfig]) -> dict:
+        return {
+            "shard_index": shard_index,
+            "configs": [c.to_dict() for c in shard_configs],
+            "store_path": str(self.shard_store_path(shard_index)),
+            "workers": self.workers_per_shard,
+            "timeout_s": self.timeout_s,
+            "series_samples": self.series_samples,
+            "fast": self.fast,
+        }
+
+    def _run_shards(
+        self, pending: list[ScenarioConfig], done: int, total: int
+    ) -> tuple[dict, dict]:
+        """Launch one process per non-empty shard; relay progress; collect.
+
+        Returns ``(summaries, observed_cached)``: the per-shard final
+        summaries (an ``{"error": ...}`` stub for workers that died), and a
+        ``scenario_id -> cached`` map rebuilt from the relayed progress
+        messages — the accounting fallback for cells whose worker died
+        between completing them and reporting its summary.
+        """
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        ctx = multiprocessing.get_context()
+        outbox = ctx.Queue()
+        processes: dict[int, multiprocessing.Process] = {}
+        for shard_index in range(self.n_shards):
+            shard_configs = partition_scenarios(pending, self.n_shards, shard_index)
+            if not shard_configs:
+                continue
+            process = ctx.Process(
+                target=_shard_worker,
+                args=(self._payload(shard_index, shard_configs), outbox),
+                daemon=False,  # shard workers may pool further
+            )
+            process.start()
+            processes[shard_index] = process
+
+        finished: dict[int, dict] = {}
+        observed_cached: dict[str, bool] = {}
+
+        def handle(message) -> int:
+            nonlocal done
+            kind, shard_index = message[0], message[1]
+            if kind == "progress":
+                _, _, _, _, record, cached = message
+                scenario_id = record.get("scenario_id")
+                if scenario_id:
+                    observed_cached[scenario_id] = bool(cached)
+                done += 1
+                self._notify(done, total, record, cached)
+            elif kind == "done":
+                finished[shard_index] = message[2]
+            else:  # "failed"
+                finished[shard_index] = {"error": message[2]}
+            return done
+
+        try:
+            while len(finished) < len(processes):
+                try:
+                    handle(outbox.get(timeout=0.2))
+                    continue
+                except queue_module.Empty:
+                    pass
+                for shard_index, process in processes.items():
+                    if shard_index in finished or process.is_alive():
+                        continue
+                    process.join()
+                    # Drain messages the dead worker flushed before exiting.
+                    try:
+                        while shard_index not in finished:
+                            handle(outbox.get_nowait())
+                    except queue_module.Empty:
+                        pass
+                    if shard_index not in finished:
+                        finished[shard_index] = {
+                            "error": f"shard worker {shard_index} exited "
+                            f"with code {process.exitcode}"
+                        }
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+                process.join()
+        return finished, observed_cached

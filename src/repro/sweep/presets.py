@@ -12,7 +12,9 @@ makes sense but otherwise pin the rig the way the paper ran it:
   governor against the Linux baselines;
 * ``constant-power-survival`` — an idealised constant-power survey of the
   survival boundary: which governors stay up (and what they complete) as the
-  prescribed harvest steps from starvation to surplus.
+  prescribed harvest steps from starvation to surplus;
+* ``dist-smoke`` — a four-cell micro-grid for exercising the shard/merge
+  distributed-execution flow (CI and local smoke tests).
 
 Alongside the grid presets live the *boundary* presets — ready-made
 :class:`~repro.sweep.adaptive.BoundaryQuery` searches behind
@@ -105,6 +107,26 @@ def constant_power_survival_preset(
         supply={"kind": "constant-power"},
         duration_s=duration_s if duration_s is not None else 60.0,
         extra_axes=(Axis("supply.power_w", [float(p) for p in power_levels_w]),),
+    )
+
+
+def dist_smoke_preset(
+    duration_s: Optional[float] = None,
+    seeds: Sequence[int] = (3,),
+) -> SweepSpec:
+    """A deliberately tiny grid for shard/merge smoke checks.
+
+    Four cells (2 governors × 2 weather presets) of a few simulated seconds
+    each: small enough that CI can run it once single-process and once as
+    two shards and compare the stores record-for-record, large enough that
+    a content-addressed partition actually splits it.
+    """
+    return SweepSpec.grid(
+        governors=["power-neutral", "powersave"],
+        weather=["full_sun", "cloud"],
+        capacitances_f=[15.4e-3],
+        seeds=list(seeds),
+        duration_s=duration_s if duration_s is not None else 6.0,
     )
 
 
@@ -241,6 +263,7 @@ CAMPAIGN_PRESETS: dict[str, Callable[..., SweepSpec]] = {
     "table2-shootout": table2_shootout_preset,
     "fig11-governors": fig11_governors_preset,
     "constant-power-survival": constant_power_survival_preset,
+    "dist-smoke": dist_smoke_preset,
 }
 
 

@@ -20,16 +20,31 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Protocol, Sequence, Union
 
 from .scenario import run_scenario
-from .spec import ScenarioConfig, SweepSpec
+from .spec import ScenarioConfig, SweepSpec, expand_unique
 from .store import ResultStore
 
-__all__ = ["SweepReport", "SweepRunner"]
+__all__ = ["CampaignRunner", "SweepReport", "SweepRunner", "expand_unique"]
 
 #: progress(done, total, record, cached) — called after every completed cell.
 ProgressCallback = Callable[[int, int, dict, bool], None]
+
+
+class CampaignRunner(Protocol):
+    """What campaign consumers (e.g. the boundary search) require of a runner.
+
+    :class:`SweepRunner` is the single-host implementation;
+    :class:`repro.sweep.dist.DistRunner` satisfies the same protocol by
+    fanning each ``run`` batch out over shard worker processes, so any code
+    written against this protocol distributes transparently.
+    """
+
+    store: ResultStore
+
+    def run(self, campaign: Union[SweepSpec, Sequence[ScenarioConfig]]) -> "SweepReport":
+        ...
 
 
 @dataclass
@@ -62,12 +77,12 @@ class SweepReport:
         }
 
 
-def _execute_payload(payload: tuple[dict, int]) -> dict:
+def _execute_payload(payload: tuple[dict, int, bool]) -> dict:
     """Top-level worker entry point (picklable for multiprocessing)."""
-    config_dict, series_samples = payload
+    config_dict, series_samples, fast = payload
     config = ScenarioConfig.from_dict(config_dict)
     try:
-        return run_scenario(config, series_samples=series_samples)
+        return run_scenario(config, series_samples=series_samples, fast=fast)
     except Exception as exc:  # noqa: BLE001 — workers must not crash the pool
         return {
             "scenario_id": config.scenario_id,
@@ -88,13 +103,21 @@ class SweepRunner:
     workers:
         Number of worker processes; ``<= 1`` runs inline in this process.
     timeout_s:
-        Per-scenario wall-clock budget (pool mode only; inline runs are not
-        interruptible without signals).
+        Per-scenario wall-clock budget.  Setting it forces pool execution —
+        a 1-slot pool when ``workers == 1`` — because an inline run cannot
+        be interrupted without signals; leave it ``None`` for true inline
+        execution.
     series_samples:
         When > 0, each record stores the simulation series decimated to this
         many samples.
     progress:
         Optional ``progress(done, total, record, cached)`` callback.
+    fast:
+        Engine choice threaded into every scenario: ``True`` (default) runs
+        the fast simulation core, ``False`` the exact reference engine
+        (``build_system(fast=False)``).  An execution detail only — it is
+        not part of the scenario identity, so records computed under either
+        engine share one store and cache-hit each other.
     """
 
     def __init__(
@@ -104,6 +127,7 @@ class SweepRunner:
         timeout_s: Optional[float] = None,
         series_samples: int = 0,
         progress: Optional[ProgressCallback] = None,
+        fast: bool = True,
     ):
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
@@ -112,6 +136,7 @@ class SweepRunner:
         self.timeout_s = timeout_s
         self.series_samples = int(series_samples)
         self.progress = progress
+        self.fast = bool(fast)
 
     # ------------------------------------------------------------------
     def run(self, campaign: Union[SweepSpec, Sequence[ScenarioConfig]]) -> SweepReport:
@@ -133,7 +158,11 @@ class SweepRunner:
                 pending.append(config)
 
         if pending:
-            runner = self._run_pool if self.workers > 1 else self._run_serial
+            # A timeout is a promise of enforcement: honour it even at
+            # workers == 1 by running a 1-slot pool (the serial path cannot
+            # interrupt a hung scenario).
+            use_pool = self.workers > 1 or self.timeout_s is not None
+            runner = self._run_pool if use_pool else self._run_serial
             for record in runner(pending):
                 self.store.append(record)
                 report.records.append(record)
@@ -151,11 +180,7 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _expand(self, campaign) -> list[ScenarioConfig]:
-        scenarios = campaign.scenarios() if isinstance(campaign, SweepSpec) else list(campaign)
-        unique: dict[str, ScenarioConfig] = {}
-        for config in scenarios:
-            unique.setdefault(config.scenario_id, config)
-        return list(unique.values())
+        return expand_unique(campaign)
 
     def _notify(self, done: int, total: int, record: dict, cached: bool) -> None:
         if self.progress is not None:
@@ -163,7 +188,7 @@ class SweepRunner:
 
     def _run_serial(self, pending: list[ScenarioConfig]):
         for config in pending:
-            yield _execute_payload((config.to_dict(), self.series_samples))
+            yield _execute_payload((config.to_dict(), self.series_samples, self.fast))
 
     def _run_pool(self, pending: list[ScenarioConfig]):
         """Yield records in completion order, with real per-scenario deadlines.
@@ -188,7 +213,7 @@ class SweepRunner:
                 while queue and len(active) + hung < n_slots:
                     config = queue.popleft()
                     handle = pool.apply_async(
-                        _execute_payload, ((config.to_dict(), self.series_samples),)
+                        _execute_payload, ((config.to_dict(), self.series_samples, self.fast),)
                     )
                     deadline = (
                         time.monotonic() + self.timeout_s if self.timeout_s is not None else None

@@ -120,17 +120,21 @@ def scenario_summary(result: SimulationResult, workload: Workload) -> dict:
 def run_scenario(
     config: ScenarioConfig,
     series_samples: int = 0,
+    fast: bool = True,
 ) -> dict:
     """Run one scenario and return its store record.
 
     The record always contains ``scenario_id``, ``schema_version``,
-    ``config`` (composed schema), ``status``, ``summary`` and ``elapsed_s``;
-    when ``series_samples`` > 0 it also carries the full
+    ``config`` (composed schema), ``status``, ``summary``, ``engine`` and
+    ``elapsed_s``; when ``series_samples`` > 0 it also carries the full
     :meth:`SimulationResult.to_dict` payload decimated to that many samples
-    under ``"series"``.
+    under ``"series"``.  ``fast=False`` runs the exact reference engine
+    (``build_system(fast=False)``); the choice is stamped into the record as
+    ``"engine"`` for post-mortems but is *not* part of the scenario identity,
+    so stores stay comparable across engines.
     """
     started = time.perf_counter()
-    built = build_system(config)
+    built = build_system(config, fast=fast)
     result = built.run()
     record = {
         "scenario_id": built.config.scenario_id,
@@ -138,6 +142,7 @@ def run_scenario(
         "config": built.config.to_dict(),
         "status": "ok",
         "summary": scenario_summary(result, built.workload),
+        "engine": "fast" if fast else "exact",
         "elapsed_s": time.perf_counter() - started,
     }
     if series_samples > 0:

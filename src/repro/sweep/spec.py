@@ -27,6 +27,7 @@ records (schema v1) and upgrades them to the composed form.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import json
@@ -35,7 +36,7 @@ from typing import Iterator, Mapping, Optional, Sequence
 
 from ..energy.irradiance import ShadowingEvent, WeatherCondition
 from ..energy.supercapacitor import PAPER_BUFFER_CAPACITANCE_F
-from ..registry import ComponentSpec, Registry, normalise_value
+from ..registry import ComponentSpec, Registry, jsonable_value, normalise_value
 from .components import CAPACITORS, GOVERNORS, PLATFORMS, SUPPLIES, WORKLOADS_REGISTRY
 
 __all__ = [
@@ -45,9 +46,24 @@ __all__ = [
     "ScenarioConfig",
     "Axis",
     "SweepSpec",
+    "campaign_hash_of",
+    "expand_unique",
     "resolve_axis_path",
     "component_label",
 ]
+
+
+def campaign_hash_of(scenario_ids) -> str:
+    """Content hash of a campaign: its (sorted) scenario-id set.
+
+    Shared by :meth:`SweepSpec.campaign_hash` and the dist layer's
+    :class:`~repro.sweep.dist.ShardPlan`, which hashes an already-expanded
+    scenario list instead of re-expanding the spec.
+    """
+    digest = hashlib.sha256()
+    for scenario_id in sorted(scenario_ids):
+        digest.update(scenario_id.encode())
+    return digest.hexdigest()[:16]
 
 #: Version stamped into serialised configs and store records.  v1 was the
 #: PR-1 flat layout (governor/weather/capacitance_f/... as top-level keys).
@@ -447,9 +463,14 @@ class ScenarioConfig:
         """Canonical serialisation used for content addressing."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
 
-    @property
+    @functools.cached_property
     def scenario_id(self) -> str:
-        """Content hash of the config — the key in the result store."""
+        """Content hash of the config — the key in the result store.
+
+        Computed once per instance (the config is frozen, so the hash cannot
+        change): store lookups, runner dedup and shard partitioning all read
+        the same id repeatedly.
+        """
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
 
     def label(self) -> str:
@@ -470,6 +491,21 @@ class ScenarioConfig:
         if self.shadowing:
             parts.append(f"{len(self.shadowing)}shadow")
         return "/".join(parts)
+
+
+def expand_unique(campaign) -> "list[ScenarioConfig]":
+    """Expand a campaign into de-duplicated configs in stable partition order.
+
+    ``campaign`` is a :class:`SweepSpec` or any sequence of configs.  First
+    occurrence wins and order follows the spec's deterministic axis product
+    (or the given sequence) — the one expansion every consumer (runners,
+    shard partitioning, campaign hashing) must agree on.
+    """
+    scenarios = campaign.scenarios() if isinstance(campaign, SweepSpec) else list(campaign)
+    unique: dict[str, ScenarioConfig] = {}
+    for config in scenarios:
+        unique.setdefault(config.scenario_id, config)
+    return list(unique.values())
 
 
 @dataclass(frozen=True)
@@ -539,6 +575,60 @@ class SweepSpec:
             for name, value in zip(names, combo):
                 config = config.with_value(name, value)
             yield config
+
+    # ------------------------------------------------------------------
+    # Campaign identity and serialisation (the distributed-execution
+    # contract: every shard worker must agree on what the campaign *is*)
+    # ------------------------------------------------------------------
+    def scenario_ids(self) -> list[str]:
+        """De-duplicated scenario ids, in the spec's stable expansion order.
+
+        This is the **partition order** shard execution relies on: axis
+        expansion is a deterministic cartesian product and the dedup is the
+        same :func:`expand_unique` every runner uses, so every process
+        expanding the same spec sees the same ids in the same order.
+        """
+        return [config.scenario_id for config in expand_unique(self)]
+
+    def campaign_hash(self) -> str:
+        """Content hash of the campaign: the *set* of scenarios it expands to.
+
+        Hashed over the sorted scenario ids, so two spellings of the same
+        grid — reordered axes, aliased paths, sparse vs explicit component
+        specs — hash identically, while any change to the physics (an extra
+        seed, a different duration) produces a new campaign.  Execution
+        details (engine choice, worker counts, sharding) are deliberately
+        excluded, exactly as they are excluded from the scenario ids.
+        """
+        return campaign_hash_of(self.scenario_ids())
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (base config + axes) for shard manifests."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "base": self.base.to_dict(),
+            "axes": [
+                {
+                    "name": axis.name,
+                    "values": [jsonable_value(normalise_value(v)) for v in axis.values],
+                }
+                for axis in self.axes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. a shard manifest).
+
+        Axis values round-trip through the same normalise/jsonify pair the
+        scenario configs use, so the rebuilt spec expands to the identical
+        scenario ids — :meth:`campaign_hash` is stable across the trip.
+        """
+        base = ScenarioConfig.from_dict(data["base"])
+        axes = tuple(
+            Axis(str(axis["name"]), tuple(axis["values"])) for axis in data.get("axes", ())
+        )
+        return cls(base=base, axes=axes)
 
     # ------------------------------------------------------------------
     # Convenience constructor for the common governor × condition grids

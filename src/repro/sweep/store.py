@@ -27,6 +27,16 @@ over a 100k-cell store never parse a line.  Appending after a compaction
 leaves the sidecar in place; the next open replays only the appended tail on
 top of the indexed portion.  A sidecar that no longer matches its store (the
 store was rewritten or truncated) is ignored and the store is fully parsed.
+
+Sharded campaigns: :meth:`ResultStore.merge` / :func:`merge_stores` union the
+shard stores a partitioned campaign produced (see :mod:`repro.sweep.dist`)
+into one.  The idx sidecars make the union cheap — conflicts are adjudicated
+from the O(index) key/status inventory and only winning records are read —
+with **last-complete-record-wins** semantics: a successful record always
+supersedes a failure/timeout, and among equals the later source wins.  Legacy
+v1 records are upgraded (config re-composed, record re-keyed under the
+current content hash) on the way through, and the merged store is compacted
+so its own sidecar is rewritten.
 """
 
 from __future__ import annotations
@@ -35,15 +45,44 @@ import json
 import os
 from collections import Counter
 from pathlib import Path
-from typing import Iterator, Mapping, Optional, Union
+from typing import Iterator, Mapping, Optional, Sequence, Union
 
 from ..sim.result import SimulationResult
 from .spec import SCHEMA_VERSION, ScenarioConfig
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "merge_stores"]
 
 #: Index sidecar layout version.
 _INDEX_VERSION = 1
+
+
+def _upgrade_record(record: dict) -> tuple[str, dict, bool]:
+    """Upgrade a legacy record to the current config schema, re-keying it.
+
+    A v1 record's scenario id was computed under the flat PR-1 hashing
+    scheme, so as stored it can never cache-hit a composed config.  Upgrading
+    re-parses the config (which folds it into the composed schema), rewrites
+    the record under the current :data:`~repro.sweep.spec.SCHEMA_VERSION` and
+    re-keys it by the current content hash — after which the old result *is*
+    a cache hit for the equivalent new-schema scenario.  Records that cannot
+    be upgraded (no config payload, unparseable config) pass through
+    unchanged.  Returns ``(key, record, upgraded)``.
+    """
+    version = int(record.get("schema_version", 1))
+    if version >= SCHEMA_VERSION:
+        return record["scenario_id"], record, False
+    config_data = record.get("config")
+    if not isinstance(config_data, Mapping):
+        return record["scenario_id"], record, False
+    try:
+        config = ScenarioConfig.from_dict(config_data)
+    except (ValueError, TypeError, KeyError):
+        return record["scenario_id"], record, False
+    upgraded = dict(record)
+    upgraded["config"] = config.to_dict()
+    upgraded["schema_version"] = SCHEMA_VERSION
+    upgraded["scenario_id"] = config.scenario_id
+    return config.scenario_id, upgraded, True
 
 
 class _LazyRecord:
@@ -320,6 +359,82 @@ class ResultStore:
         }
 
     # ------------------------------------------------------------------
+    # Merging (distributed campaigns: union shard stores into one)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_wins(incoming_status: Optional[str], existing) -> bool:
+        """Last-complete-record-wins: does an incoming record supersede?
+
+        A complete (``status == "ok"``) incoming record always wins — later
+        complete beats earlier complete, and complete beats any failure.  An
+        incomplete incoming record only wins when the existing record is
+        also incomplete (or absent): a shard's timeout must never clobber
+        another shard's success.
+        """
+        if existing is None:
+            return True
+        if incoming_status == "ok":
+            return True
+        existing_status = (
+            existing.status if isinstance(existing, _LazyRecord) else existing.get("status")
+        )
+        return existing_status != "ok"
+
+    def merge(self, *sources, compact: bool = True) -> dict:
+        """Union other stores' records into this one, newest-complete wins.
+
+        ``sources`` are :class:`ResultStore` instances or paths, consumed in
+        order (so on ties the *last* source wins).  Conflicts are decided
+        from each source's O(index) key/status/version inventory where
+        possible — a source record that loses to an existing complete record
+        is skipped without ever being read from disk.  Legacy (v1) source
+        records are upgraded and re-keyed on the way through (see
+        :func:`_upgrade_record`).  By default the merged store is compacted
+        afterwards, rewriting the data file and its idx sidecar; pass
+        ``compact=False`` to keep accumulating in memory across several
+        merge calls (the caller must then compact explicitly to persist).
+
+        Returns a stats dict (``sources``, ``scanned``, ``merged``,
+        ``skipped``, ``upgraded``, plus ``records``/``index_path`` when
+        compacting).
+        """
+        stats = {"sources": 0, "scanned": 0, "merged": 0, "skipped": 0, "upgraded": 0}
+        own = self.path.resolve()
+        for source in sources:
+            src = source if isinstance(source, ResultStore) else ResultStore(source)
+            if src.path.resolve() == own:
+                raise ValueError(f"cannot merge store {self.path} into itself")
+            stats["sources"] += 1
+            for key in list(src._entries):
+                stats["scanned"] += 1
+                entry = src._entries.get(key)
+                status = (
+                    entry.status if isinstance(entry, _LazyRecord) else entry.get("status")
+                )
+                if self._version_of(entry) >= SCHEMA_VERSION and not self._merge_wins(
+                    status, self._entries.get(key)
+                ):
+                    stats["skipped"] += 1
+                    continue
+                record = src.get(key)  # materialises lazy entries (one seek)
+                if record is None:
+                    stats["skipped"] += 1
+                    continue
+                new_key, record, upgraded = _upgrade_record(record)
+                if upgraded:
+                    stats["upgraded"] += 1
+                if not self._merge_wins(record.get("status"), self._entries.get(new_key)):
+                    stats["skipped"] += 1
+                    continue
+                self._set_entry(new_key, dict(record))
+                stats["merged"] += 1
+        if compact:
+            compact_stats = self.compact()
+            stats["records"] = compact_stats["records"]
+            stats["index_path"] = compact_stats["index_path"]
+        return stats
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -368,3 +483,41 @@ class ResultStore:
         if isinstance(key, ScenarioConfig):
             return key.scenario_id
         return str(key)
+
+
+def merge_stores(
+    dest: "str | os.PathLike | ResultStore",
+    sources: "Sequence[str | os.PathLike | ResultStore]",
+) -> dict:
+    """Assemble one store from shard stores: open ``dest``, stream ``sources``.
+
+    The coordinator-side entry point behind ``python -m repro store merge``:
+    sources are consumed one at a time (each is opened, unioned into ``dest``
+    via :meth:`ResultStore.merge`, then released), so peak memory is the
+    merged key inventory plus one source's, never the sum of all shards.
+    Missing source paths are an error — a silently absent shard would
+    produce a merged store that looks complete but is not.  Returns the
+    merge stats with ``dest`` added.
+    """
+    store = dest if isinstance(dest, ResultStore) else ResultStore(dest)
+    resolved: list[ResultStore] = []
+    missing: list[str] = []
+    for source in sources:
+        if isinstance(source, ResultStore):
+            resolved.append(source)
+        elif Path(source).exists():
+            resolved.append(source)
+        else:
+            missing.append(str(source))
+    if missing:
+        raise FileNotFoundError(f"missing source store(s): {', '.join(missing)}")
+    stats: dict = {"sources": 0, "scanned": 0, "merged": 0, "skipped": 0, "upgraded": 0}
+    for source in resolved:
+        partial = store.merge(source, compact=False)
+        for key in ("sources", "scanned", "merged", "skipped", "upgraded"):
+            stats[key] += partial[key]
+    compact_stats = store.compact()
+    stats["records"] = compact_stats["records"]
+    stats["index_path"] = compact_stats["index_path"]
+    stats["dest"] = str(store.path)
+    return stats

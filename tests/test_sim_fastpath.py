@@ -130,6 +130,86 @@ class TestIVSurfaceTable:
 # ----------------------------------------------------------------------
 # Vectorised building blocks
 # ----------------------------------------------------------------------
+class TestTabulatedAuxiliaryCurves:
+    """available_power / open_circuit_voltage through the I-V surface table.
+
+    The record-tick channels are answered from the table's 1-D MPP and Voc
+    rows in fast mode (pure float operations) and must agree with both the
+    exact per-irradiance solve and the reference engine's ``np.interp``
+    cache, which exact mode preserves verbatim.
+    """
+
+    def _ramp_supply(self, **kwargs) -> PVArraySupply:
+        # Irradiance ramps 0 -> 1000 W/m^2 over 10 s, so lookups land between
+        # grid points (a constant trace would only ever hit grid nodes).
+        from repro.energy.traces import IrradianceTrace
+
+        trace = IrradianceTrace(times=[0.0, 10.0], values=[0.0, 1000.0])
+        return PVArraySupply(paper_pv_array(), trace, **kwargs)
+
+    def test_fast_available_power_matches_exact_mpp(self):
+        array = paper_pv_array()
+        supply = self._ramp_supply()
+        for t in (0.5, 1.0, 2.5, 5.0, 7.3, 9.9, 10.0):
+            g = supply.irradiance_at(t)
+            assert supply.available_power(t) == pytest.approx(
+                array.power_at_mpp(g), rel=2e-2, abs=1e-3
+            )
+        # Zero irradiance means zero harvestable power, exactly.
+        assert supply.available_power(0.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fast_open_circuit_voltage_matches_exact(self):
+        array = paper_pv_array()
+        supply = self._ramp_supply()
+        for t in (1.0, 2.5, 5.0, 7.3, 9.9, 10.0):
+            g = supply.irradiance_at(t)
+            assert supply.open_circuit_voltage(t) == pytest.approx(
+                array.open_circuit_voltage(g), rel=2e-2
+            )
+
+    def test_fast_and_exact_modes_agree_on_record_channels(self):
+        fast = self._ramp_supply()
+        exact = self._ramp_supply(exact=True)
+        for t in (0.0, 1.0, 3.7, 6.2, 9.5, 12.0):
+            assert fast.available_power(t) == pytest.approx(
+                exact.available_power(t), rel=2e-2, abs=1e-3
+            )
+            assert fast.open_circuit_voltage(t) == pytest.approx(
+                exact.open_circuit_voltage(t), rel=2e-2, abs=1e-3
+            )
+
+    def test_exact_mode_keeps_the_interp_cache_path(self):
+        """The reference engine's numerics must be untouched: in exact mode
+        the channels answer from the np.interp cache and never build the
+        table."""
+        supply = self._ramp_supply(exact=True)
+        for t in (2.0, 8.0):
+            g = supply.irradiance_at(t)
+            assert supply.available_power(t) == float(
+                np.interp(g, supply._cache_irradiances, supply._cache_mpp_power)
+            )
+            assert supply.open_circuit_voltage(t) == float(
+                np.interp(g, supply._cache_irradiances, supply._cache_voc)
+            )
+        assert supply._table is None
+
+    def test_fast_channels_answer_from_the_table(self):
+        supply = self._ramp_supply()
+        assert supply._table is None
+        power = supply.available_power(5.0)
+        assert supply._table is not None  # built lazily by the first lookup
+        g = supply.irradiance_at(5.0)
+        assert power == supply._table.mpp_power(g)
+        assert supply.open_circuit_voltage(5.0) == supply._table.open_circuit_voltage(g)
+
+    def test_table_rows_clamp_at_grid_edges(self):
+        supply = self._ramp_supply()
+        table = supply.iv_table
+        assert table.mpp_power(-5.0) == table.mpp_power(0.0)
+        assert table.mpp_power(2000.0) == table.mpp_power(table.g_max)
+        assert table.open_circuit_voltage(2000.0) == table.open_circuit_voltage(table.g_max)
+
+
 class TestVectorisedSolves:
     def test_current_array_matches_scalar_loop(self):
         cell = paper_pv_array().cell

@@ -550,6 +550,224 @@ class TestExportAndStoreMaintenance:
             main(["store", "compact", "--store", str(tmp_path / "absent.jsonl")])
 
 
+class TestShardAndMerge:
+    PRESET_ARGS = ["--preset", "dist-smoke", "--duration", "4", "--quiet"]
+
+    def _run_shard(self, tmp_path, index, n=2, extra=()) -> Path:
+        store = tmp_path / f"shard-{index}.jsonl"
+        argv = [
+            "shard",
+            *self.PRESET_ARGS,
+            "--num-shards",
+            str(n),
+            "--shard-index",
+            str(index),
+            "--store",
+            str(store),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return store
+
+    def test_shard_merge_equals_single_run(self, tmp_path, capsys):
+        """The CLI walkthrough: two shards, merged, equals one sweep — and a
+        sweep against the merged store recomputes nothing."""
+        single = tmp_path / "single.jsonl"
+        assert main(["sweep", *self.PRESET_ARGS, "--workers", "1", "--store", str(single)]) == 0
+        shard_stores = [self._run_shard(tmp_path, i) for i in range(2)]
+        for store in shard_stores:
+            assert Path(str(store) + ".manifest.json").exists()
+
+        merged = tmp_path / "merged.jsonl"
+        assert main(["store", "merge", str(merged), *map(str, shard_stores)]) == 0
+        assert "Merged 2 store(s)" in capsys.readouterr().out
+
+        from repro.sweep import ResultStore
+
+        strip = lambda r: {k: v for k, v in r.items() if k != "elapsed_s"}  # noqa: E731
+        single_records = {r["scenario_id"]: strip(r) for r in ResultStore(single).records()}
+        merged_records = {r["scenario_id"]: strip(r) for r in ResultStore(merged).records()}
+        assert merged_records == single_records
+
+        assert main(["sweep", *self.PRESET_ARGS, "--workers", "1", "--store", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "executed  : 0" in out and "cached    : 4" in out
+
+    def test_shard_resume_is_cached_and_other_campaign_rejected(self, tmp_path, capsys):
+        store = self._run_shard(tmp_path, 0)
+        capsys.readouterr()
+        # Re-running the same shard against its store is pure cache hits.
+        self._run_shard(tmp_path, 0)
+        assert "executed  : 0" in capsys.readouterr().out
+        # A different campaign (or geometry) must be refused, not mixed in.
+        with pytest.raises(SystemExit, match="use a different --store or --fresh"):
+            main(
+                [
+                    "shard",
+                    *self.PRESET_ARGS,
+                    "--num-shards",
+                    "3",
+                    "--shard-index",
+                    "0",
+                    "--store",
+                    str(store),
+                ]
+            )
+
+    def test_shard_runs_from_spec_file_and_manifest(self, tmp_path, capsys):
+        from repro.sweep import CAMPAIGN_PRESETS, ShardPlan
+
+        spec = CAMPAIGN_PRESETS["dist-smoke"](duration_s=4.0)
+        spec_file = tmp_path / "campaign.json"
+        spec_file.write_text(json.dumps(spec.to_dict()))
+        store = tmp_path / "s0.jsonl"
+        argv = [
+            "shard",
+            "--spec",
+            str(spec_file),
+            "--num-shards",
+            "2",
+            "--shard-index",
+            "0",
+            "--store",
+            str(store),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        manifest = ShardPlan.from_manifest(str(store) + ".manifest.json")
+        assert manifest.campaign_hash == spec.campaign_hash()
+        capsys.readouterr()
+        # A manifest is itself a valid --spec (the verified snapshot wins).
+        argv[2] = str(store) + ".manifest.json"
+        assert main(argv) == 0
+        assert "executed  : 0" in capsys.readouterr().out
+
+    def test_shard_spec_manifest_engine_is_honoured(self, tmp_path, capsys):
+        """A worker pointed at an exact-engine manifest must not quietly
+        contribute fast-engine records: the stamped engine is adopted, and
+        an explicitly conflicting flag is refused."""
+        store = self._run_shard(tmp_path, 0, extra=["--exact"])
+        manifest = str(store) + ".manifest.json"
+        capsys.readouterr()
+        argv = [
+            "shard",
+            "--spec",
+            manifest,
+            "--num-shards",
+            "2",
+            "--shard-index",
+            "1",
+            "--store",
+            str(tmp_path / "s1.jsonl"),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "adopting the 'exact' engine" in out
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "s1.jsonl").read_text().splitlines()
+        ]
+        assert all(r["engine"] == "exact" for r in records)
+        # Asking for the engine the manifest does not stamp is an error.
+        fast_manifest_store = self._run_shard(tmp_path, 1)
+        with pytest.raises(SystemExit, match="must agree on the engine"):
+            main(
+                [
+                    "shard",
+                    "--spec",
+                    str(fast_manifest_store) + ".manifest.json",
+                    "--exact",
+                    "--num-shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                    "--store",
+                    str(tmp_path / "conflict.jsonl"),
+                ]
+            )
+
+    def test_shard_rejects_spec_with_grid_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="drop the conflicting"):
+            main(
+                [
+                    "shard",
+                    "--spec",
+                    "whatever.json",
+                    "--governors",
+                    "powersave",
+                    "--num-shards",
+                    "2",
+                    "--shard-index",
+                    "0",
+                ]
+            )
+
+    def test_shard_validates_geometry(self, tmp_path):
+        with pytest.raises(SystemExit, match="shard-index"):
+            main(
+                [
+                    "shard",
+                    *self.PRESET_ARGS,
+                    "--num-shards",
+                    "2",
+                    "--shard-index",
+                    "2",
+                    "--store",
+                    str(tmp_path / "s.jsonl"),
+                ]
+            )
+
+    def test_store_merge_argument_validation(self, tmp_path):
+        with pytest.raises(SystemExit, match="DEST SRC"):
+            main(["store", "merge", str(tmp_path / "only-dest.jsonl")])
+        with pytest.raises(SystemExit, match="missing source"):
+            main(
+                [
+                    "store",
+                    "merge",
+                    str(tmp_path / "dest.jsonl"),
+                    str(tmp_path / "ghost.jsonl"),
+                ]
+            )
+
+
+class TestExactEngine:
+    def test_exact_flag_parses_everywhere(self):
+        for argv in (
+            ["sweep", "--exact"],
+            ["boundary", "--exact"],
+            ["shard", "--exact", "--num-shards", "2", "--shard-index", "0"],
+        ):
+            assert build_parser().parse_args(argv).exact is True
+
+    def test_sweep_exact_records_share_the_store_with_fast(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        argv = [
+            "sweep",
+            "--governors",
+            "power-neutral",
+            "--weather",
+            "full_sun",
+            "--capacitance-mf",
+            "47",
+            "--duration",
+            "4",
+            "--workers",
+            "1",
+            "--quiet",
+            "--store",
+            str(store),
+        ]
+        assert main(argv + ["--exact"]) == 0
+        assert "exact engine" in capsys.readouterr().out
+        record = json.loads(store.read_text().splitlines()[0])
+        assert record["engine"] == "exact"
+        # The engine is not part of the scenario hash: a fast re-run caches.
+        assert main(argv) == 0
+        assert "executed  : 0" in capsys.readouterr().out
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro_shows_usage(self):
         src = Path(__file__).resolve().parent.parent / "src"

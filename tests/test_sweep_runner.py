@@ -134,6 +134,17 @@ class TestParallelExecution:
         assert record["status"] == "timeout"
         assert not ResultStore(path).is_complete(config)
 
+    def test_timeout_is_enforced_at_workers_1(self, tmp_path):
+        """A timeout is a promise: even workers=1 must interrupt a hung
+        scenario (via a 1-slot pool) instead of silently ignoring the
+        budget."""
+        config = ScenarioConfig(governor="power-neutral", duration_s=120.0)
+        report = SweepRunner(
+            ResultStore(tmp_path / "s.jsonl"), workers=1, timeout_s=1e-3
+        ).run([config])
+        assert report.timed_out == 1
+        assert not report.succeeded
+
 
 class TestAggregation:
     def test_axis_summary_and_overview(self, tmp_path):

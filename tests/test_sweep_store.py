@@ -3,10 +3,11 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.sim.result import SimulationResult
 from repro.sweep.spec import SCHEMA_VERSION, ScenarioConfig
-from repro.sweep.store import ResultStore
+from repro.sweep.store import ResultStore, merge_stores
 
 
 def make_record(config: ScenarioConfig, status: str = "ok", **extra) -> dict:
@@ -234,6 +235,158 @@ class TestCompaction:
         reloaded = ResultStore(path)
         assert reloaded.legacy_count == 1
         assert reloaded.version_counts() == {1: 1, SCHEMA_VERSION: 1}
+
+
+class TestMerge:
+    def _store_with(self, path, records) -> ResultStore:
+        store = ResultStore(path)
+        for record in records:
+            store.append(record)
+        return store
+
+    def test_disjoint_union(self, tmp_path):
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        b = ScenarioConfig(governor="power-neutral", seed=2)
+        self._store_with(tmp_path / "a.jsonl", [make_record(a)])
+        self._store_with(tmp_path / "b.jsonl", [make_record(b)])
+
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        stats = dest.merge(tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+        assert stats["merged"] == 2 and stats["records"] == 2
+        assert dest.index_path.exists()  # merged idx rewritten
+        reloaded = ResultStore(tmp_path / "merged.jsonl")
+        assert reloaded.is_complete(a) and reloaded.is_complete(b)
+
+    def test_complete_record_beats_failure_in_either_direction(self, tmp_path):
+        config = ScenarioConfig(governor="power-neutral")
+        # Failure in dest, success in source: the success wins.
+        dest = self._store_with(
+            tmp_path / "d.jsonl", [make_record(config, status="error", error="boom")]
+        )
+        self._store_with(tmp_path / "ok.jsonl", [make_record(config, status="ok")])
+        dest.merge(tmp_path / "ok.jsonl")
+        assert dest.is_complete(config)
+        # Success in dest, failure in source: the failure is skipped.
+        stats = self._store_with(
+            tmp_path / "d2.jsonl", [make_record(config, status="ok")]
+        ).merge(
+            self._store_with(
+                tmp_path / "err.jsonl", [make_record(config, status="timeout")]
+            )
+        )
+        assert stats["skipped"] == 1 and stats["merged"] == 0
+        assert ResultStore(tmp_path / "d2.jsonl").is_complete(config)
+
+    def test_later_source_wins_among_complete_records(self, tmp_path):
+        config = ScenarioConfig(governor="power-neutral")
+        self._store_with(tmp_path / "a.jsonl", [make_record(config, marker="first")])
+        self._store_with(tmp_path / "b.jsonl", [make_record(config, marker="second")])
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        merge_stores(dest, [tmp_path / "a.jsonl", tmp_path / "b.jsonl"])
+        assert dest.get(config)["marker"] == "second"
+
+    def test_v1_records_are_upgraded_and_rekeyed(self, tmp_path):
+        """Merging a v1+v2 mix re-keys upgradeable legacy records under the
+        current content hash, so old results cache-hit new-schema configs."""
+        v1_config = {"governor": "powersave", "weather": "cloud", "duration_s": 5.0}
+        v1_record = {
+            "scenario_id": "0123456789abcdef",  # the PR-1-era hash
+            "config": v1_config,
+            "status": "ok",
+            "summary": {"survived": True},
+        }
+        (tmp_path / "legacy.jsonl").write_text(json.dumps(v1_record) + "\n")
+        v2 = ScenarioConfig(governor="power-neutral")
+        self._store_with(tmp_path / "modern.jsonl", [make_record(v2)])
+
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        stats = dest.merge(tmp_path / "legacy.jsonl", tmp_path / "modern.jsonl")
+        assert stats["upgraded"] == 1
+        upgraded_config = ScenarioConfig.from_dict(v1_config)
+        assert dest.is_complete(upgraded_config)
+        assert dest.is_complete(v2)
+        assert "0123456789abcdef" not in dest
+        reloaded = ResultStore(tmp_path / "merged.jsonl")
+        assert reloaded.legacy_count == 0
+        assert reloaded.get(upgraded_config)["schema_version"] == SCHEMA_VERSION
+
+    def test_unupgradeable_legacy_record_passes_through(self, tmp_path):
+        broken = {"scenario_id": "feedc0de", "status": "ok", "summary": {}}
+        (tmp_path / "legacy.jsonl").write_text(json.dumps(broken) + "\n")
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        stats = dest.merge(tmp_path / "legacy.jsonl")
+        assert stats["upgraded"] == 0 and stats["merged"] == 1
+        assert "feedc0de" in dest
+
+    def test_source_without_idx_sidecar_merges(self, tmp_path):
+        """A never-compacted source (no sidecar) is fully parsed and merged."""
+        config = ScenarioConfig(governor="power-neutral")
+        src = self._store_with(tmp_path / "plain.jsonl", [make_record(config)])
+        assert not src.index_path.exists()
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        assert dest.merge(tmp_path / "plain.jsonl")["merged"] == 1
+        assert dest.is_complete(config)
+
+    def test_stale_source_idx_falls_back_to_full_reload(self, tmp_path):
+        """A source whose sidecar lies about its contents (store rewritten
+        shorter) must merge what the file really holds, not seek into it."""
+        configs = [ScenarioConfig(governor="power-neutral", seed=i) for i in range(3)]
+        src = self._store_with(tmp_path / "src.jsonl", [make_record(c) for c in configs])
+        src.compact()
+        lines = (tmp_path / "src.jsonl").read_text().splitlines(keepends=True)
+        (tmp_path / "src.jsonl").write_text(lines[0])  # sidecar is now stale
+
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        stats = dest.merge(tmp_path / "src.jsonl")
+        assert stats["merged"] == 1
+        assert len(ResultStore(tmp_path / "merged.jsonl")) == 1
+
+    def test_merge_then_compact_is_idempotent(self, tmp_path):
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        b = ScenarioConfig(governor="power-neutral", seed=2)
+        self._store_with(
+            tmp_path / "a.jsonl", [make_record(a, status="error", error="x"), make_record(a)]
+        )
+        self._store_with(tmp_path / "b.jsonl", [make_record(b)])
+        dest = ResultStore(tmp_path / "merged.jsonl")
+        dest.merge(tmp_path / "a.jsonl", tmp_path / "b.jsonl")
+        after_merge = (tmp_path / "merged.jsonl").read_bytes()
+        index_after_merge = dest.index_path.read_bytes()
+
+        stats = ResultStore(tmp_path / "merged.jsonl").compact()
+        assert stats["records"] == 2 and stats["dropped_lines"] == 0
+        assert (tmp_path / "merged.jsonl").read_bytes() == after_merge
+        assert dest.index_path.read_bytes() == index_after_merge
+
+    def test_merge_into_itself_is_rejected(self, tmp_path):
+        store = self._store_with(
+            tmp_path / "s.jsonl", [make_record(ScenarioConfig(governor="power-neutral"))]
+        )
+        with pytest.raises(ValueError, match="itself"):
+            store.merge(tmp_path / "s.jsonl")
+
+    def test_merge_stores_requires_sources_to_exist(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="ghost.jsonl"):
+            merge_stores(tmp_path / "merged.jsonl", [tmp_path / "ghost.jsonl"])
+
+    def test_losing_source_records_are_never_read(self, tmp_path):
+        """Conflict adjudication uses the O(index) inventory: a compacted
+        source record that loses to an existing complete record stays lazy
+        (never materialised from disk)."""
+        from repro.sweep.store import _LazyRecord
+
+        config = ScenarioConfig(governor="power-neutral")
+        src = self._store_with(
+            tmp_path / "src.jsonl", [make_record(config, status="error", error="late")]
+        )
+        src.compact()
+        dest = self._store_with(tmp_path / "dest.jsonl", [make_record(config)])
+
+        source = ResultStore(tmp_path / "src.jsonl")
+        assert isinstance(source._entries[config.scenario_id], _LazyRecord)
+        stats = dest.merge(source)
+        assert stats["skipped"] == 1
+        assert isinstance(source._entries[config.scenario_id], _LazyRecord)
 
 
 class TestSeriesRoundTrip:
