@@ -11,6 +11,12 @@ introduces and the win it buys:
   (compacted, so the idx-sidecar fast path is exercised), reported as
   records merged per second.
 
+The distributed runs execute under ``repro.obs`` telemetry, and the
+per-shard utilisation / queue-wait figures in the JSON are derived from the
+trace the run itself emitted — the same numbers ``obs report`` prints.  A
+second fan-out datapoint with multiple pool workers per shard tracks the
+two-level (shards × workers) parallelism.
+
 Writes ``BENCH_dist.json`` so the trajectory is tracked from PR 5 onward.
 
 Run as a script::
@@ -35,6 +41,7 @@ from pathlib import Path
 
 from _bench_utils import emit, print_header
 
+from repro.obs import Telemetry, build_report, load_events
 from repro.sweep import (
     DistRunner,
     ResultStore,
@@ -43,6 +50,7 @@ from repro.sweep import (
     SweepSpec,
     merge_stores,
     shard_index_of,
+    strip_volatile,
 )
 
 
@@ -56,37 +64,78 @@ def campaign(duration_s: float, seeds) -> SweepSpec:
 
 
 def records_without_timing(store: ResultStore) -> dict:
+    return {r["scenario_id"]: strip_volatile(r) for r in store.records()}
+
+
+def trace_derived(trace_dir: Path) -> dict:
+    """Per-shard utilisation and queue-wait, read back from the run's trace.
+
+    The trace is the measurement instrument here: shard busy seconds and
+    queue-wait come from the scenario spans the workers themselves emitted,
+    not from coordinator-side stopwatches.
+    """
+    doc = build_report(load_events(trace_dir))
+    shards = {
+        label: {
+            "busy_s": entry["busy_s"],
+            "wall_s": entry["wall_s"],
+            "utilisation": entry["utilisation"],
+        }
+        for label, entry in doc["workers"].items()
+        if label.startswith("shard-")
+    }
     return {
-        r["scenario_id"]: {k: v for k, v in r.items() if k != "elapsed_s"}
-        for r in store.records()
+        "per_shard": shards,
+        "queue_wait_mean_s": doc["queue_wait"]["mean_s"],
+        "queue_wait_max_s": doc["queue_wait"]["max_s"],
+        "coverage": doc["coverage"],
     }
 
 
-def bench_fan_out(workdir: Path, duration_s: float, seeds, n_shards: int) -> dict:
-    spec = campaign(duration_s, seeds)
-
+def bench_single(workdir: Path, spec: SweepSpec) -> "tuple[ResultStore, float]":
     single_store = ResultStore(workdir / "single.jsonl")
     started = time.perf_counter()
     single_report = SweepRunner(single_store, workers=1).run(spec)
     single_s = time.perf_counter() - started
     assert single_report.succeeded, "single-process campaign failed"
+    return single_store, single_s
 
-    dist_store = ResultStore(workdir / "dist.jsonl")
+
+def bench_fan_out(
+    workdir: Path,
+    spec: SweepSpec,
+    single_store: ResultStore,
+    single_s: float,
+    n_shards: int,
+    workers_per_shard: int = 1,
+    tag: str = "dist",
+) -> dict:
+    trace_dir = workdir / f"trace-{tag}"
+    telemetry = Telemetry.create(trace_dir, worker="main")
+    dist_store = ResultStore(workdir / f"{tag}.jsonl", telemetry=telemetry)
     started = time.perf_counter()
-    dist_report = DistRunner(dist_store, n_shards=n_shards).run(spec)
+    dist_report = DistRunner(
+        dist_store,
+        n_shards=n_shards,
+        workers_per_shard=workers_per_shard,
+        telemetry=telemetry,
+    ).run(spec)
     dist_s = time.perf_counter() - started
+    telemetry.close()
     assert dist_report.succeeded, "distributed campaign failed"
 
-    identical = records_without_timing(ResultStore(workdir / "dist.jsonl")) == (
+    identical = records_without_timing(ResultStore(workdir / f"{tag}.jsonl")) == (
         records_without_timing(single_store)
     )
     return {
         "scenarios": len(spec),
         "n_shards": n_shards,
+        "workers_per_shard": workers_per_shard,
         "single_s": round(single_s, 4),
         "dist_s": round(dist_s, 4),
         "speedup": round(single_s / dist_s, 3) if dist_s > 0 else None,
         "stores_identical": identical,
+        "trace": trace_derived(trace_dir),
     }
 
 
@@ -143,19 +192,45 @@ def main(argv=None) -> int:
     )
     workdir = Path(tempfile.mkdtemp(prefix="bench_dist_"))
     try:
-        fan_out = bench_fan_out(workdir, duration_s, seeds, args.shards)
+        spec = campaign(duration_s, seeds)
+        single_store, single_s = bench_single(workdir, spec)
         cores = os.cpu_count() or 1
+
+        fan_out = bench_fan_out(
+            workdir, spec, single_store, single_s, args.shards, tag="dist"
+        )
         emit(
             f"fan-out: {fan_out['scenarios']} scenarios | single {fan_out['single_s']:.2f} s "
             f"| {args.shards} shards {fan_out['dist_s']:.2f} s "
             f"| speedup {fan_out['speedup']}x on {cores} core(s) "
             f"| stores identical: {fan_out['stores_identical']}"
         )
+        trace = fan_out["trace"]
+        shard_util = ", ".join(
+            f"{label} {entry['utilisation']}" for label, entry in trace["per_shard"].items()
+        )
+        emit(
+            f"trace: shard utilisation {shard_util} | queue-wait "
+            f"mean {trace['queue_wait_mean_s']} s max {trace['queue_wait_max_s']} s"
+        )
         if cores < args.shards:
             emit(
                 f"note: only {cores} core(s) visible — shard workers time-share, "
                 "so the speedup here measures overhead, not scaling"
             )
+
+        # Multi-worker datapoint: each shard runs its own scenario pool, so
+        # queue-wait and utilisation shift from the shard split to the pools.
+        multi_workers = 2
+        fan_out_multi = bench_fan_out(
+            workdir, spec, single_store, single_s, args.shards, multi_workers, tag="multi"
+        )
+        emit(
+            f"fan-out x{multi_workers} workers/shard: {fan_out_multi['dist_s']:.2f} s "
+            f"| speedup {fan_out_multi['speedup']}x "
+            f"| stores identical: {fan_out_multi['stores_identical']}"
+        )
+
         merge = bench_merge(workdir, merge_records, args.shards)
         emit(
             f"merge: {merge['records']} records from {merge['n_shards']} shard stores "
@@ -171,11 +246,12 @@ def main(argv=None) -> int:
         "cpus": os.cpu_count() or 1,
         "quick": bool(args.quick),
         "fan_out": fan_out,
+        "fan_out_multi_worker": fan_out_multi,
         "merge": merge,
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     emit(f"wrote {args.out}")
-    if not fan_out["stores_identical"]:
+    if not (fan_out["stores_identical"] and fan_out_multi["stores_identical"]):
         emit("FAIL: merged shard stores differ from the single-process run")
         return 1
     return 0

@@ -54,6 +54,15 @@ instead of the fast core (``--exact``); the engine is not part of the
 scenario identity, so both engines share one store::
 
     repro-pns sweep --preset table2-pv --exact --store campaign.jsonl
+
+Trace a campaign (``--trace`` works on sweep, boundary and shard; every
+process writes its own trace file into the directory), then read the trace
+back — live or aggregated::
+
+    repro-pns sweep --preset table2-pv --store campaign.jsonl --trace trace/
+    repro-pns obs tail trace/ --follow     # live, from another terminal
+    repro-pns obs report trace/            # phases, slowest-N, utilisation
+    repro-pns boundary --preset min-capacitance --trace trace/ --profile
 """
 
 from __future__ import annotations
@@ -63,11 +72,22 @@ import dataclasses
 import functools
 import inspect
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable
 
 from .analysis.reporting import format_kv, format_series, format_table
+from .obs import (
+    DISABLED,
+    ProgressRenderer,
+    Telemetry,
+    build_report,
+    follow_trace,
+    format_event,
+    format_report,
+    load_events,
+)
 from .core.governor import PowerNeutralGovernor
 from .core.parameters import PAPER_TUNED_PARAMETERS
 from .energy.irradiance import WeatherCondition
@@ -201,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress the per-scenario progress lines"
     )
+    _add_obs_flags(sweep)
     _add_export_flags(sweep, "per-record summary rows")
 
     shard = sub.add_parser(
@@ -268,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument(
         "--quiet", action="store_true", help="suppress the per-scenario progress lines"
     )
+    _add_obs_flags(shard)
 
     boundary = sub.add_parser(
         "boundary",
@@ -382,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     boundary.add_argument(
         "--quiet", action="store_true", help="suppress the per-round progress lines"
     )
+    _add_obs_flags(boundary)
     _add_export_flags(boundary, "per-cell boundary rows")
 
     store = sub.add_parser(
@@ -412,7 +435,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL result store path for compact (default: %(default)s)",
     )
 
+    obs = sub.add_parser(
+        "obs",
+        help="inspect campaign telemetry traces (live tail, aggregated report)",
+        description=(
+            "Read the JSONL trace events a campaign wrote under --trace DIR. "
+            "'tail' replays the merged event stream as one line per event "
+            "(--follow keeps polling for new events, across files appearing "
+            "mid-campaign — e.g. shard workers starting up). 'report' "
+            "aggregates the stream: per-phase wall-time breakdown with "
+            "coverage, cache-hit ratio, slowest scenarios, per-worker "
+            "utilisation and queue-wait statistics, counter totals."
+        ),
+    )
+    obs.add_argument("action", choices=("tail", "report"), help="what to do with the trace")
+    obs.add_argument(
+        "trace",
+        metavar="TRACE",
+        help="trace directory (files merged in timestamp order) or one trace-*.jsonl file",
+    )
+    obs.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail: keep polling for appended events until interrupted (Ctrl-C)",
+    )
+    obs.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="tail --follow poll interval in seconds (default: %(default)s)",
+    )
+    obs.add_argument(
+        "--slowest",
+        type=int,
+        default=10,
+        metavar="N",
+        help="report: how many slowest scenarios to list (default: %(default)s)",
+    )
+    obs.add_argument(
+        "--json", action="store_true", help="report: emit the report document as JSON"
+    )
+
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The telemetry flags shared by every campaign-shaped command."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write JSONL trace events (phase spans, per-scenario timings, "
+            "counters) to per-process files in DIR, plus a metrics.json "
+            "sidecar next to the store; inspect with 'obs tail DIR' / "
+            "'obs report DIR'"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the campaign under cProfile: print the hottest functions and "
+            "dump the full profile next to the trace (or the store)"
+        ),
+    )
 
 
 def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
@@ -736,7 +824,60 @@ def _export_rows(args: argparse.Namespace, rows: list[dict], payload=None) -> No
     print(f"exported {len(rows)} row(s) to {destination}")
 
 
-def _open_store(args: argparse.Namespace) -> "sweep_module.ResultStore":
+def _telemetry_for(
+    args: argparse.Namespace, worker: str = "main", campaign: "str | None" = None
+) -> Telemetry:
+    """The command's telemetry bundle: enabled iff --trace DIR was passed."""
+    trace_dir = getattr(args, "trace", None)
+    if trace_dir:
+        return Telemetry.create(trace_dir, worker=worker, campaign=campaign)
+    return DISABLED
+
+
+def _finish_telemetry(
+    telemetry: Telemetry, store: "sweep_module.ResultStore"
+) -> None:
+    """End-of-command roll-up: metrics sidecar next to the store, tracer closed."""
+    sidecar = telemetry.write_metrics(store.path)
+    telemetry.close()
+    if sidecar is not None:
+        print(
+            f"telemetry: trace in {telemetry.trace_dir}/ (obs report "
+            f"{telemetry.trace_dir}), metrics in {sidecar}"
+        )
+
+
+def _maybe_profile(args: argparse.Namespace, run: Callable[[], object]):
+    """Run the campaign body, under cProfile when --profile was passed.
+
+    The binary profile lands in ``<trace>/profile.prof`` (or
+    ``<store>.prof`` without --trace) for ``snakeviz``/``pstats`` digging;
+    the 15 hottest functions by cumulative time are printed immediately.
+    """
+    if not getattr(args, "profile", False):
+        return run()
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(run)
+    trace_dir = getattr(args, "trace", None)
+    destination = (
+        Path(trace_dir) / "profile.prof" if trace_dir else Path(str(args.store) + ".prof")
+    )
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    profiler.dump_stats(destination)
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(15)
+    print(f"profile written to {destination}")
+    print(stream.getvalue())
+    return result
+
+
+def _open_store(
+    args: argparse.Namespace, telemetry: Telemetry = DISABLED
+) -> "sweep_module.ResultStore":
     """Open the campaign store honouring --fresh, with resume/legacy notes."""
     store_path = Path(args.store)
     if store_path.exists() and args.fresh:
@@ -747,7 +888,7 @@ def _open_store(args: argparse.Namespace) -> "sweep_module.ResultStore":
         if index_path.exists():
             index_path.unlink()
         print(f"starting fresh campaign (deleted existing {store_path})")
-    store = sweep_module.ResultStore(store_path)
+    store = sweep_module.ResultStore(store_path, telemetry=telemetry)
     if len(store):
         print(
             f"resuming: {len(store)} record(s) already in {store_path} "
@@ -771,32 +912,27 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     if args.fresh and args.resume:
         raise SystemExit("--fresh and --resume are mutually exclusive")
-    store = _open_store(args)
+    telemetry = _telemetry_for(args)
+    store = _open_store(args, telemetry=telemetry)
     store_path = store.path
 
-    def progress(done: int, total: int, record: dict, cached: bool) -> None:
-        if args.quiet:
-            return
-        status = "cached" if cached else record.get("status", "?")
-        config = sweep_module.ScenarioConfig.from_dict(record["config"])
-        elapsed = record.get("elapsed_s")
-        suffix = f" ({elapsed:.1f}s)" if elapsed is not None and not cached else ""
-        print(f"  [{done}/{total}] {status:7s} {config.label()}{suffix}")
-
+    renderer = ProgressRenderer(quiet=args.quiet)
     runner = sweep_module.SweepRunner(
         store,
         workers=args.workers,
         timeout_s=args.timeout,
         series_samples=args.series,
-        progress=progress,
+        progress=renderer.scenario,
         fast=not args.exact,
+        telemetry=telemetry,
     )
     mode = f"{args.workers} worker processes" if args.workers > 1 else "inline (serial)"
     if args.exact:
         mode += ", exact engine"
     title = f"preset {args.preset!r}" if args.preset else "sweep"
     print(f"{title}: {len(spec)} scenarios over {mode} -> {store_path}")
-    report = runner.run(spec)
+    report = _maybe_profile(args, lambda: runner.run(spec))
+    _finish_telemetry(telemetry, store)
 
     print()
     print(format_kv(report.summary(), title="Campaign"))
@@ -932,10 +1068,15 @@ def _build_boundary_query(args: argparse.Namespace) -> "sweep_module.BoundaryQue
 
 def _command_boundary(args: argparse.Namespace) -> int:
     query = _build_boundary_query(args)
-    store = _open_store(args)
+    telemetry = _telemetry_for(args)
+    store = _open_store(args, telemetry=telemetry)
 
     runner = sweep_module.SweepRunner(
-        store, workers=args.workers, timeout_s=args.timeout, fast=not args.exact
+        store,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        fast=not args.exact,
+        telemetry=telemetry,
     )
     mode = f"{args.workers} worker processes" if args.workers > 1 else "inline (serial)"
     if args.exact:
@@ -946,8 +1087,12 @@ def _command_boundary(args: argparse.Namespace) -> int:
         f"{query.predicate_name!r}, bracket [{query.lo:g}, {query.hi:g}] over {mode} "
         f"-> {store.path}"
     )
-    progress = None if args.quiet else (lambda _round, message: print(f"  {message}"))
-    report = sweep_module.BoundarySearch(query, runner, progress=progress).run()
+    renderer = ProgressRenderer(quiet=args.quiet)
+    search = sweep_module.BoundarySearch(
+        query, runner, progress=renderer.round, telemetry=telemetry
+    )
+    report = _maybe_profile(args, search.run)
+    _finish_telemetry(telemetry, store)
 
     print()
     print(format_kv(report.summary(), title="Boundary search"))
@@ -1040,7 +1185,10 @@ def _command_shard(args: argparse.Namespace) -> int:
     )
     if args.fresh and manifest_path.exists():
         manifest_path.unlink()
-    store = _open_store(args)  # honours --fresh for the store + idx sidecar
+    telemetry = _telemetry_for(
+        args, worker=f"shard-{plan.shard_index}", campaign=plan.campaign_hash
+    )
+    store = _open_store(args, telemetry=telemetry)  # honours --fresh for store + idx
 
     if manifest_path.exists():
         # Compare the stamped identity fields only — the snapshot behind
@@ -1084,22 +1232,21 @@ def _command_shard(args: argparse.Namespace) -> int:
         f"{len(configs)} of {len(spec)} scenario(s), {plan.engine} engine -> {store.path}"
     )
 
-    def progress(done: int, total: int, record: dict, cached: bool) -> None:
-        if args.quiet:
-            return
-        status = "cached" if cached else record.get("status", "?")
-        config = sweep_module.ScenarioConfig.from_dict(record["config"])
-        print(f"  [{done}/{total}] {status:7s} {config.label()}")
-
+    # Records computed by this worker (and its pool children, which inherit
+    # the environment) carry the shard index in their worker stamp.
+    os.environ[sweep_module.SHARD_INDEX_ENV] = str(plan.shard_index)
+    renderer = ProgressRenderer(quiet=args.quiet)
     runner = sweep_module.SweepRunner(
         store,
         workers=args.workers,
         timeout_s=args.timeout,
         series_samples=args.series,
-        progress=progress,
+        progress=renderer.scenario,
         fast=plan.engine == "fast",
+        telemetry=telemetry,
     )
-    report = runner.run(configs)
+    report = _maybe_profile(args, lambda: runner.run(configs))
+    _finish_telemetry(telemetry, store)
     print()
     print(
         format_kv(
@@ -1137,6 +1284,41 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs(args: argparse.Namespace) -> int:
+    if args.action == "report":
+        try:
+            events = load_events(args.trace)
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc)) from None
+        report = build_report(events, slowest=args.slowest)
+        if args.json:
+            print(json.dumps(report, indent=2, default=str))
+        else:
+            print(format_report(report, title=f"Telemetry: {args.trace}"))
+        return 0
+
+    # tail: replay what exists (and keep following with --follow)
+    if args.interval <= 0:
+        raise SystemExit("--interval must be positive")
+    t0: float | None = None
+    try:
+        # Without --follow, stop after the first empty poll (pure replay).
+        stream = follow_trace(
+            args.trace, poll_s=args.interval, max_polls=None if args.follow else 1
+        )
+        for event in stream:
+            if t0 is None:
+                t0 = float(event.get("t", 0.0))
+            print(format_event(event, t0))
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    except KeyboardInterrupt:
+        pass
+    if t0 is None:
+        print(f"no events in {args.trace}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point used by the ``repro-pns`` console script."""
     parser = build_parser()
@@ -1155,6 +1337,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_boundary(args)
     if args.command == "store":
         return _command_store(args)
+    if args.command == "obs":
+        return _command_obs(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,0 +1,76 @@
+"""repro.obs — structured telemetry for campaign execution.
+
+Observability for every execution layer of the campaign engine, built from
+three small parts:
+
+* :mod:`repro.obs.tracer`  — :class:`Tracer`: append-only JSONL trace events
+  (spans with monotonic durations, counters, gauges, point events), stamped
+  with pid / worker label / campaign hash, one file per writing process so
+  multi-process campaigns merge traces exactly like they merge result
+  stores;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: in-memory counters /
+  gauges / timers rolled up once per run into a ``<store>.metrics.json``
+  sidecar next to the result store;
+* :mod:`repro.obs.telemetry` — :class:`Telemetry`: the bundle the execution
+  layers (:class:`~repro.sweep.runner.SweepRunner`,
+  :class:`~repro.sweep.dist.DistRunner`,
+  :class:`~repro.sweep.adaptive.BoundarySearch`,
+  :class:`~repro.sweep.store.ResultStore`) thread through.  The
+  :data:`DISABLED` singleton they default to is built from no-op callables:
+  with telemetry off, instrumented code creates no files and adds nothing
+  but a method call to the fast path.
+
+The read side lives in :mod:`repro.obs.report` (`load_events` merges
+per-process trace files in timestamp order; `build_report` computes the
+per-phase breakdown, cache-hit ratio, slowest-N scenarios and worker
+utilisation behind ``python -m repro obs report``; `follow_trace` feeds
+``obs tail``), and :mod:`repro.obs.progress` holds the one live-progress
+renderer all campaign CLI commands share.
+
+Quick start::
+
+    from repro.obs import Telemetry
+    from repro.sweep import ResultStore, SweepRunner
+
+    telemetry = Telemetry.create("trace/", worker="main")
+    store = ResultStore("campaign.jsonl", telemetry=telemetry)
+    SweepRunner(store, workers=4, telemetry=telemetry).run(spec)
+    telemetry.write_metrics(store.path)   # -> campaign.jsonl.metrics.json
+    telemetry.close()
+
+then ``python -m repro obs report trace/``.
+"""
+
+from .metrics import NULL_METRICS, MetricsRegistry, NullMetrics, metrics_sidecar_path
+from .progress import ProgressRenderer, format_scenario_line
+from .report import (
+    build_report,
+    follow_trace,
+    format_event,
+    format_report,
+    load_events,
+    trace_files,
+)
+from .telemetry import DISABLED, Telemetry
+from .tracer import NULL_TRACER, NullTracer, Tracer, trace_file_name
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "trace_file_name",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "metrics_sidecar_path",
+    "Telemetry",
+    "DISABLED",
+    "ProgressRenderer",
+    "format_scenario_line",
+    "trace_files",
+    "load_events",
+    "build_report",
+    "format_report",
+    "format_event",
+    "follow_trace",
+]

@@ -1,0 +1,143 @@
+"""Campaign metrics: in-process counters/gauges/timers rolled up to JSON.
+
+Where the tracer (:mod:`repro.obs.tracer`) streams *events*, the
+:class:`MetricsRegistry` keeps cheap in-memory aggregates — counters, last
+gauge values, and timers (count / total / min / max seconds) — and writes
+them once, at the end of a command, as a ``metrics.json`` sidecar next to
+the result store (``<store>.metrics.json``).  That sidecar is what a future
+campaign service reports without replaying a trace.
+
+The disabled registry (:class:`NullMetrics`, singleton :data:`NULL_METRICS`)
+is a true no-op: every method is an empty callable and :meth:`timer` hands
+back a shared null context manager, so instrumentation costs a call and
+nothing else when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from collections import Counter
+from pathlib import Path
+
+__all__ = ["MetricsRegistry", "NullMetrics", "NULL_METRICS", "metrics_sidecar_path"]
+
+
+def metrics_sidecar_path(store_path: "str | os.PathLike") -> Path:
+    """Where the metrics roll-up lives, relative to a result store."""
+    return Path(str(store_path) + ".metrics.json")
+
+
+class _Timer:
+    """Times a ``with`` block into one named timer series."""
+
+    __slots__ = ("_metrics", "_name", "_t0")
+
+    def __init__(self, metrics: "MetricsRegistry", name: str):
+        self._metrics = metrics
+        self._name = name
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._metrics.observe(self._name, time.perf_counter() - self._t0)
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Named counters, gauges and timers for one process's campaign run."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Counter = Counter()
+        self._gauges: dict[str, float] = {}
+        #: name -> [count, total_s, min_s, max_s]
+        self._timers: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1) -> None:
+        self._counters[name] += value
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample into a timer series."""
+        series = self._timers.get(name)
+        if series is None:
+            series = self._timers[name] = [0, 0.0, math.inf, -math.inf]
+        series[0] += 1
+        series[1] += seconds
+        series[2] = min(series[2], seconds)
+        series[3] = max(series[3], seconds)
+
+    def timer(self, name: str) -> _Timer:
+        """A context manager feeding :meth:`observe`."""
+        return _Timer(self, name)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "timers": {
+                name: {
+                    "count": series[0],
+                    "total_s": round(series[1], 6),
+                    "min_s": round(series[2], 6),
+                    "max_s": round(series[3], 6),
+                }
+                for name, series in sorted(self._timers.items())
+            },
+        }
+
+    def write(self, path: "str | os.PathLike") -> Path:
+        """Persist the roll-up as JSON (atomically — write beside, rename)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+
+class NullMetrics:
+    """The disabled registry: same surface, empty callables, writes nothing."""
+
+    enabled = False
+
+    def counter(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, seconds: float) -> None:
+        return None
+
+    def timer(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def to_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "timers": {}}
+
+
+#: The shared disabled registry.
+NULL_METRICS = NullMetrics()

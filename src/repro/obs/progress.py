@@ -1,0 +1,64 @@
+"""The one progress renderer behind ``sweep``, ``boundary`` and ``shard``.
+
+Before :mod:`repro.obs`, each CLI campaign command carried its own ad-hoc
+``print`` closure with subtly different formatting (``sweep`` printed an
+elapsed-seconds suffix, ``shard`` did not; ``boundary`` had a third shape).
+:class:`ProgressRenderer` is the single implementation: the same line format
+and the same ``--quiet`` behaviour everywhere, fed by the same per-completion
+telemetry the tracer records — so what the terminal shows during a run and
+what ``obs tail`` replays afterwards agree.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["ProgressRenderer", "format_scenario_line"]
+
+
+def _scenario_label(record: dict) -> str:
+    """A human-readable scenario label, falling back to the content hash."""
+    config = record.get("config")
+    if isinstance(config, dict):
+        try:
+            # Imported lazily: repro.sweep imports repro.obs, not vice versa.
+            from ..sweep.spec import ScenarioConfig
+
+            return ScenarioConfig.from_dict(config).label()
+        except (ValueError, TypeError, KeyError):
+            pass
+    return str(record.get("scenario_id", "?"))[:12]
+
+
+def format_scenario_line(done: int, total: int, record: dict, cached: bool) -> str:
+    """The per-completion progress line (identical across all campaign CLIs)."""
+    status = "cached" if cached else record.get("status", "?")
+    elapsed = record.get("elapsed_s")
+    suffix = f" ({elapsed:.1f}s)" if elapsed is not None and not cached else ""
+    return f"  [{done}/{total}] {status:7s} {_scenario_label(record)}{suffix}"
+
+
+class ProgressRenderer:
+    """Shared live-progress rendering for every campaign-shaped command.
+
+    ``scenario`` matches the runner's
+    :data:`~repro.sweep.runner.ProgressCallback` signature and ``round``
+    the boundary search's :data:`~repro.sweep.adaptive.RoundCallback`, so
+    one renderer instance serves both shapes; ``quiet`` silences both
+    identically.
+    """
+
+    def __init__(self, quiet: bool = False, stream: Optional[TextIO] = None):
+        self.quiet = bool(quiet)
+        self.stream = stream if stream is not None else sys.stdout
+
+    def scenario(self, done: int, total: int, record: dict, cached: bool) -> None:
+        if self.quiet:
+            return
+        print(format_scenario_line(done, total, record, cached), file=self.stream)
+
+    def round(self, round_index: int, message: str) -> None:
+        if self.quiet:
+            return
+        print(f"  {message}", file=self.stream)

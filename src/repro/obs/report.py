@@ -1,0 +1,338 @@
+"""Trace aggregation: merge per-process trace files, compute the campaign view.
+
+The read side of :mod:`repro.obs`:
+
+* :func:`trace_files` / :func:`load_events` — resolve a trace *source* (a
+  trace directory or one trace file) to its event stream, merged across all
+  per-process files **in timestamp order** (events carry wall-clock ``t``
+  precisely so multi-process traces interleave correctly);
+* :func:`build_report` — the aggregates ``obs report`` prints: per-phase
+  time breakdown with wall-time coverage, cache-hit ratio, slowest-N
+  scenarios, per-worker utilisation, queue-wait statistics, counter totals;
+* :func:`format_report` / :func:`format_event` — terminal rendering, shared
+  with ``obs tail``;
+* :func:`follow_trace` — incremental event iteration for a live tail:
+  remembers per-file offsets and picks up files that appear mid-campaign
+  (a shard worker starting late creates its trace file on first event).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from ..analysis.reporting import format_kv, format_table
+
+__all__ = [
+    "trace_files",
+    "load_events",
+    "build_report",
+    "format_report",
+    "format_event",
+    "follow_trace",
+]
+
+#: The per-scenario phases a scenario span carries (worker + runner timings).
+SCENARIO_PHASES = ("queue_wait_s", "build_s", "simulate_s", "record_write_s")
+
+
+def trace_files(source: "str | Path") -> list[Path]:
+    """The trace file(s) behind a source path (directory or single file)."""
+    path = Path(source)
+    if path.is_dir():
+        found = sorted(path.glob("trace-*.jsonl")) or sorted(path.glob("*.jsonl"))
+        if not found:
+            raise FileNotFoundError(f"no trace-*.jsonl files in {path}")
+        return found
+    if not path.exists():
+        raise FileNotFoundError(f"no trace at {path}")
+    return [path]
+
+
+def _parse_line(line: str) -> Optional[dict]:
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError:
+        return None  # torn write: a tracer died mid-line
+    if not isinstance(event, dict) or "t" not in event:
+        return None
+    return event
+
+
+def load_events(source: "str | Path") -> list[dict]:
+    """All events of a trace, merged across files in timestamp order."""
+    events: list[dict] = []
+    for file in trace_files(source):
+        with file.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                event = _parse_line(line)
+                if event is not None:
+                    events.append(event)
+    events.sort(key=lambda e: float(e.get("t", 0.0)))
+    return events
+
+
+def follow_trace(
+    source: "str | Path", poll_s: float = 0.5, max_polls: Optional[int] = None
+) -> Iterator[dict]:
+    """Yield events live: replay what exists, then poll for appended lines.
+
+    New ``trace-*.jsonl`` files appearing in a trace directory are picked up
+    on the next poll.  Iteration ends after ``max_polls`` empty polls
+    (``None`` = poll until the consumer stops, e.g. by Ctrl-C).
+    """
+    offsets: dict[Path, int] = {}
+    empty_polls = 0
+    while True:
+        fresh: list[dict] = []
+        try:
+            files = trace_files(source)
+        except FileNotFoundError:
+            files = []
+        for file in files:
+            try:
+                # readline(), not iteration: tell() is forbidden while a text
+                # file is being iterated, and the offset after every complete
+                # line is exactly what resuming the next poll needs.
+                with file.open("r", encoding="utf-8") as fh:
+                    fh.seek(offsets.get(file, 0))
+                    while True:
+                        line = fh.readline()
+                        if not line or not line.endswith("\n"):
+                            break  # EOF or half-written tail: retry next poll
+                        offsets[file] = fh.tell()
+                        event = _parse_line(line)
+                        if event is not None:
+                            fresh.append(event)
+            except OSError:
+                continue
+        if fresh:
+            empty_polls = 0
+            fresh.sort(key=lambda e: float(e.get("t", 0.0)))
+            yield from fresh
+        else:
+            empty_polls += 1
+            if max_polls is not None and empty_polls >= max_polls:
+                return
+            time.sleep(poll_s)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _scenario_spans(events: Sequence[dict]) -> list[dict]:
+    return [e for e in events if e.get("kind") == "span" and e.get("name") == "scenario"]
+
+
+def build_report(events: Sequence[dict], slowest: int = 10) -> dict:
+    """Aggregate a merged event stream into the ``obs report`` document.
+
+    Keys: ``events``, ``span`` (trace wall span), ``runs``, ``phases`` (the
+    per-phase breakdown with each phase's share of run time), ``coverage``
+    (phase time / run-span time — the "where did the wall clock go"
+    completeness check), ``scenarios`` / ``executed`` / ``cached`` /
+    ``cache_hit_ratio``, ``queue_wait``, ``slowest``, ``workers`` (per
+    worker label: events, busy seconds, wall seconds, utilisation),
+    ``counters`` and ``rounds`` (boundary searches).
+    """
+    report: dict = {"events": len(events)}
+    if not events:
+        report.update(
+            {
+                "runs": 0,
+                "phases": {},
+                "coverage": None,
+                "scenarios": 0,
+                "executed": 0,
+                "cached": 0,
+                "cache_hit_ratio": None,
+                "slowest": [],
+                "workers": {},
+                "counters": {},
+                "rounds": 0,
+            }
+        )
+        return report
+
+    times = [float(e["t"]) for e in events]
+    report["span"] = {"start": min(times), "end": max(times), "wall_s": max(times) - min(times)}
+
+    # --- top-level run spans and their phase partitions -----------------
+    run_names = ("campaign.run", "dist.run")
+    phase_names = ("campaign.phase", "dist.phase")
+    run_spans = [e for e in events if e.get("kind") == "span" and e.get("name") in run_names]
+    phase_spans = [e for e in events if e.get("kind") == "span" and e.get("name") in phase_names]
+    run_s = sum(float(e.get("dur_s", 0.0)) for e in run_spans)
+    phases: dict[str, float] = {}
+    for span in phase_spans:
+        phase = str(span.get("attrs", {}).get("phase", "?"))
+        phases[phase] = phases.get(phase, 0.0) + float(span.get("dur_s", 0.0))
+    phase_s = sum(phases.values())
+    report["runs"] = len(run_spans)
+    report["phases"] = {
+        name: {
+            "total_s": round(total, 6),
+            "share": round(total / phase_s, 4) if phase_s > 0 else None,
+        }
+        for name, total in sorted(phases.items(), key=lambda kv: -kv[1])
+    }
+    report["coverage"] = round(min(1.0, phase_s / run_s), 4) if run_s > 0 else None
+
+    # --- scenarios ------------------------------------------------------
+    scenarios = _scenario_spans(events)
+    cached = [s for s in scenarios if s.get("attrs", {}).get("cached")]
+    executed = [s for s in scenarios if not s.get("attrs", {}).get("cached")]
+    report["scenarios"] = len(scenarios)
+    report["cached"] = len(cached)
+    report["executed"] = len(executed)
+    report["cache_hit_ratio"] = (
+        round(len(cached) / len(scenarios), 4) if scenarios else None
+    )
+
+    # Per-scenario phase totals (worker-side build/simulate, runner-side
+    # queue-wait/record-write) folded into the breakdown as sub-phases.
+    scenario_phases: dict[str, float] = {}
+    for span in executed:
+        attrs = span.get("attrs", {})
+        for key in SCENARIO_PHASES:
+            value = attrs.get(key)
+            if value is not None:
+                scenario_phases[key] = scenario_phases.get(key, 0.0) + float(value)
+    report["scenario_phases"] = {
+        name: round(total, 6)
+        for name, total in sorted(scenario_phases.items(), key=lambda kv: -kv[1])
+    }
+    waits = [
+        float(s.get("attrs", {}).get("queue_wait_s"))
+        for s in executed
+        if s.get("attrs", {}).get("queue_wait_s") is not None
+    ]
+    report["queue_wait"] = {
+        "mean_s": round(sum(waits) / len(waits), 6) if waits else None,
+        "max_s": round(max(waits), 6) if waits else None,
+    }
+
+    report["slowest"] = [
+        {
+            "scenario_id": str(s.get("attrs", {}).get("scenario_id", "?"))[:12],
+            "dur_s": round(float(s.get("dur_s", 0.0)), 4),
+            "status": s.get("attrs", {}).get("status"),
+            "worker": s.get("worker"),
+        }
+        for s in sorted(executed, key=lambda s: -float(s.get("dur_s", 0.0)))[:slowest]
+    ]
+
+    # --- per-worker utilisation ----------------------------------------
+    workers: dict[str, dict] = {}
+    for event in events:
+        label = str(event.get("worker", "?"))
+        entry = workers.setdefault(
+            label, {"events": 0, "busy_s": 0.0, "first": float(event["t"]), "last": float(event["t"])}
+        )
+        entry["events"] += 1
+        entry["first"] = min(entry["first"], float(event["t"]))
+        entry["last"] = max(entry["last"], float(event["t"]))
+        if (
+            event.get("kind") == "span"
+            and event.get("name") == "scenario"
+            and not event.get("attrs", {}).get("cached")
+        ):
+            entry["busy_s"] += float(event.get("dur_s", 0.0))
+    report["workers"] = {
+        label: {
+            "events": entry["events"],
+            "busy_s": round(entry["busy_s"], 4),
+            "wall_s": round(entry["last"] - entry["first"], 4),
+            "utilisation": (
+                round(min(1.0, entry["busy_s"] / (entry["last"] - entry["first"])), 4)
+                if entry["last"] > entry["first"]
+                else None
+            ),
+        }
+        for label, entry in sorted(workers.items())
+    }
+
+    # --- counters and boundary rounds ----------------------------------
+    counters: dict[str, float] = {}
+    for event in events:
+        if event.get("kind") == "counter":
+            name = str(event.get("name", "?"))
+            counters[name] = counters.get(name, 0) + float(event.get("value", 1))
+    report["counters"] = {k: counters[k] for k in sorted(counters)}
+    report["rounds"] = sum(
+        1 for e in events if e.get("kind") == "span" and e.get("name") == "boundary.round"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_event(event: dict, t0: Optional[float] = None) -> str:
+    """One trace event as a terminal line (shared by ``obs tail``)."""
+    offset = float(event.get("t", 0.0)) - (t0 if t0 is not None else float(event.get("t", 0.0)))
+    kind = event.get("kind", "?")
+    name = event.get("name", "?")
+    worker = event.get("worker", "?")
+    parts = [f"+{offset:9.3f}s", f"[{worker}]", f"{kind:7s}", str(name)]
+    if kind == "span":
+        parts.append(f"dur={float(event.get('dur_s', 0.0)):.4f}s")
+    elif kind in ("counter", "gauge"):
+        parts.append(f"value={event.get('value')}")
+    attrs = event.get("attrs") or {}
+    detail = " ".join(
+        f"{key}={value}" for key, value in attrs.items() if value is not None
+    )
+    if detail:
+        parts.append(detail)
+    return " ".join(parts)
+
+
+def format_report(report: dict, title: str = "Campaign telemetry") -> str:
+    """The full ``obs report`` terminal rendering."""
+    overview = {
+        "events": report.get("events", 0),
+        "runs": report.get("runs", 0),
+        "trace_wall_s": round(report.get("span", {}).get("wall_s", 0.0), 4)
+        if report.get("span")
+        else None,
+        "scenarios": report.get("scenarios", 0),
+        "executed": report.get("executed", 0),
+        "cached": report.get("cached", 0),
+        "cache_hit_ratio": report.get("cache_hit_ratio"),
+        "coverage": report.get("coverage"),
+        "boundary_rounds": report.get("rounds", 0),
+    }
+    blocks = [format_kv(overview, title=title)]
+
+    phases = report.get("phases") or {}
+    if phases:
+        rows = [
+            {"phase": name, "total_s": entry["total_s"], "share": entry["share"]}
+            for name, entry in phases.items()
+        ]
+        blocks.append(format_table(rows, title="Per-phase breakdown (runner wall time)"))
+    scenario_phases = report.get("scenario_phases") or {}
+    if scenario_phases:
+        blocks.append(
+            format_kv(scenario_phases, title="Per-scenario phase totals (busy seconds)")
+        )
+
+    workers = report.get("workers") or {}
+    if workers:
+        rows = [{"worker": label, **entry} for label, entry in workers.items()]
+        blocks.append(format_table(rows, title="Worker utilisation"))
+
+    slowest = report.get("slowest") or []
+    if slowest:
+        blocks.append(format_table(slowest, title=f"Slowest {len(slowest)} scenario(s)"))
+
+    counters = report.get("counters") or {}
+    if counters:
+        blocks.append(format_kv(counters, title="Counters"))
+    return "\n\n".join(blocks)

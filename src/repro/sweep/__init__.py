@@ -102,12 +102,14 @@ from .presets import (
 from .runner import CampaignRunner, SweepReport, SweepRunner, expand_unique
 from .scenario import (
     GOVERNOR_SPECS,
+    SHARD_INDEX_ENV,
     TABLE2_GOVERNOR_AXIS,
     WORKLOADS,
     GovernorSpec,
     governor_label,
     run_scenario,
     scenario_summary,
+    worker_stamp,
 )
 from .spec import (
     AXIS_ALIASES,
@@ -118,7 +120,7 @@ from .spec import (
     SweepSpec,
     resolve_axis_path,
 )
-from .store import ResultStore, merge_stores
+from .store import VOLATILE_RECORD_FIELDS, ResultStore, merge_stores, strip_volatile
 
 __all__ = [
     "Axis",
@@ -158,6 +160,8 @@ __all__ = [
     "find_boundary",
     "ResultStore",
     "merge_stores",
+    "VOLATILE_RECORD_FIELDS",
+    "strip_volatile",
     "SweepReport",
     "SweepRunner",
     "CampaignRunner",
@@ -174,6 +178,8 @@ __all__ = [
     "governor_label",
     "run_scenario",
     "scenario_summary",
+    "worker_stamp",
+    "SHARD_INDEX_ENV",
     "axis_summary",
     "campaign_overview",
     "records_table",

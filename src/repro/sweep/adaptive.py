@@ -40,6 +40,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
+from ..obs.telemetry import DISABLED, Telemetry
 from .runner import CampaignRunner
 from .spec import Axis, ScenarioConfig, resolve_axis_path
 
@@ -445,6 +446,13 @@ class BoundarySearch:
     batch is partitioned across shard worker processes (content-addressed,
     so a probe always lands on the same shard and re-runs cache-hit its
     shard store) and the round's results arrive via store merge.
+
+    With a :class:`~repro.obs.telemetry.Telemetry` bundle attached, every
+    scheduling round becomes a ``boundary.round`` span (probes submitted,
+    open cells, cache hits) wrapping the runner's own campaign spans, each
+    open cell's bracket width is sampled as a ``boundary.bracket_width``
+    gauge after the round's observations land, and probes / rounds roll up
+    as metrics counters.
     """
 
     def __init__(
@@ -452,12 +460,15 @@ class BoundarySearch:
         query: BoundaryQuery,
         runner: CampaignRunner,
         progress: Optional[RoundCallback] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.query = query
         self.runner = runner
         self.progress = progress
+        self.telemetry = telemetry if telemetry is not None else DISABLED
 
     def run(self) -> BoundaryReport:
+        tracer, metrics = self.telemetry.tracer, self.telemetry.metrics
         started = time.perf_counter()
         cells = [_CellSearch(self.query, outer) for outer in self.query.cells()]
         report = BoundaryReport(path=self.query.path, predicate=self.query.predicate_name)
@@ -476,22 +487,49 @@ class BoundarySearch:
             if not batch:
                 break
             report.rounds += 1
+            open_cells = sum(1 for c in cells if not c.done)
             cached_ids = {c.scenario_id for c in batch if self.runner.store.is_complete(c)}
             if self.progress is not None:
                 self.progress(
                     report.rounds,
                     f"round {report.rounds}: {len(batch)} probe(s) over "
-                    f"{sum(1 for c in cells if not c.done)} open cell(s), "
-                    f"{len(cached_ids)} cached",
+                    f"{open_cells} open cell(s), {len(cached_ids)} cached",
                 )
-            sweep_report = self.runner.run(batch)
-            report.executed += sweep_report.executed
-            report.cached += sweep_report.cached
-            for record in sweep_report.records:
-                for cell, value in requests.get(record.get("scenario_id"), ()):
-                    cell.observe(value, record, cached=record["scenario_id"] in cached_ids)
+            with tracer.span(
+                "boundary.round",
+                round=report.rounds,
+                probes=len(batch),
+                open_cells=open_cells,
+                cached=len(cached_ids),
+            ):
+                sweep_report = self.runner.run(batch)
+                report.executed += sweep_report.executed
+                report.cached += sweep_report.cached
+                for record in sweep_report.records:
+                    for cell, value in requests.get(record.get("scenario_id"), ()):
+                        cell.observe(
+                            value, record, cached=record["scenario_id"] in cached_ids
+                        )
+            metrics.counter("boundary.rounds")
+            metrics.counter("boundary.probes", len(batch))
+            tracer.counter("boundary.rounds")
+            tracer.counter("boundary.probes", len(batch))
+            # Bracket evolution: one gauge sample per still-open cell per
+            # round, labelled by the cell's outer-axis values.
+            for cell in cells:
+                if not cell.done:
+                    tracer.gauge(
+                        "boundary.bracket_width",
+                        cell.hi - cell.lo,
+                        round=report.rounds,
+                        lo=cell.lo,
+                        hi=cell.hi,
+                        **{path.rsplit(".", 1)[-1]: value for path, value in cell.outer},
+                    )
         report.cells = [cell.result() for cell in cells]
         report.elapsed_s = time.perf_counter() - started
+        for cell in report.cells:
+            metrics.counter(f"boundary.cells_{cell.status}")
         return report
 
 

@@ -37,13 +37,16 @@ from __future__ import annotations
 import functools
 import json
 import multiprocessing
+import os
 import queue as queue_module
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from ..obs.telemetry import DISABLED, Telemetry
 from .runner import ProgressCallback, SweepReport, SweepRunner, expand_unique
+from .scenario import SHARD_INDEX_ENV
 from .spec import ScenarioConfig, SweepSpec, campaign_hash_of
 from .store import ResultStore
 
@@ -247,16 +250,44 @@ def _shard_worker(payload: dict, outbox) -> None:
 
     Executes its config subset with a serial/pooled :class:`SweepRunner`
     against the shard's own store, streaming lightweight progress messages
-    (series payloads stripped) and a final summary over ``outbox``.
+    (series payloads stripped) and a final summary over ``outbox``.  When the
+    coordinator hands it a trace directory, the worker builds its *own*
+    per-process telemetry there (``trace-shard-I-<pid>.jsonl`` plus a metrics
+    sidecar next to the shard store) — trace files merge on read, like shard
+    stores do — and emits lifecycle events (``worker.start`` / time-gated
+    ``worker.heartbeat`` / ``worker.done``) around the campaign spans its
+    runner records.
     """
     shard_index = payload["shard_index"]
+    trace_dir = payload.get("trace_dir")
+    telemetry = (
+        Telemetry.create(
+            trace_dir, worker=f"shard-{shard_index}", campaign=payload.get("campaign")
+        )
+        if trace_dir
+        else DISABLED
+    )
+    # Pool grandchildren inherit the environment (fork and spawn alike), so
+    # every record computed under this worker carries its shard index.
+    os.environ[SHARD_INDEX_ENV] = str(shard_index)
     try:
         configs = [ScenarioConfig.from_dict(d) for d in payload["configs"]]
-        store = ResultStore(payload["store_path"])
+        store = ResultStore(payload["store_path"], telemetry=telemetry)
+        telemetry.tracer.event(
+            "worker.start", shard=shard_index, scenarios=len(configs)
+        )
+        last_beat = time.monotonic()
 
         def forward(done: int, total: int, record: dict, cached: bool) -> None:
+            nonlocal last_beat
             lite = {k: v for k, v in record.items() if k != "series"}
             outbox.put(("progress", shard_index, done, total, lite, cached))
+            now = time.monotonic()
+            if now - last_beat >= 1.0:
+                last_beat = now
+                telemetry.tracer.event(
+                    "worker.heartbeat", shard=shard_index, done=done, total=total
+                )
 
         runner = SweepRunner(
             store,
@@ -265,11 +296,19 @@ def _shard_worker(payload: dict, outbox) -> None:
             series_samples=payload["series_samples"],
             fast=payload["fast"],
             progress=forward,
+            telemetry=telemetry,
         )
         report = runner.run(configs)
+        telemetry.tracer.event("worker.done", shard=shard_index, **report.summary())
+        telemetry.write_metrics(store.path)
         outbox.put(("done", shard_index, report.summary()))
     except Exception as exc:  # noqa: BLE001 — a shard must report, not vanish
+        telemetry.tracer.event(
+            "worker.failed", shard=shard_index, error=f"{type(exc).__name__}: {exc}"
+        )
         outbox.put(("failed", shard_index, f"{type(exc).__name__}: {exc}"))
+    finally:
+        telemetry.close()
 
 
 class DistRunner:
@@ -310,6 +349,13 @@ class DistRunner:
     fast / timeout_s / series_samples / progress:
         As on :class:`SweepRunner`; progress is relayed live from the shard
         workers with coordinator-global ``done``/``total`` counts.
+    telemetry:
+        As on :class:`SweepRunner`.  The coordinator emits a ``dist.run``
+        span partitioned into ``dist.phase`` spans (expand / cache-scan /
+        execute / collect) plus ``worker.spawn`` / ``worker.exit`` events;
+        when the bundle carries a trace directory, each shard worker builds
+        its own per-process trace file there, so ``obs report <dir>`` sees
+        the coordinator and every worker merged in timestamp order.
     """
 
     def __init__(
@@ -322,6 +368,7 @@ class DistRunner:
         fast: bool = True,
         shard_dir: "str | Path | None" = None,
         progress: Optional[ProgressCallback] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if int(n_shards) < 1:
             raise ValueError("n_shards must be at least 1")
@@ -335,6 +382,7 @@ class DistRunner:
             str(store.path) + ".shards"
         )
         self.progress = progress
+        self.telemetry = telemetry if telemetry is not None else DISABLED
 
     def shard_store_path(self, shard_index: int) -> Path:
         return self.shard_dir / f"shard-{shard_index}.jsonl"
@@ -350,24 +398,42 @@ class DistRunner:
         worker that dies leaves synthetic ``error`` records for its
         unexecuted cells (persisted, and therefore retried on resume).
         """
-        configs = expand_unique(campaign)
-        report = SweepReport(total=len(configs))
+        tracer, metrics = self.telemetry.tracer, self.telemetry.metrics
         started = time.perf_counter()
+        configs = expand_unique(campaign)
+        mark = time.perf_counter()
+        tracer.span_event("dist.phase", mark - started, phase="expand")
+        report = SweepReport(total=len(configs))
 
         done = 0
         pending: list[ScenarioConfig] = []
         for config in configs:
             if self.store.is_complete(config):
+                lookup_t0 = time.perf_counter()
                 record = self.store.get(config)
                 report.cached += 1
                 report.records.append(record)
                 done += 1
+                metrics.counter("campaign.cache_hits")
+                tracer.span_event(
+                    "scenario",
+                    time.perf_counter() - lookup_t0,
+                    scenario_id=config.scenario_id,
+                    status=record.get("status"),
+                    cached=True,
+                )
                 self._notify(done, report.total, record, cached=True)
             else:
                 pending.append(config)
+        prev, mark = mark, time.perf_counter()
+        tracer.span_event("dist.phase", mark - prev, phase="cache-scan")
 
         if pending:
-            worker_summaries, observed_cached = self._run_shards(pending, done, report.total)
+            worker_summaries, observed_cached = self._run_shards(
+                pending, done, report.total
+            )
+            prev, mark = mark, time.perf_counter()
+            tracer.span_event("dist.phase", mark - prev, phase="execute")
             # Collect exactly this run's cells from the shard stores into the
             # coordinator store — per-config fetch + append, like a
             # SweepRunner persisting its own completions, so repeated runs
@@ -415,8 +481,23 @@ class DistRunner:
                     report.failed += 1
                 elif status == "timeout":
                     report.timed_out += 1
+            prev, mark = mark, time.perf_counter()
+            tracer.span_event(
+                "dist.phase",
+                mark - prev,
+                phase="collect",
+                collected=len(pending),
+                dead_shards=len(dead_shards),
+            )
 
-        report.elapsed_s = time.perf_counter() - started
+        report.elapsed_s = mark - started
+        tracer.span_event(
+            "dist.run",
+            mark - started,
+            shards=self.n_shards,
+            workers_per_shard=self.workers_per_shard,
+            **report.summary(),
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -425,6 +506,7 @@ class DistRunner:
             self.progress(done, total, record, cached)
 
     def _payload(self, shard_index: int, shard_configs: list[ScenarioConfig]) -> dict:
+        trace_dir = self.telemetry.trace_dir
         return {
             "shard_index": shard_index,
             "configs": [c.to_dict() for c in shard_configs],
@@ -433,6 +515,8 @@ class DistRunner:
             "timeout_s": self.timeout_s,
             "series_samples": self.series_samples,
             "fast": self.fast,
+            "trace_dir": str(trace_dir) if trace_dir is not None else None,
+            "campaign": getattr(self.telemetry.tracer, "campaign", None),
         }
 
     def _run_shards(
@@ -447,6 +531,7 @@ class DistRunner:
         between completing them and reporting its summary.
         """
         self.shard_dir.mkdir(parents=True, exist_ok=True)
+        tracer, metrics = self.telemetry.tracer, self.telemetry.metrics
         ctx = multiprocessing.get_context()
         outbox = ctx.Queue()
         processes: dict[int, multiprocessing.Process] = {}
@@ -461,6 +546,14 @@ class DistRunner:
             )
             process.start()
             processes[shard_index] = process
+            metrics.counter("dist.workers_spawned")
+            tracer.counter("dist.workers_spawned")
+            tracer.event(
+                "worker.spawn",
+                shard=shard_index,
+                worker_pid=process.pid,
+                scenarios=len(shard_configs),
+            )
 
         finished: dict[int, dict] = {}
         observed_cached: dict[str, bool] = {}
@@ -504,8 +597,14 @@ class DistRunner:
                             f"with code {process.exitcode}"
                         }
         finally:
-            for process in processes.values():
+            for shard_index, process in processes.items():
                 if process.is_alive():
                     process.terminate()
                 process.join()
+                tracer.event(
+                    "worker.exit",
+                    shard=shard_index,
+                    worker_pid=process.pid,
+                    exitcode=process.exitcode,
+                )
         return finished, observed_cached

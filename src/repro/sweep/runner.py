@@ -22,6 +22,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence, Union
 
+from ..obs.telemetry import DISABLED, Telemetry
 from .scenario import run_scenario
 from .spec import ScenarioConfig, SweepSpec, expand_unique
 from .store import ResultStore
@@ -77,12 +78,21 @@ class SweepReport:
         }
 
 
-def _execute_payload(payload: tuple[dict, int, bool]) -> dict:
-    """Top-level worker entry point (picklable for multiprocessing)."""
-    config_dict, series_samples, fast = payload
+def _execute_payload(payload: "tuple[dict, int, bool] | tuple[dict, int, bool, float]") -> dict:
+    """Top-level worker entry point (picklable for multiprocessing).
+
+    The optional fourth element is the coordinator's wall-clock submission
+    time; the gap to the worker actually starting is the scenario's
+    **queue-wait** phase (same machine, same clock), folded into the
+    record's ``timings``.
+    """
+    config_dict, series_samples, fast = payload[:3]
+    queue_wait_s = max(0.0, time.time() - payload[3]) if len(payload) > 3 else 0.0
     config = ScenarioConfig.from_dict(config_dict)
     try:
-        return run_scenario(config, series_samples=series_samples, fast=fast)
+        record = run_scenario(config, series_samples=series_samples, fast=fast)
+        record.setdefault("timings", {})["queue_wait_s"] = round(queue_wait_s, 6)
+        return record
     except Exception as exc:  # noqa: BLE001 — workers must not crash the pool
         return {
             "scenario_id": config.scenario_id,
@@ -118,6 +128,14 @@ class SweepRunner:
         (``build_system(fast=False)``).  An execution detail only — it is
         not part of the scenario identity, so records computed under either
         engine share one store and cache-hit each other.
+    telemetry:
+        A :class:`~repro.obs.telemetry.Telemetry` bundle.  When given, the
+        run emits a ``campaign.run`` span partitioned into
+        ``campaign.phase`` spans (expand / cache-scan / execute), one
+        ``scenario`` span per completed cell (with queue-wait / build /
+        simulate / record-write phase timings), and cache-hit / timeout /
+        failure counters.  Defaults to the disabled bundle, whose methods
+        are no-ops and which never touches the filesystem.
     """
 
     def __init__(
@@ -128,6 +146,7 @@ class SweepRunner:
         series_samples: int = 0,
         progress: Optional[ProgressCallback] = None,
         fast: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
@@ -137,25 +156,46 @@ class SweepRunner:
         self.series_samples = int(series_samples)
         self.progress = progress
         self.fast = bool(fast)
+        self.telemetry = telemetry if telemetry is not None else DISABLED
 
     # ------------------------------------------------------------------
     def run(self, campaign: Union[SweepSpec, Sequence[ScenarioConfig]]) -> SweepReport:
-        """Run every scenario not already completed in the store."""
-        configs = self._expand(campaign)
-        report = SweepReport(total=len(configs))
+        """Run every scenario not already completed in the store.
+
+        Phase spans are measured with *shared* clock marks — each phase ends
+        exactly where the next begins — so the ``campaign.phase`` spans tile
+        the ``campaign.run`` span and a trace report's phase coverage is 1.0
+        by construction, not modulo span-emission overhead.
+        """
+        tracer, metrics = self.telemetry.tracer, self.telemetry.metrics
         started = time.perf_counter()
+        configs = self._expand(campaign)
+        mark = time.perf_counter()
+        tracer.span_event("campaign.phase", mark - started, phase="expand")
+        report = SweepReport(total=len(configs))
 
         pending: list[ScenarioConfig] = []
         done = 0
         for config in configs:
             if self.store.is_complete(config):
+                lookup_t0 = time.perf_counter()
                 record = self.store.get(config)
                 report.cached += 1
                 report.records.append(record)
                 done += 1
+                metrics.counter("campaign.cache_hits")
+                tracer.span_event(
+                    "scenario",
+                    time.perf_counter() - lookup_t0,
+                    scenario_id=config.scenario_id,
+                    status=record.get("status"),
+                    cached=True,
+                )
                 self._notify(done, report.total, record, cached=True)
             else:
                 pending.append(config)
+        prev, mark = mark, time.perf_counter()
+        tracer.span_event("campaign.phase", mark - prev, phase="cache-scan")
 
         if pending:
             # A timeout is a promise of enforcement: honour it even at
@@ -164,18 +204,39 @@ class SweepRunner:
             use_pool = self.workers > 1 or self.timeout_s is not None
             runner = self._run_pool if use_pool else self._run_serial
             for record in runner(pending):
+                write_t0 = time.perf_counter()
                 self.store.append(record)
+                write_s = time.perf_counter() - write_t0
                 report.records.append(record)
                 report.executed += 1
                 status = record.get("status")
                 if status == "error":
                     report.failed += 1
+                    metrics.counter("campaign.failed")
                 elif status == "timeout":
                     report.timed_out += 1
+                    metrics.counter("campaign.timeouts")
+                metrics.counter("campaign.executed")
+                metrics.observe("campaign.scenario_s", record.get("elapsed_s", 0.0))
+                timings = record.get("timings") or {}
+                tracer.span_event(
+                    "scenario",
+                    record.get("elapsed_s", 0.0),
+                    scenario_id=record.get("scenario_id"),
+                    status=status,
+                    cached=False,
+                    record_write_s=round(write_s, 6),
+                    **{k: timings.get(k) for k in ("queue_wait_s", "build_s", "simulate_s")},
+                )
                 done += 1
                 self._notify(done, report.total, record, cached=False)
+            prev, mark = mark, time.perf_counter()
+            tracer.span_event("campaign.phase", mark - prev, phase="execute")
 
-        report.elapsed_s = time.perf_counter() - started
+        report.elapsed_s = mark - started
+        tracer.span_event(
+            "campaign.run", mark - started, workers=self.workers, **report.summary()
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -187,8 +248,13 @@ class SweepRunner:
             self.progress(done, total, record, cached)
 
     def _run_serial(self, pending: list[ScenarioConfig]):
+        # Queue-wait is measured from when the batch was enqueued: a
+        # scenario's wait is the time it spent behind earlier work.
+        enqueued_wall = time.time()
         for config in pending:
-            yield _execute_payload((config.to_dict(), self.series_samples, self.fast))
+            yield _execute_payload(
+                (config.to_dict(), self.series_samples, self.fast, enqueued_wall)
+            )
 
     def _run_pool(self, pending: list[ScenarioConfig]):
         """Yield records in completion order, with real per-scenario deadlines.
@@ -205,6 +271,10 @@ class SweepRunner:
         ctx = multiprocessing.get_context()
         n_slots = min(self.workers, len(pending))
         queue = collections.deque(pending)
+        # Queue-wait baseline: every pending scenario is logically enqueued
+        # now; a worker's measured wait is the time its cell spent queued
+        # behind earlier cells (plus pool dispatch latency).
+        enqueued_wall = time.time()
         pool = ctx.Pool(processes=n_slots)
         active: dict = {}  # async handle -> (config, deadline or None)
         hung = 0
@@ -213,7 +283,8 @@ class SweepRunner:
                 while queue and len(active) + hung < n_slots:
                     config = queue.popleft()
                     handle = pool.apply_async(
-                        _execute_payload, ((config.to_dict(), self.series_samples, self.fast),)
+                        _execute_payload,
+                        ((config.to_dict(), self.series_samples, self.fast, enqueued_wall),),
                     )
                     deadline = (
                         time.monotonic() + self.timeout_s if self.timeout_s is not None else None

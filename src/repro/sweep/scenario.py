@@ -18,10 +18,12 @@ surface:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable
 
+from .. import __version__
 from ..energy.profiles import PV_TARGET_VOLTAGE
 from ..governors.base import Governor
 from ..sim.result import SimulationResult
@@ -39,7 +41,30 @@ __all__ = [
     "build_governor",
     "run_scenario",
     "scenario_summary",
+    "worker_stamp",
 ]
+
+#: Environment variable a shard worker sets so its (grand)child processes
+#: stamp records with the shard they ran in (multiprocessing pool children
+#: inherit the environment under both fork and spawn start methods).
+SHARD_INDEX_ENV = "REPRO_SHARD_INDEX"
+
+
+def worker_stamp() -> dict:
+    """Who computed a record: pid, plus the shard index when sharded.
+
+    Purely descriptive (a post-mortem/telemetry field): it is stamped into
+    the record, never into the config, so it does not enter the scenario
+    hash and stores stay cache-comparable across worker layouts.
+    """
+    stamp: dict = {"pid": os.getpid()}
+    shard = os.environ.get(SHARD_INDEX_ENV)
+    if shard is not None:
+        try:
+            stamp["shard"] = int(shard)
+        except ValueError:
+            pass
+    return stamp
 
 
 @dataclass(frozen=True)
@@ -132,10 +157,18 @@ def run_scenario(
     (``build_system(fast=False)``); the choice is stamped into the record as
     ``"engine"`` for post-mortems but is *not* part of the scenario identity,
     so stores stay comparable across engines.
+
+    Telemetry stamps (all additive, all outside the scenario hash):
+    ``wall_time_s`` (Unix completion time), ``worker`` (pid, shard index
+    when sharded), ``repro_version``, and ``timings`` splitting the elapsed
+    wall time into the ``build_s`` and ``simulate_s`` phases (the runner
+    adds ``queue_wait_s``; its own span adds ``record_write_s``).
     """
     started = time.perf_counter()
     built = build_system(config, fast=fast)
+    build_s = time.perf_counter() - started
     result = built.run()
+    simulate_s = time.perf_counter() - started - build_s
     record = {
         "scenario_id": built.config.scenario_id,
         "schema_version": SCHEMA_VERSION,
@@ -144,6 +177,10 @@ def run_scenario(
         "summary": scenario_summary(result, built.workload),
         "engine": "fast" if fast else "exact",
         "elapsed_s": time.perf_counter() - started,
+        "wall_time_s": time.time(),
+        "worker": worker_stamp(),
+        "repro_version": __version__,
+        "timings": {"build_s": round(build_s, 6), "simulate_s": round(simulate_s, 6)},
     }
     if series_samples > 0:
         record["series"] = result.to_dict(max_samples=series_samples)

@@ -43,17 +43,29 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from collections import Counter
 from pathlib import Path
 from typing import Iterator, Mapping, Optional, Sequence, Union
 
+from ..obs.telemetry import DISABLED, Telemetry
 from ..sim.result import SimulationResult
 from .spec import SCHEMA_VERSION, ScenarioConfig
 
-__all__ = ["ResultStore", "merge_stores"]
+__all__ = ["ResultStore", "merge_stores", "VOLATILE_RECORD_FIELDS", "strip_volatile"]
 
 #: Index sidecar layout version.
 _INDEX_VERSION = 1
+
+#: Record fields that legitimately differ between two executions of the same
+#: scenario (timing, worker identity): strip them before comparing stores
+#: record-for-record (tests, the dist bench, CI's shard-merge identity gate).
+VOLATILE_RECORD_FIELDS = frozenset({"elapsed_s", "wall_time_s", "worker", "timings"})
+
+
+def strip_volatile(record: Mapping) -> dict:
+    """A record without its run-specific fields, for cross-run comparison."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_RECORD_FIELDS}
 
 
 def _upgrade_record(record: dict) -> tuple[str, dict, bool]:
@@ -103,14 +115,28 @@ class ResultStore:
     retried failure overwrites the failure on load).
     """
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(self, path: str | os.PathLike, telemetry: Optional[Telemetry] = None):
         self.path = Path(path)
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         #: scenario_id -> record dict, or _LazyRecord for indexed-but-unread.
         self._entries: dict[str, Union[dict, _LazyRecord]] = {}
         self._skipped_lines = 0
         self._version_counts: Counter = Counter()
         if self.path.exists():
-            self._load()
+            load_t0 = time.perf_counter()
+            via_index = self._load()
+            load_s = time.perf_counter() - load_t0
+            self.telemetry.metrics.observe("store.load_s", load_s)
+            self.telemetry.metrics.counter(
+                "store.idx_hit" if via_index else "store.idx_miss"
+            )
+            self.telemetry.tracer.span_event(
+                "store.load",
+                load_s,
+                store=str(self.path),
+                records=len(self._entries),
+                via_index=via_index,
+            )
         elif self.index_path.exists():
             # The data file is gone (e.g. a fresh restart deleted it); the
             # sidecar indexes nothing and would poison a future reopen once
@@ -125,12 +151,14 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
-    def _load(self) -> None:
+    def _load(self) -> bool:
+        """Load the store; True when the idx sidecar served the open."""
         if self._load_from_index():
-            return
+            return True
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
                 self._ingest_line(line)
+        return False
 
     def _ingest_line(self, line: str) -> None:
         line = line.strip()
@@ -280,6 +308,7 @@ class ResultStore:
     def append(self, record: Mapping) -> None:
         """Append one record (stamped with the current schema version) and
         flush it to disk immediately."""
+        append_t0 = time.perf_counter()
         record = dict(record)
         scenario_id = record.get("scenario_id")
         if not scenario_id:
@@ -301,6 +330,8 @@ class ResultStore:
             fh.flush()
             os.fsync(fh.fileno())
         self._set_entry(scenario_id, record)
+        self.telemetry.metrics.observe("store.append_s", time.perf_counter() - append_t0)
+        self.telemetry.metrics.counter("store.appends")
 
     def compact(self) -> dict:
         """Rewrite the store keeping only the newest record per scenario id,
@@ -313,6 +344,7 @@ class ResultStore:
         (``records``, ``dropped_lines``, ``bytes_before``, ``bytes_after``,
         ``index_path``).
         """
+        compact_t0 = time.perf_counter()
         lines_before = 0
         bytes_before = 0
         if self.path.exists():
@@ -350,13 +382,23 @@ class ResultStore:
         index_tmp.write_text(json.dumps(index, separators=(",", ":")), encoding="utf-8")
         os.replace(index_tmp, self.index_path)
         self._skipped_lines = 0
-        return {
+        stats = {
             "records": len(index_entries),
             "dropped_lines": max(0, lines_before - len(index_entries)),
             "bytes_before": bytes_before,
             "bytes_after": offset,
             "index_path": str(self.index_path),
         }
+        compact_s = time.perf_counter() - compact_t0
+        self.telemetry.metrics.observe("store.compact_s", compact_s)
+        self.telemetry.tracer.span_event(
+            "store.compact",
+            compact_s,
+            records=stats["records"],
+            bytes_before=bytes_before,
+            bytes_after=offset,
+        )
+        return stats
 
     # ------------------------------------------------------------------
     # Merging (distributed campaigns: union shard stores into one)
@@ -398,6 +440,7 @@ class ResultStore:
         ``skipped``, ``upgraded``, plus ``records``/``index_path`` when
         compacting).
         """
+        merge_t0 = time.perf_counter()
         stats = {"sources": 0, "scanned": 0, "merged": 0, "skipped": 0, "upgraded": 0}
         own = self.path.resolve()
         for source in sources:
@@ -432,6 +475,16 @@ class ResultStore:
             compact_stats = self.compact()
             stats["records"] = compact_stats["records"]
             stats["index_path"] = compact_stats["index_path"]
+        merge_s = time.perf_counter() - merge_t0
+        self.telemetry.metrics.observe("store.merge_s", merge_s)
+        self.telemetry.tracer.span_event(
+            "store.merge",
+            merge_s,
+            sources=stats["sources"],
+            merged=stats["merged"],
+            skipped=stats["skipped"],
+            upgraded=stats["upgraded"],
+        )
         return stats
 
     # ------------------------------------------------------------------

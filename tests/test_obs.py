@@ -1,0 +1,417 @@
+"""Tests for the telemetry subsystem (repro.obs) and its CLI surface.
+
+The acceptance contract: disabled telemetry is a *true* no-op (no files on
+disk, records identical to an un-instrumented run modulo volatile stamps),
+per-process trace files merge into one timestamp-ordered stream exactly like
+shard stores do, and ``obs report`` over a warm re-run of a distributed
+campaign shows a 1.0 cache-hit ratio with the phase breakdown covering the
+runner wall time.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    DISABLED,
+    MetricsRegistry,
+    ProgressRenderer,
+    Telemetry,
+    Tracer,
+    build_report,
+    follow_trace,
+    format_event,
+    format_report,
+    format_scenario_line,
+    load_events,
+    metrics_sidecar_path,
+    trace_files,
+)
+from repro.sweep import (
+    DistRunner,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    strip_volatile,
+)
+
+#: Short simulated duration keeping each scenario ~tens of milliseconds.
+DURATION_S = 2.0
+
+
+def small_spec(**overrides) -> SweepSpec:
+    settings = dict(
+        governors=["power-neutral", "powersave"],
+        weather=["full_sun"],
+        duration_s=DURATION_S,
+    )
+    settings.update(overrides)
+    return SweepSpec.grid(**settings)
+
+
+# ----------------------------------------------------------------------
+# Tracer / metrics primitives
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_events_counters_and_gauges_round_trip(self, tmp_path):
+        tracer = Tracer(tmp_path / "trace-main-1.jsonl", worker="main", campaign="abc")
+        with tracer.span("campaign.run", workers=2) as span:
+            span.set(scenarios=4)
+        tracer.event("worker.start", shard=0)
+        tracer.counter("campaign.cache_hits")
+        tracer.gauge("boundary.bracket_width", 0.5, round=1)
+        tracer.close()
+
+        events = load_events(tmp_path / "trace-main-1.jsonl")
+        assert [e["kind"] for e in events] == ["span", "event", "counter", "gauge"]
+        span_event = events[0]
+        assert span_event["name"] == "campaign.run"
+        assert span_event["dur_s"] >= 0
+        assert span_event["attrs"] == {"workers": 2, "scenarios": 4}
+        assert all(e["worker"] == "main" and e["campaign"] == "abc" for e in events)
+        assert all("pid" in e and "t" in e for e in events)
+
+    def test_file_is_created_lazily_on_first_event(self, tmp_path):
+        path = tmp_path / "trace-main-1.jsonl"
+        tracer = Tracer(path, worker="main")
+        assert not path.exists()
+        tracer.event("worker.start")
+        assert path.exists()
+        tracer.close()
+
+    def test_span_records_exceptions_without_suppressing(self, tmp_path):
+        tracer = Tracer(tmp_path / "trace-main-1.jsonl")
+        with pytest.raises(RuntimeError):
+            with tracer.span("campaign.run"):
+                raise RuntimeError("boom")
+        tracer.close()
+        (event,) = load_events(tmp_path / "trace-main-1.jsonl")
+        assert "RuntimeError" in event["attrs"]["error"]
+
+
+class TestMetrics:
+    def test_counters_gauges_timers_roll_up(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.counter("campaign.cache_hits")
+        metrics.counter("campaign.cache_hits", 2)
+        metrics.gauge("open_cells", 3)
+        metrics.observe("campaign.scenario_s", 0.5)
+        metrics.observe("campaign.scenario_s", 1.5)
+        sidecar = metrics.write(metrics_sidecar_path(tmp_path / "campaign.jsonl"))
+        assert sidecar == tmp_path / "campaign.jsonl.metrics.json"
+        data = json.loads(sidecar.read_text())
+        assert data["counters"]["campaign.cache_hits"] == 3
+        assert data["gauges"]["open_cells"] == 3
+        timer = data["timers"]["campaign.scenario_s"]
+        assert timer["count"] == 2
+        assert timer["total_s"] == pytest.approx(2.0)
+        assert timer["min_s"] == pytest.approx(0.5)
+        assert timer["max_s"] == pytest.approx(1.5)
+
+
+# ----------------------------------------------------------------------
+# Disabled telemetry is a true no-op
+# ----------------------------------------------------------------------
+class TestDisabledTelemetry:
+    def test_disabled_bundle_creates_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        store = ResultStore(tmp_path / "campaign.jsonl", telemetry=DISABLED)
+        report = SweepRunner(store, telemetry=DISABLED).run(small_spec())
+        assert report.executed == 2
+        store.compact()
+        assert DISABLED.write_metrics(store.path) is None
+        DISABLED.close()
+        # Only the store and its compaction sidecar exist — no trace files,
+        # no metrics sidecar, nothing else.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "campaign.jsonl",
+            "campaign.jsonl.idx.json",
+        ]
+
+    def test_records_identical_with_and_without_telemetry(self, tmp_path):
+        spec = small_spec()
+        plain_store = ResultStore(tmp_path / "plain.jsonl")
+        SweepRunner(plain_store).run(spec)
+
+        telemetry = Telemetry.create(tmp_path / "trace", worker="main")
+        traced_store = ResultStore(tmp_path / "traced.jsonl", telemetry=telemetry)
+        SweepRunner(traced_store, telemetry=telemetry).run(spec)
+        telemetry.close()
+
+        plain = {r["scenario_id"]: strip_volatile(r) for r in plain_store.records()}
+        traced = {r["scenario_id"]: strip_volatile(r) for r in traced_store.records()}
+        assert plain == traced
+
+    def test_worker_stamp_and_timings_are_volatile_not_identity(self, tmp_path):
+        store = ResultStore(tmp_path / "campaign.jsonl")
+        SweepRunner(store).run(small_spec())
+        record = next(iter(store.records()))
+        assert record["worker"]["pid"] > 0
+        assert record["wall_time_s"] == pytest.approx(time.time(), abs=120)
+        assert set(record["timings"]) >= {"build_s", "simulate_s", "queue_wait_s"}
+        stripped = strip_volatile(record)
+        for volatile in ("elapsed_s", "wall_time_s", "worker", "timings"):
+            assert volatile not in stripped
+        assert stripped["scenario_id"] == record["scenario_id"]
+        # A warm re-run still cache-hits: the stamps never enter the identity.
+        rerun = SweepRunner(ResultStore(tmp_path / "campaign.jsonl")).run(small_spec())
+        assert rerun.executed == 0 and rerun.cached == 2
+
+
+# ----------------------------------------------------------------------
+# Multi-process traces merge like stores
+# ----------------------------------------------------------------------
+class TestTraceMerging:
+    def test_files_merge_in_timestamp_order(self, tmp_path):
+        a = Tracer(tmp_path / "trace-main-1.jsonl", worker="main")
+        b = Tracer(tmp_path / "trace-shard-0-2.jsonl", worker="shard-0")
+        a.event("first")
+        b.event("second")
+        a.event("third")
+        a.close()
+        b.close()
+        events = load_events(tmp_path)
+        assert [e["name"] for e in events] == ["first", "second", "third"]
+        assert [e["worker"] for e in events] == ["main", "shard-0", "main"]
+        assert len(trace_files(tmp_path)) == 2
+
+    def test_dist_run_writes_one_trace_file_per_process(self, tmp_path):
+        trace_dir = tmp_path / "trace"
+        telemetry = Telemetry.create(trace_dir, worker="main")
+        store = ResultStore(tmp_path / "dist.jsonl", telemetry=telemetry)
+        report = DistRunner(store, n_shards=2, telemetry=telemetry).run(
+            small_spec(weather=["full_sun", "cloud"])
+        )
+        telemetry.close()
+        assert report.executed == 4
+
+        workers = {e["worker"] for e in load_events(trace_dir)}
+        assert workers == {"main", "shard-0", "shard-1"}
+        # Shard workers write their own metrics sidecars next to their stores.
+        shard_sidecars = sorted((tmp_path / "dist.jsonl.shards").glob("*.metrics.json"))
+        assert len(shard_sidecars) == 2
+        # Pool/shard records are stamped with the shard that computed them.
+        shards = {r["worker"].get("shard") for r in store.records()}
+        assert shards == {0, 1}
+
+    def test_torn_trailing_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace-main-1.jsonl"
+        tracer = Tracer(path, worker="main")
+        tracer.event("ok")
+        tracer.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"t": 1.0, "kind": "event", "name": "torn"')  # no newline
+        assert [e["name"] for e in load_events(path)] == ["ok"]
+        assert [e["name"] for e in follow_trace(path, poll_s=0.01, max_polls=1)] == ["ok"]
+
+
+# ----------------------------------------------------------------------
+# obs report round-trips a real distributed campaign
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_warm_dist_rerun_reports_pure_cache_hits(self, tmp_path):
+        spec = small_spec(weather=["full_sun", "cloud"])
+        cold = Telemetry.create(tmp_path / "cold", worker="main")
+        store = ResultStore(tmp_path / "dist.jsonl", telemetry=cold)
+        DistRunner(store, n_shards=2, telemetry=cold).run(spec)
+        cold.close()
+
+        warm = Telemetry.create(tmp_path / "warm", worker="main")
+        warm_store = ResultStore(tmp_path / "dist.jsonl", telemetry=warm)
+        report = DistRunner(warm_store, n_shards=2, telemetry=warm).run(spec)
+        warm.write_metrics(warm_store.path)
+        warm.close()
+        assert report.executed == 0 and report.cached == 4
+
+        doc = build_report(load_events(tmp_path / "warm"))
+        assert doc["cache_hit_ratio"] == 1.0
+        assert doc["executed"] == 0
+        assert doc["cached"] == 4
+        assert doc["coverage"] >= 0.95
+        assert doc["runs"] == 1
+        assert set(doc["phases"]) == {"expand", "cache-scan"}
+        text = format_report(doc, title="warm")
+        assert "cache_hit_ratio" in text and "Per-phase breakdown" in text
+
+    def test_cold_dist_report_has_workers_phases_and_slowest(self, tmp_path):
+        spec = small_spec(weather=["full_sun", "cloud"])
+        telemetry = Telemetry.create(tmp_path / "trace", worker="main")
+        store = ResultStore(tmp_path / "dist.jsonl", telemetry=telemetry)
+        DistRunner(store, n_shards=2, telemetry=telemetry).run(spec)
+        telemetry.close()
+
+        doc = build_report(load_events(tmp_path / "trace"), slowest=3)
+        assert doc["executed"] == 4 and doc["cache_hit_ratio"] == 0.0
+        assert doc["coverage"] >= 0.95
+        assert {"expand", "cache-scan", "execute", "collect"} <= set(doc["phases"])
+        assert len(doc["slowest"]) == 3
+        assert {"main", "shard-0", "shard-1"} <= set(doc["workers"])
+        for label in ("shard-0", "shard-1"):
+            assert doc["workers"][label]["busy_s"] > 0
+        phases = doc["scenario_phases"]
+        assert phases["simulate_s"] > 0 and phases["build_s"] > 0
+        assert doc["counters"]["dist.workers_spawned"] == 2
+
+    def test_empty_event_stream_reports_zeroes(self):
+        doc = build_report([])
+        assert doc["events"] == 0 and doc["cache_hit_ratio"] is None
+
+    def test_boundary_rounds_and_gauges_appear(self, tmp_path):
+        from repro.sweep import BoundaryQuery, BoundarySearch, ScenarioConfig
+
+        telemetry = Telemetry.create(tmp_path / "trace", worker="main")
+        store = ResultStore(tmp_path / "boundary.jsonl", telemetry=telemetry)
+        runner = SweepRunner(store, telemetry=telemetry)
+        query = BoundaryQuery(
+            base=ScenarioConfig(governor="power-neutral", duration_s=DURATION_S),
+            path="capacitor.capacitance_f",
+            lo=2e-3,
+            hi=60e-3,
+            rel_tol=0.5,
+        )
+        report = BoundarySearch(query, runner, telemetry=telemetry).run()
+        telemetry.close()
+        assert report.rounds >= 2
+
+        events = load_events(tmp_path / "trace")
+        doc = build_report(events)
+        assert doc["rounds"] == report.rounds
+        widths = [e for e in events if e["name"] == "boundary.bracket_width"]
+        assert widths and all(e["kind"] == "gauge" for e in widths)
+
+
+# ----------------------------------------------------------------------
+# Shared progress renderer
+# ----------------------------------------------------------------------
+class TestProgressRenderer:
+    RECORD = {"scenario_id": "a" * 16, "status": "ok", "elapsed_s": 1.25}
+
+    def test_scenario_and_round_lines(self, capsys):
+        renderer = ProgressRenderer()
+        renderer.scenario(1, 4, dict(self.RECORD), cached=False)
+        renderer.scenario(2, 4, dict(self.RECORD), cached=True)
+        renderer.round(1, "round 1: 3 probe(s)")
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("  [1/4] ok") and out[0].endswith("(1.2s)")
+        assert out[1].startswith("  [2/4] cached") and "1.2s" not in out[1]
+        assert out[2] == "  round 1: 3 probe(s)"
+
+    def test_quiet_suppresses_everything(self, capsys):
+        renderer = ProgressRenderer(quiet=True)
+        renderer.scenario(1, 4, dict(self.RECORD), cached=False)
+        renderer.round(1, "message")
+        assert capsys.readouterr().out == ""
+
+    def test_line_format_is_shared(self):
+        line = format_scenario_line(3, 8, dict(self.RECORD), cached=False)
+        assert line == f"  [3/8] ok      {'a' * 12} (1.2s)"
+
+
+# ----------------------------------------------------------------------
+# CLI: --trace / --profile / obs tail / obs report
+# ----------------------------------------------------------------------
+class TestObsCli:
+    SWEEP = ["sweep", "--preset", "dist-smoke", "--duration", "2", "--quiet",
+             "--workers", "1"]
+
+    def test_sweep_trace_writes_trace_and_metrics(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        trace = tmp_path / "trace"
+        argv = [*self.SWEEP, "--store", str(store), "--trace", str(trace)]
+        assert main(argv) == 0
+        assert list(trace.glob("trace-main-*.jsonl"))
+        assert (tmp_path / "campaign.jsonl.metrics.json").exists()
+        assert "telemetry: trace in" in capsys.readouterr().out
+
+        # obs report over the cold trace sees the executed scenarios.
+        assert main(["obs", "report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hit_ratio : 0" in out and "Per-phase breakdown" in out
+
+        # Warm re-run into a second trace directory: pure cache hits.
+        warm = tmp_path / "warm"
+        assert main([*self.SWEEP, "--store", str(store), "--trace", str(warm)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(warm), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cache_hit_ratio"] == 1.0
+        assert doc["executed"] == 0
+        assert doc["coverage"] >= 0.95
+
+    def test_obs_tail_replays_events(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        trace = tmp_path / "trace"
+        assert main([*self.SWEEP, "--store", str(store), "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "tail", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.run" in out and "[main]" in out
+        assert out.count("scenario") >= 4
+
+    def test_obs_report_on_missing_trace_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace"):
+            main(["obs", "report", str(tmp_path / "nowhere")])
+
+    def test_profile_writes_prof_next_to_trace(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        trace = tmp_path / "trace"
+        argv = [*self.SWEEP, "--store", str(store), "--trace", str(trace), "--profile"]
+        assert main(argv) == 0
+        assert (trace / "profile.prof").exists()
+        assert "profile written to" in capsys.readouterr().out
+
+    def test_profile_without_trace_lands_next_to_store(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        assert main([*self.SWEEP, "--store", str(store), "--profile"]) == 0
+        assert (tmp_path / "campaign.jsonl.prof").exists()
+        # No trace flag -> no trace files, no metrics sidecar.
+        assert not (tmp_path / "campaign.jsonl.metrics.json").exists()
+        assert not list(tmp_path.glob("trace-*.jsonl"))
+
+    def test_shard_trace_stamps_campaign_and_shard_worker(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        argv = [
+            "shard", "--preset", "dist-smoke", "--duration", "2", "--quiet",
+            "--num-shards", "2", "--shard-index", "0",
+            "--store", str(tmp_path / "shard-0.jsonl"), "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        events = load_events(trace)
+        assert all(e["worker"] == "shard-0" for e in events)
+        assert all(e.get("campaign") for e in events)
+        # The shard's records carry the shard index (env-propagated stamp).
+        records = list(ResultStore(tmp_path / "shard-0.jsonl").records())
+        assert records and all(r["worker"]["shard"] == 0 for r in records)
+        assert os.environ.get("REPRO_SHARD_INDEX") == "0"
+        os.environ.pop("REPRO_SHARD_INDEX", None)
+
+    def test_boundary_trace_round_trips(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        argv = [
+            "boundary", "--preset", "min-capacitance", "--duration", "4",
+            "--rel-tol", "0.5", "--weather", "full_sun", "--workers", "1",
+            "--quiet", "--store", str(tmp_path / "b.jsonl"), "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["rounds"] >= 2
+        assert doc["counters"]["boundary.rounds"] == doc["rounds"]
+
+
+class TestEventFormatting:
+    def test_format_event_lines(self):
+        span = {"t": 10.5, "kind": "span", "name": "scenario", "worker": "main",
+                "dur_s": 0.25, "attrs": {"status": "ok", "skipped": None}}
+        line = format_event(span, t0=10.0)
+        assert line.startswith("+    0.500s [main] span    scenario")
+        assert "dur=0.2500s" in line and "status=ok" in line and "skipped" not in line
+        counter = {"t": 10.0, "kind": "counter", "name": "campaign.cache_hits",
+                   "worker": "main", "value": 2, "attrs": {}}
+        assert "value=2" in format_event(counter, t0=10.0)

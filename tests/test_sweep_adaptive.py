@@ -24,7 +24,7 @@ def fake_executor(predicate_of_config):
     """A drop-in for runner._execute_payload computing outcomes analytically."""
 
     def execute(payload):
-        config_dict, _series, _fast = payload
+        config_dict, _series, _fast = payload[:3]  # 4th element: enqueue time
         config = ScenarioConfig.from_dict(config_dict)
         return {
             "scenario_id": config.scenario_id,

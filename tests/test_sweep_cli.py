@@ -582,11 +582,14 @@ class TestShardAndMerge:
         assert main(["store", "merge", str(merged), *map(str, shard_stores)]) == 0
         assert "Merged 2 store(s)" in capsys.readouterr().out
 
-        from repro.sweep import ResultStore
+        from repro.sweep import ResultStore, strip_volatile
 
-        strip = lambda r: {k: v for k, v in r.items() if k != "elapsed_s"}  # noqa: E731
-        single_records = {r["scenario_id"]: strip(r) for r in ResultStore(single).records()}
-        merged_records = {r["scenario_id"]: strip(r) for r in ResultStore(merged).records()}
+        single_records = {
+            r["scenario_id"]: strip_volatile(r) for r in ResultStore(single).records()
+        }
+        merged_records = {
+            r["scenario_id"]: strip_volatile(r) for r in ResultStore(merged).records()
+        }
         assert merged_records == single_records
 
         assert main(["sweep", *self.PRESET_ARGS, "--workers", "1", "--store", str(merged)]) == 0

@@ -23,6 +23,7 @@ from repro.sweep import (
     merge_stores,
     partition_scenarios,
     shard_index_of,
+    strip_volatile,
 )
 
 #: Short simulated duration keeping each scenario ~tens of milliseconds.
@@ -39,10 +40,7 @@ def small_spec(seeds=(1,)) -> SweepSpec:
 
 
 def records_without_timing(store: ResultStore) -> dict:
-    return {
-        r["scenario_id"]: {k: v for k, v in r.items() if k != "elapsed_s"}
-        for r in store.records()
-    }
+    return {r["scenario_id"]: strip_volatile(r) for r in store.records()}
 
 
 class TestPartition:
