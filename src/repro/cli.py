@@ -409,7 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     store = sub.add_parser(
         "store",
-        help="maintain JSONL result stores (compact, merge shards)",
+        help="maintain JSONL result stores (compact, merge shards, stats)",
         description=(
             "Store maintenance. 'compact' rewrites the JSONL keeping only the "
             "newest record per scenario id and writes the key-to-offset index "
@@ -419,20 +419,160 @@ def build_parser() -> argparse.ArgumentParser:
             "always supersede failures, later sources win ties, legacy v1 "
             "records are upgraded and re-keyed, and DEST is compacted with a "
             "fresh sidecar — ready for sweep --resume, boundary, or "
-            "aggregation."
+            "aggregation. 'stats [PATH]' prints the store inventory — record "
+            "counts by status and schema version, bytes appended since the "
+            "last compact, the last run's cache-hit ratio — served entirely "
+            "from the idx/SQLite/metrics sidecars, without materialising a "
+            "single record."
         ),
     )
-    store.add_argument("action", choices=("compact", "merge"), help="maintenance action")
+    store.add_argument(
+        "action", choices=("compact", "merge", "stats"), help="maintenance action"
+    )
     store.add_argument(
         "paths",
         nargs="*",
         metavar="PATH",
-        help="for merge: DEST SRC [SRC ...] (ignored by compact, which uses --store)",
+        help=(
+            "for merge: DEST SRC [SRC ...]; for stats: the store path "
+            "(ignored by compact, which uses --store)"
+        ),
     )
     store.add_argument(
         "--store",
         default="sweep_results.jsonl",
-        help="JSONL result store path for compact (default: %(default)s)",
+        help="JSONL result store path for compact/stats (default: %(default)s)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived campaign service (HTTP submissions + SSE progress)",
+        description=(
+            "Start the asyncio campaign service. Clients POST SweepSpec / "
+            "BoundaryQuery JSON snapshots to /campaigns (deduped by content "
+            "hash — identical submissions return the existing campaign), "
+            "poll /campaigns/{id}, stream live trace events from "
+            "/campaigns/{id}/events (Server-Sent Events), and fetch results "
+            "from /campaigns/{id}/records and /aggregate, served through the "
+            "store's SQLite index sidecar. Submit with 'repro submit' or any "
+            "HTTP client; stop with Ctrl-C."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port, 0 = ephemeral (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--store",
+        default="serve_results.jsonl",
+        help="the shared JSONL result store all campaigns run against (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="campaign trace/scratch directory (default: <store>.serve/)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes per campaign (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-scenario wall-clock budget (default: none)",
+    )
+    serve.add_argument(
+        "--series",
+        type=int,
+        default=0,
+        metavar="N",
+        help="store each record's series decimated to N samples (default: summaries only)",
+    )
+    _add_exact_flag(serve)
+    serve.add_argument(
+        "--token",
+        default=None,
+        help="require 'Authorization: Bearer TOKEN' on every endpoint except /healthz",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress the startup banner"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a running campaign service",
+        description=(
+            "Submit a campaign over HTTP and (by default) wait for it to "
+            "finish, printing the result summary and aggregate totals. "
+            "Resubmitting an identical spec is a cache hit: the service "
+            "returns the existing campaign id and schedules nothing."
+        ),
+    )
+    submit.add_argument(
+        "--url",
+        default=None,
+        help=(
+            "service base URL (default: $REPRO_SERVE_URL, "
+            "falling back to http://127.0.0.1:8765)"
+        ),
+    )
+    submit.add_argument(
+        "--token", default=None, help="bearer token for a --token-protected service"
+    )
+    submit.add_argument(
+        "--preset",
+        choices=sweep_module.preset_names(),
+        default=None,
+        help="submit a named sweep preset",
+    )
+    submit.add_argument(
+        "--boundary-preset",
+        choices=sweep_module.boundary_preset_names(),
+        default=None,
+        help="submit a named boundary-query preset",
+    )
+    submit.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help=(
+            "submit a JSON file: a SweepSpec snapshot, a BoundaryQuery "
+            "snapshot, or a shard manifest (its embedded spec is submitted)"
+        ),
+    )
+    submit.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="override the preset's simulated duration per scenario",
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream the campaign's live trace events (SSE) while waiting",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return immediately after submission instead of waiting",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=900.0,
+        metavar="S",
+        help="how long to wait for completion (default: %(default)s)",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the final campaign document as JSON instead of tables",
     )
 
     obs = sub.add_parser(
@@ -1263,6 +1403,25 @@ def _command_shard(args: argparse.Namespace) -> int:
 
 
 def _command_store(args: argparse.Namespace) -> int:
+    if args.action == "stats":
+        if len(args.paths) > 1:
+            raise SystemExit("store stats takes at most one store path")
+        store_path = Path(args.paths[0]) if args.paths else Path(args.store)
+        if not store_path.exists():
+            raise SystemExit(f"no store at {store_path}")
+        stats = sweep_module.store_stats(store_path)
+        flat: dict = {}
+        for key, value in stats.items():
+            if key == "by_status":
+                flat.update({f"status_{k}": v for k, v in value.items()})
+            elif key == "by_schema_version":
+                flat.update({f"schema_v{k}": v for k, v in value.items()})
+            elif key in ("path", "exists"):
+                continue
+            else:
+                flat[key] = value
+        print(format_kv(flat, title=f"Store {store_path}"))
+        return 0
     if args.action == "merge":
         if len(args.paths) < 2:
             raise SystemExit("store merge needs DEST SRC [SRC ...]")
@@ -1282,6 +1441,109 @@ def _command_store(args: argparse.Namespace) -> int:
     stats = store.compact()
     print(format_kv(stats, title=f"Compacted {store_path}"))
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve import run_service
+
+    return run_service(
+        store_path=args.store,
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        series_samples=args.series,
+        fast=not args.exact,
+        token=args.token,
+        quiet=args.quiet,
+    )
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, ServeConfig, ServeError
+
+    chosen = [name for name in ("preset", "boundary_preset", "spec") if getattr(args, name)]
+    if len(chosen) != 1:
+        raise SystemExit("submit needs exactly one of --preset, --boundary-preset, --spec")
+    if args.preset:
+        payload: dict = {
+            "kind": "sweep",
+            "spec": sweep_module.build_preset(args.preset, duration_s=args.duration).to_dict(),
+        }
+    elif args.boundary_preset:
+        try:
+            query = sweep_module.build_boundary_preset(
+                args.boundary_preset, duration_s=args.duration
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        payload = {"kind": "boundary", "spec": query.to_dict()}
+    else:
+        if args.duration is not None:
+            raise SystemExit("--duration only applies to presets")
+        try:
+            data = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"unreadable --spec file {args.spec}: {exc}") from None
+        if isinstance(data, dict) and "spec" in data and "campaign_hash" in data:
+            data = data["spec"]  # shard manifest: submit its embedded spec
+        payload = data  # the service infers sweep vs boundary
+
+    base_url = args.url or os.environ.get("REPRO_SERVE_URL") or "http://127.0.0.1:8765"
+    client = ServeClient(ServeConfig(base_url=base_url, api_token=args.token))
+    try:
+        submission = client.submit(payload)
+    except ServeError as exc:
+        raise SystemExit(str(exc)) from None
+    campaign_id = submission["id"]
+    if submission.get("created"):
+        print(f"campaign {campaign_id}: accepted")
+    else:
+        state = submission.get("campaign", {}).get("state", "?")
+        print(f"campaign {campaign_id}: cache hit (already {state}, 0 new simulations)")
+    if args.no_wait:
+        if args.json:
+            print(json.dumps(submission, indent=2, default=str))
+        return 0
+
+    try:
+        if args.watch:
+            t0: float | None = None
+            for event in client.events(campaign_id, timeout_s=args.timeout):
+                if event["event"] == "end":
+                    break
+                data = event["data"]
+                if isinstance(data, dict) and "t" in data:
+                    if t0 is None:
+                        t0 = float(data["t"])
+                    print(format_event(data, t0))
+            doc = client.campaign(campaign_id)
+        else:
+            doc = client.wait(campaign_id, timeout_s=args.timeout)
+    except (ServeError, TimeoutError) as exc:
+        raise SystemExit(str(exc)) from None
+
+    if args.json:
+        print(json.dumps(doc, indent=2, default=str))
+    else:
+        result = doc.get("result") or {}
+        scalars = {
+            k: v for k, v in result.items() if not isinstance(v, (list, dict))
+        }
+        print(format_kv(scalars, title=f"Campaign {campaign_id} ({doc.get('state')})"))
+        if doc.get("error"):
+            print(f"ERROR: {doc['error']}", file=sys.stderr)
+        try:
+            aggregate = client.aggregate(campaign_id)
+        except ServeError:
+            aggregate = None
+        if aggregate and aggregate.get("records"):
+            print()
+            print(format_kv(aggregate["overview"], title="Totals"))
+    result = doc.get("result") or {}
+    succeeded = doc.get("state") == "done" and bool(result.get("succeeded", True))
+    return 0 if succeeded else 1
 
 
 def _command_obs(args: argparse.Namespace) -> int:
@@ -1337,6 +1599,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_boundary(args)
     if args.command == "store":
         return _command_store(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
     if args.command == "obs":
         return _command_obs(args)
     parser.error(f"unknown command {args.command!r}")

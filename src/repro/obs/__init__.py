@@ -44,6 +44,7 @@ then ``python -m repro obs report trace/``.
 from .metrics import NULL_METRICS, MetricsRegistry, NullMetrics, metrics_sidecar_path
 from .progress import ProgressRenderer, format_scenario_line
 from .report import (
+    TracePoller,
     build_report,
     follow_trace,
     format_event,
@@ -73,4 +74,5 @@ __all__ = [
     "format_report",
     "format_event",
     "follow_trace",
+    "TracePoller",
 ]

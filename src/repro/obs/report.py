@@ -32,6 +32,7 @@ __all__ = [
     "format_report",
     "format_event",
     "follow_trace",
+    "TracePoller",
 ]
 
 #: The per-scenario phases a scenario span carries (worker + runner timings).
@@ -77,6 +78,53 @@ def load_events(source: "str | Path") -> list[dict]:
     return events
 
 
+class TracePoller:
+    """Incremental, non-blocking trace reading: the engine of a live tail.
+
+    Each :meth:`poll` returns the events appended since the previous poll
+    (timestamp-sorted across files), remembering per-file offsets so nothing
+    is re-read.  Only complete lines advance an offset — a half-written tail
+    is retried on the next poll — and ``trace-*.jsonl`` files appearing in
+    the directory later (a shard worker starting late, a campaign's trace
+    dir created after submission) are picked up as they materialise.
+
+    :func:`follow_trace` wraps one of these in a sleep loop for ``obs
+    tail``; the campaign service's SSE endpoint drives one directly from
+    the event loop, where blocking sleeps are not an option.
+    """
+
+    def __init__(self, source: "str | Path"):
+        self.source = Path(source)
+        self._offsets: dict[Path, int] = {}
+
+    def poll(self) -> list[dict]:
+        """The complete events appended since the last call (may be empty)."""
+        fresh: list[dict] = []
+        try:
+            files = trace_files(self.source)
+        except FileNotFoundError:
+            return fresh
+        for file in files:
+            try:
+                # readline(), not iteration: tell() is forbidden while a text
+                # file is being iterated, and the offset after every complete
+                # line is exactly what resuming the next poll needs.
+                with file.open("r", encoding="utf-8") as fh:
+                    fh.seek(self._offsets.get(file, 0))
+                    while True:
+                        line = fh.readline()
+                        if not line or not line.endswith("\n"):
+                            break  # EOF or half-written tail: retry next poll
+                        self._offsets[file] = fh.tell()
+                        event = _parse_line(line)
+                        if event is not None:
+                            fresh.append(event)
+            except OSError:
+                continue
+        fresh.sort(key=lambda e: float(e.get("t", 0.0)))
+        return fresh
+
+
 def follow_trace(
     source: "str | Path", poll_s: float = 0.5, max_polls: Optional[int] = None
 ) -> Iterator[dict]:
@@ -86,34 +134,12 @@ def follow_trace(
     on the next poll.  Iteration ends after ``max_polls`` empty polls
     (``None`` = poll until the consumer stops, e.g. by Ctrl-C).
     """
-    offsets: dict[Path, int] = {}
+    poller = TracePoller(source)
     empty_polls = 0
     while True:
-        fresh: list[dict] = []
-        try:
-            files = trace_files(source)
-        except FileNotFoundError:
-            files = []
-        for file in files:
-            try:
-                # readline(), not iteration: tell() is forbidden while a text
-                # file is being iterated, and the offset after every complete
-                # line is exactly what resuming the next poll needs.
-                with file.open("r", encoding="utf-8") as fh:
-                    fh.seek(offsets.get(file, 0))
-                    while True:
-                        line = fh.readline()
-                        if not line or not line.endswith("\n"):
-                            break  # EOF or half-written tail: retry next poll
-                        offsets[file] = fh.tell()
-                        event = _parse_line(line)
-                        if event is not None:
-                            fresh.append(event)
-            except OSError:
-                continue
+        fresh = poller.poll()
         if fresh:
             empty_polls = 0
-            fresh.sort(key=lambda e: float(e.get("t", 0.0)))
             yield from fresh
         else:
             empty_polls += 1

@@ -1,0 +1,52 @@
+"""repro.serve — the long-running campaign service over the sweep engine.
+
+Everything elsewhere in the repo is batch CLI; this package wraps the
+campaign machinery in a stdlib-asyncio HTTP service so campaigns are
+*submitted* rather than run:
+
+* :mod:`repro.serve.scheduler` — :class:`Campaign` /
+  :class:`CampaignScheduler`: content-hash identity (identical submissions
+  dedupe to one campaign), a FIFO worker task serialising execution over
+  the shared :class:`~repro.sweep.store.ResultStore`;
+* :mod:`repro.serve.handlers`  — the transport-free route table
+  (``/campaigns``, ``/records``, ``/aggregate``, ``/events``, ``/metrics``);
+* :mod:`repro.serve.app`       — the asyncio HTTP/SSE front end
+  (:class:`CampaignService`, the test-friendly :class:`ServiceThread`, and
+  the ``python -m repro serve`` entry point :func:`run_service`);
+* :mod:`repro.serve.config` / :mod:`repro.serve.client` — the frozen
+  :class:`ServeConfig` and the stdlib :class:`ServeClient` behind
+  ``python -m repro submit`` and :mod:`examples.submit_campaign`.
+
+What makes the service cheap at scale is below it, not in it: records are
+content-addressed, so identical submissions from any number of users are
+pure cache hits against the store, and filtered/aggregate reads are served
+through the SQLite index sidecar (:mod:`repro.sweep.sqlindex`) without
+replaying the JSONL.
+
+Quick start::
+
+    # terminal 1
+    python -m repro serve --store campaigns.jsonl --port 8765
+
+    # terminal 2
+    python -m repro submit --preset dist-smoke --watch
+"""
+
+from .app import CampaignService, ServiceThread, run_service
+from .client import ServeClient, ServeError
+from .config import DEFAULT_HOST, DEFAULT_PORT, ServeConfig
+from .scheduler import Campaign, CampaignScheduler, parse_submission
+
+__all__ = [
+    "CampaignService",
+    "ServiceThread",
+    "run_service",
+    "ServeClient",
+    "ServeError",
+    "ServeConfig",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Campaign",
+    "CampaignScheduler",
+    "parse_submission",
+]

@@ -1,0 +1,232 @@
+"""Thin stdlib HTTP client for the campaign service.
+
+Everything rides on :class:`~repro.serve.config.ServeConfig` (URLs and
+headers are derived, never assembled at call sites) and
+:mod:`urllib.request` — the client stays importable anywhere the repo is.
+
+Typical round trip::
+
+    from repro.serve import ServeClient, ServeConfig
+
+    client = ServeClient(ServeConfig(base_url="http://127.0.0.1:8765"))
+    submitted = client.submit("dist-smoke")          # or a SweepSpec/BoundaryQuery
+    done = client.wait(submitted["id"], timeout_s=600)
+    rows = client.aggregate(submitted["id"])["rows"]
+
+Resubmitting the same spec returns the same campaign id with
+``cached: true`` — the server dedupes by content hash, and the store's
+content-addressed records make even a fresh service re-serve known
+scenarios without simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Callable, Iterator, Mapping, Optional, Union
+
+from ..sweep.adaptive import BoundaryQuery
+from ..sweep.spec import SweepSpec
+from .config import ServeConfig
+
+__all__ = ["ServeClient", "ServeError"]
+
+#: Campaign states the service reports as finished.
+_TERMINAL = ("done", "failed")
+
+
+class ServeError(RuntimeError):
+    """A failed service call: HTTP error payloads and transport failures."""
+
+    def __init__(self, message: str, status: Optional[int] = None, payload=None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking client over one :class:`ServeConfig`."""
+
+    def __init__(self, config: Optional[ServeConfig] = None, **overrides):
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            config = dataclasses.replace(config, **overrides)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None, timeout_s: Optional[float] = None):
+        data = None
+        content_type = None
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        req = urllib.request.Request(
+            self.config.url(path),
+            data=data,
+            headers=self.config.build_headers(content_type),
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout_s or self.config.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except Exception:  # noqa: BLE001 — non-JSON error bodies
+                detail = None
+            message = detail.get("error") if isinstance(detail, dict) else None
+            raise ServeError(
+                message or f"{method} {path} failed: HTTP {exc.code}",
+                status=exc.code,
+                payload=detail,
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach campaign service at {self.config.base_url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Plain endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def campaigns(self) -> list[dict]:
+        return self._request("GET", "/campaigns").get("campaigns", [])
+
+    def campaign(self, campaign_id: str) -> dict:
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
+    def submit(self, spec: "Union[SweepSpec, BoundaryQuery, str, Mapping]") -> dict:
+        """Submit a campaign; returns the submission document.
+
+        Accepts a :class:`SweepSpec`, a :class:`BoundaryQuery`, a preset
+        name, or a raw snapshot/submission dict.  The response carries
+        ``id``, ``created`` (False on a content-hash dedupe hit) and the
+        campaign document.
+        """
+        if isinstance(spec, SweepSpec):
+            payload: dict = {"kind": "sweep", "spec": spec.to_dict()}
+        elif isinstance(spec, BoundaryQuery):
+            payload = {"kind": "boundary", "spec": spec.to_dict()}
+        elif isinstance(spec, str):
+            payload = {"preset": spec}
+        elif isinstance(spec, Mapping):
+            payload = dict(spec)
+        else:
+            raise TypeError(
+                "submit() takes a SweepSpec, BoundaryQuery, preset name or snapshot dict"
+            )
+        return self._request("POST", "/campaigns", payload)
+
+    def records(
+        self,
+        campaign_id: str,
+        status: Optional[str] = None,
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        **filters,
+    ) -> list[dict]:
+        """The campaign's records, optionally filtered by status/axis columns."""
+        params = dict(filters)
+        if status is not None:
+            params["status"] = status
+        if limit is not None:
+            params["limit"] = limit
+        if offset is not None:
+            params["offset"] = offset
+        query = urllib.parse.urlencode(params)
+        path = f"/campaigns/{campaign_id}/records" + (f"?{query}" if query else "")
+        return self._request("GET", path).get("records", [])
+
+    def aggregate(self, campaign_id: str, axis: Optional[str] = None) -> dict:
+        path = f"/campaigns/{campaign_id}/aggregate"
+        if axis:
+            path += "?" + urllib.parse.urlencode({"axis": axis})
+        return self._request("GET", path)
+
+    # ------------------------------------------------------------------
+    # Long-running interaction
+    # ------------------------------------------------------------------
+    def events(self, campaign_id: str, timeout_s: Optional[float] = None) -> Iterator[dict]:
+        """Stream the campaign's SSE events as ``{"event", "data"}`` dicts.
+
+        Blocks on the live stream and ends after the server's final
+        ``end`` event (which is also yielded, carrying the terminal
+        campaign document).
+        """
+        req = urllib.request.Request(
+            self.config.url(f"/campaigns/{campaign_id}/events"),
+            headers={**self.config.build_headers(), "Accept": "text/event-stream"},
+        )
+        budget = timeout_s if timeout_s is not None else max(self.config.timeout_s, 600.0)
+        try:
+            with urllib.request.urlopen(req, timeout=budget) as resp:
+                name: Optional[str] = None
+                data_lines: list[str] = []
+                for raw in resp:
+                    line = raw.decode("utf-8").rstrip("\r\n")
+                    if line.startswith("event:"):
+                        name = line[len("event:"):].strip()
+                    elif line.startswith("data:"):
+                        data_lines.append(line[len("data:"):].strip())
+                    elif not line:
+                        if name is None and not data_lines:
+                            continue
+                        try:
+                            data = json.loads("\n".join(data_lines)) if data_lines else None
+                        except json.JSONDecodeError:
+                            data = "\n".join(data_lines)
+                        yield {"event": name or "message", "data": data}
+                        if (name or "message") == "end":
+                            return
+                        name, data_lines = None, []
+        except urllib.error.HTTPError as exc:
+            raise ServeError(
+                f"events stream failed: HTTP {exc.code}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach campaign service at {self.config.base_url}: {exc.reason}"
+            ) from None
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout_s: float = 600.0,
+        poll_s: Optional[float] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Poll until the campaign is done/failed; returns its final document."""
+        interval = poll_s if poll_s is not None else self.config.poll_interval_s
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.campaign(campaign_id)
+            if progress is not None:
+                progress(doc)
+            if doc.get("state") in _TERMINAL:
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still {doc.get('state')!r} "
+                    f"after {timeout_s:.0f} s"
+                )
+            time.sleep(interval)
+
+    def submit_and_wait(
+        self,
+        spec,
+        timeout_s: float = 600.0,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Submit then :meth:`wait`; returns the terminal campaign document."""
+        submitted = self.submit(spec)
+        return self.wait(submitted["id"], timeout_s=timeout_s, progress=progress)

@@ -1,0 +1,78 @@
+"""Connection/auth settings shared by the campaign-service client and CLI.
+
+One frozen dataclass, constructed once and never mutated: URLs and headers
+are *derived* from it (:meth:`ServeConfig.url`,
+:meth:`ServeConfig.build_headers`) rather than assembled ad hoc at call
+sites, so every request a client makes agrees on base URL, token and
+timeouts by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ServeConfig"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8765
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Where the campaign service lives and how to talk to it.
+
+    Attributes
+    ----------
+    base_url:
+        Service root, e.g. ``"http://127.0.0.1:8765"`` (trailing slashes
+        are stripped).
+    api_token:
+        When set, every request carries ``Authorization: Bearer <token>``
+        (the server's ``--token`` option checks it).
+    extra_headers:
+        Additional headers merged into every request (they win over the
+        generated ones, so a caller can override ``Accept`` etc.).
+    timeout_s:
+        Per-request socket timeout for plain JSON calls.  Event streams use
+        their own, much longer budget.
+    poll_interval_s:
+        Default cadence for :meth:`ServeClient.wait` status polling.
+    """
+
+    base_url: str = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+    api_token: Optional[str] = None
+    extra_headers: Mapping[str, str] = field(default_factory=dict)
+    timeout_s: float = 30.0
+    poll_interval_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "base_url", str(self.base_url).rstrip("/"))
+        object.__setattr__(self, "extra_headers", dict(self.extra_headers))
+        if not self.base_url:
+            raise ValueError("base_url must not be empty")
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    @classmethod
+    def for_host(cls, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, **kwargs) -> "ServeConfig":
+        """Config for an ``http://host:port`` service."""
+        return cls(base_url=f"http://{host}:{int(port)}", **kwargs)
+
+    def url(self, path: str) -> str:
+        """Absolute URL of an endpoint path."""
+        if not path.startswith("/"):
+            path = "/" + path
+        return self.base_url + path
+
+    def build_headers(self, content_type: Optional[str] = None) -> dict:
+        """Request headers: accept/auth/content-type plus the extras."""
+        headers = {"Accept": "application/json"}
+        if content_type:
+            headers["Content-Type"] = content_type
+        if self.api_token:
+            headers["Authorization"] = f"Bearer {self.api_token}"
+        headers.update(self.extra_headers)
+        return headers

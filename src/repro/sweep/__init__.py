@@ -19,6 +19,10 @@ registry-backed scenario components:
 * :mod:`repro.sweep.store`    — an append-only JSONL store keyed by config
   hash, giving cache hits, resume-after-interrupt and schema-version
   tolerance;
+* :mod:`repro.sweep.sqlindex` — the read-optimised SQLite sidecar behind
+  :meth:`ResultStore.query`: scenario ids, statuses and searchable axis
+  columns mapped to JSONL byte offsets, so filtered/aggregate reads over
+  100k+-record stores never replay the file;
 * :mod:`repro.sweep.runner`   — serial or multiprocessing execution with
   per-scenario timeouts and progress reporting;
 * :mod:`repro.sweep.aggregate`— per-axis mean/p50/p95 tables, Table II
@@ -120,7 +124,14 @@ from .spec import (
     SweepSpec,
     resolve_axis_path,
 )
-from .store import VOLATILE_RECORD_FIELDS, ResultStore, merge_stores, strip_volatile
+from .sqlindex import SQLITE_AVAILABLE, SqliteIndex, sqlite_index_path
+from .store import (
+    VOLATILE_RECORD_FIELDS,
+    ResultStore,
+    merge_stores,
+    store_stats,
+    strip_volatile,
+)
 
 __all__ = [
     "Axis",
@@ -160,6 +171,10 @@ __all__ = [
     "find_boundary",
     "ResultStore",
     "merge_stores",
+    "store_stats",
+    "SqliteIndex",
+    "sqlite_index_path",
+    "SQLITE_AVAILABLE",
     "VOLATILE_RECORD_FIELDS",
     "strip_volatile",
     "SweepReport",

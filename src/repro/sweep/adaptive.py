@@ -34,13 +34,16 @@ state instead of silently mis-bracketing.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
 from ..obs.telemetry import DISABLED, Telemetry
+from ..registry import jsonable_value, normalise_value
 from .runner import CampaignRunner
 from .spec import Axis, ScenarioConfig, resolve_axis_path
 
@@ -161,6 +164,79 @@ class BoundaryQuery:
     @property
     def predicate_name(self) -> str:
         return _resolve_predicate(self.predicate)[0]
+
+    # ------------------------------------------------------------------
+    # Serialisation and identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot, the boundary twin of :meth:`SweepSpec.to_dict`.
+
+        Only *named* predicates serialise — a bare callable has no portable
+        spelling.  Register the callable in :data:`PREDICATES` and pass its
+        name to make a query submittable (shard manifests, the campaign
+        service).
+        """
+        if callable(self.predicate) and PREDICATES.get(self.predicate_name) is not self.predicate:
+            raise ValueError(
+                "callable predicates do not serialise; register the callable "
+                "in PREDICATES and pass its name instead"
+            )
+        return {
+            "base": self.base.to_dict(),
+            "path": self.path,
+            "lo": self.lo,
+            "hi": self.hi,
+            "outer_axes": [
+                {
+                    "name": axis.name,
+                    "values": [jsonable_value(normalise_value(v)) for v in axis.values],
+                }
+                for axis in self.outer_axes
+            ],
+            "predicate": self.predicate_name,
+            "increasing": self.increasing,
+            "rel_tol": self.rel_tol,
+            "abs_tol": self.abs_tol,
+            "scale": self.scale,
+            "expansion_factor": self.expansion_factor,
+            "max_expansions": self.max_expansions,
+            "max_probes": self.max_probes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BoundaryQuery":
+        """Rebuild a query from :meth:`to_dict` output (validated as usual)."""
+        return cls(
+            base=ScenarioConfig.from_dict(data["base"]),
+            path=str(data["path"]),
+            lo=float(data["lo"]),
+            hi=float(data["hi"]),
+            outer_axes=tuple(
+                Axis(str(axis["name"]), tuple(axis["values"]))
+                for axis in data.get("outer_axes", ())
+            ),
+            predicate=str(data.get("predicate", "survived")),
+            increasing=bool(data.get("increasing", True)),
+            rel_tol=float(data.get("rel_tol", 0.05)),
+            abs_tol=float(data.get("abs_tol", 0.0)),
+            scale=str(data.get("scale", "linear")),
+            expansion_factor=float(data.get("expansion_factor", 4.0)),
+            max_expansions=int(data.get("max_expansions", 6)),
+            max_probes=int(data.get("max_probes", 48)),
+        )
+
+    def query_hash(self) -> str:
+        """Content hash of the search definition (the campaign id of a
+        submitted boundary query).
+
+        Unlike a sweep's :meth:`~repro.sweep.spec.SweepSpec.campaign_hash`
+        the probe set is not enumerable up front, so the hash covers the
+        canonical snapshot instead — two spellings that serialise identically
+        are the same campaign; any change to bracket, tolerance, predicate or
+        base scenario is a new one.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def cells(self) -> list[tuple[tuple[str, object], ...]]:
         """All outer-axis combinations, as ``((path, value), ...)`` tuples."""

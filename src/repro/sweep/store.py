@@ -37,6 +37,19 @@ supersedes a failure/timeout, and among equals the later source wins.  Legacy
 v1 records are upgraded (config re-composed, record re-keyed under the
 current content hash) on the way through, and the merged store is compacted
 so its own sidecar is rewritten.
+
+Filtered reads: :meth:`ResultStore.query` answers "the ok records of these
+scenario ids", "every timeout under the powersave governor" and similar
+questions through a second, read-optimised sidecar — the SQLite index of
+:mod:`repro.sweep.sqlindex` (``<store>.sqlite``), which maps scenario ids and
+searchable axis columns to byte offsets so only the *matching* JSONL lines
+are seek-loaded.  The sidecar is derived state, (re)built lazily on first
+query and kept consistent with ``append``/``compact``/``merge`` through
+mtime/length staleness checks; a query served through it counts a
+``store.idx_hit`` metric, a fallback linear scan counts ``store.idx_miss``.
+:func:`store_stats` serves store-level inventories (counts by status and
+schema version, bytes appended since the last compact) from the sidecars
+alone, without materialising a single record.
 """
 
 from __future__ import annotations
@@ -48,11 +61,19 @@ from collections import Counter
 from pathlib import Path
 from typing import Iterator, Mapping, Optional, Sequence, Union
 
+from ..obs.metrics import metrics_sidecar_path
 from ..obs.telemetry import DISABLED, Telemetry
 from ..sim.result import SimulationResult
+from . import sqlindex
 from .spec import SCHEMA_VERSION, ScenarioConfig
 
-__all__ = ["ResultStore", "merge_stores", "VOLATILE_RECORD_FIELDS", "strip_volatile"]
+__all__ = [
+    "ResultStore",
+    "merge_stores",
+    "store_stats",
+    "VOLATILE_RECORD_FIELDS",
+    "strip_volatile",
+]
 
 #: Index sidecar layout version.
 _INDEX_VERSION = 1
@@ -122,6 +143,7 @@ class ResultStore:
         self._entries: dict[str, Union[dict, _LazyRecord]] = {}
         self._skipped_lines = 0
         self._version_counts: Counter = Counter()
+        self._sqlite: "Optional[sqlindex.SqliteIndex]" = None
         if self.path.exists():
             load_t0 = time.perf_counter()
             via_index = self._load()
@@ -148,6 +170,24 @@ class ResultStore:
         """The sidecar written by :meth:`compact` (``<store>.idx.json``)."""
         return Path(str(self.path) + ".idx.json")
 
+    @property
+    def sqlite_path(self) -> Path:
+        """The read-optimised SQLite sidecar (``<store>.sqlite``)."""
+        return sqlindex.sqlite_index_path(self.path)
+
+    def sqlite_index(self) -> "Optional[sqlindex.SqliteIndex]":
+        """The lazily-created SQLite sidecar, or None without sqlite3.
+
+        Creating the object is cheap; the database itself is only built (or
+        refreshed) when a :meth:`query`/:meth:`count`/:meth:`stats` call
+        first touches it.
+        """
+        if not sqlindex.SQLITE_AVAILABLE:
+            return None
+        if self._sqlite is None:
+            self._sqlite = sqlindex.SqliteIndex(self.path, telemetry=self.telemetry)
+        return self._sqlite
+
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
@@ -155,10 +195,24 @@ class ResultStore:
         """Load the store; True when the idx sidecar served the open."""
         if self._load_from_index():
             return True
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                self._ingest_line(line)
+        self._scan_lines()
         return False
+
+    def _scan_lines(self) -> None:
+        """Parse every line of the data file, tolerating a torn tail.
+
+        Read in binary and decode per line: a writer interrupted (or still
+        in flight — concurrent read-while-append) can leave a trailing line
+        truncated mid-way through a multi-byte UTF-8 sequence, which
+        text-mode iteration would turn into a ``UnicodeDecodeError`` for the
+        whole open.  Decoding with replacement confines the damage to that
+        line, which then fails JSON parsing and is counted in
+        :attr:`skipped_lines` — the same torn-tail tolerance the trace
+        reader has.
+        """
+        with self.path.open("rb") as fh:
+            for raw in fh:
+                self._ingest_line(raw.decode("utf-8", errors="replace"))
 
     def _ingest_line(self, line: str) -> None:
         line = line.strip()
@@ -221,9 +275,7 @@ class ResultStore:
         self._entries.clear()
         self._version_counts.clear()
         self._skipped_lines = 0
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                self._ingest_line(line)
+        self._scan_lines()
         return True
 
     @staticmethod
@@ -524,6 +576,145 @@ class ResultStore:
         """Only the successful records — what aggregation consumes."""
         return [r for r in self.records() if r.get("status") == "ok"]
 
+    # ------------------------------------------------------------------
+    # Filtered reads (served by the SQLite sidecar; linear-scan fallback)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_filters(filters: Mapping) -> None:
+        for column in filters:
+            if column not in sqlindex.FILTER_COLUMNS:
+                raise ValueError(
+                    f"unknown store filter {column!r}; "
+                    f"known: {', '.join(sqlindex.FILTER_COLUMNS)}"
+                )
+
+    def query(
+        self,
+        *,
+        status: Optional[str] = None,
+        scenario_ids: Optional[Sequence[str]] = None,
+        limit: Optional[int] = None,
+        offset: int = 0,
+        **filters,
+    ) -> list[dict]:
+        """Matching records, seek-loaded via the SQLite sidecar.
+
+        ``filters`` are equality (or, for sequence values, membership)
+        constraints over :data:`~repro.sweep.sqlindex.FILTER_COLUMNS` — the
+        axis columns plus ``status``/``schema_version``.  ``scenario_ids``
+        restricts to an explicit id set; an *empty* sequence matches nothing
+        while ``None`` leaves the id unconstrained.  Results come back in
+        store (byte) order.
+
+        Only the matching lines are read from the JSONL — a sidecar-served
+        query never replays the store, and counts a ``store.idx_hit``
+        metric (a fallback linear scan counts ``store.idx_miss``).  Every
+        seek-loaded line's scenario id is verified; a mismatch rebuilds the
+        sidecar once and retries, so a sidecar can be stale or even deleted
+        but never wrong.
+        """
+        if status is not None:
+            filters["status"] = status
+        self._validate_filters(filters)
+        index = self.sqlite_index()
+        if index is not None:
+            try:
+                records = self._query_via_sqlite(index, filters, scenario_ids, limit, offset)
+            except sqlindex.SIDECAR_ERRORS:
+                records = None
+            if records is not None:
+                self.telemetry.metrics.counter("store.idx_hit")
+                return records
+        self.telemetry.metrics.counter("store.idx_miss")
+        return self._query_linear(filters, scenario_ids, limit, offset)
+
+    def _query_via_sqlite(
+        self, index, filters, scenario_ids, limit, offset
+    ) -> Optional[list[dict]]:
+        """Seek-load the sidecar's matches; None when it cannot be trusted."""
+        for attempt in range(2):
+            rows = index.query(
+                filters or None, scenario_ids=scenario_ids, limit=limit, offset=offset
+            )
+            if not rows:
+                return []
+            records: list[dict] = []
+            stale = False
+            try:
+                with self.path.open("rb") as fh:
+                    for scenario_id, byte_offset, _length in rows:
+                        record = self._read_at(fh, scenario_id, byte_offset)
+                        if record is None:
+                            stale = True
+                            break
+                        records.append(record)
+            except OSError:
+                stale = True
+            if not stale:
+                return records
+            if attempt == 0:
+                index.rebuild()
+        return None
+
+    def _query_linear(self, filters, scenario_ids, limit, offset) -> list[dict]:
+        """The no-sidecar path: materialise everything, filter in Python."""
+        wanted = (
+            {str(s) for s in scenario_ids} if scenario_ids is not None else None
+        )
+        out = []
+        for record in self.records():
+            if wanted is not None and record.get("scenario_id") not in wanted:
+                continue
+            if filters and not self._matches(record, filters):
+                continue
+            out.append(record)
+        if offset:
+            out = out[int(offset):]
+        if limit is not None:
+            out = out[: int(limit)]
+        return out
+
+    @staticmethod
+    def _matches(record: Mapping, filters: Mapping) -> bool:
+        columns = sqlindex._axis_columns(record)
+        columns["status"] = record.get("status")
+        columns["schema_version"] = int(record.get("schema_version", 1))
+        for key, value in filters.items():
+            have = columns.get(key)
+            if isinstance(value, (list, tuple, set, frozenset)):
+                if have not in value:
+                    return False
+            elif have != value:
+                return False
+        return True
+
+    def count(
+        self,
+        *,
+        status: Optional[str] = None,
+        scenario_ids: Optional[Sequence[str]] = None,
+        **filters,
+    ) -> int:
+        """Matching-record count — answered from the sidecar index alone."""
+        if status is not None:
+            filters["status"] = status
+        self._validate_filters(filters)
+        index = self.sqlite_index()
+        if index is not None:
+            try:
+                n = index.count(filters or None, scenario_ids=scenario_ids)
+            except sqlindex.SIDECAR_ERRORS:
+                n = None
+            if n is not None:
+                self.telemetry.metrics.counter("store.idx_hit")
+                return n
+        self.telemetry.metrics.counter("store.idx_miss")
+        return len(self._query_linear(filters, scenario_ids, None, 0))
+
+    def stats(self) -> dict:
+        """Store inventory (see :func:`store_stats`)."""
+        return store_stats(self.path, index=self.sqlite_index(), telemetry=self.telemetry)
+
     def result_for(self, key) -> Optional[SimulationResult]:
         """Rebuild the stored (decimated) SimulationResult, if series were kept."""
         record = self.get(key)
@@ -573,4 +764,83 @@ def merge_stores(
     stats["records"] = compact_stats["records"]
     stats["index_path"] = compact_stats["index_path"]
     stats["dest"] = str(store.path)
+    return stats
+
+
+def store_stats(
+    store_path: "str | os.PathLike",
+    index: "Optional[sqlindex.SqliteIndex]" = None,
+    telemetry: Optional[Telemetry] = None,
+) -> dict:
+    """A store's inventory, served from its sidecars without record reads.
+
+    Behind ``python -m repro store stats``: counts by status and schema
+    version come from the SQLite sidecar (built/refreshed on demand), the
+    compaction baseline from the idx sidecar, and the cache-hit ratio from
+    the ``<store>.metrics.json`` sidecar the last campaign run wrote —
+    no JSONL record is materialised on this path.  Only when sqlite3 is
+    unavailable does it fall back to opening the store (idx-sidecar-lazy,
+    so a compacted store still answers from index metadata).
+    """
+    path = Path(store_path)
+    telemetry = telemetry if telemetry is not None else DISABLED
+    exists = path.exists()
+    stats: dict = {
+        "path": str(path),
+        "exists": exists,
+        "bytes": path.stat().st_size if exists else 0,
+    }
+    by_status: Optional[dict] = None
+    by_version: Optional[dict] = None
+    idx: "Optional[sqlindex.SqliteIndex]" = None
+    if sqlindex.SQLITE_AVAILABLE:
+        try:
+            idx = index if index is not None else sqlindex.SqliteIndex(path, telemetry=telemetry)
+            idx.ensure()
+            by_status = idx.status_counts()
+            by_version = idx.version_counts()
+        except sqlindex.SIDECAR_ERRORS:
+            idx = None
+    if by_status is None:
+        # No sqlite3 (or a broken sidecar): fall back to the store itself.
+        store = ResultStore(path, telemetry=telemetry)
+        counts: Counter = Counter()
+        for entry in store._entries.values():
+            status = entry.status if isinstance(entry, _LazyRecord) else entry.get("status")
+            counts[status] += 1
+        by_status = dict(sorted(counts.items(), key=lambda kv: str(kv[0])))
+        by_version = store.version_counts()
+    stats["records"] = sum(by_status.values())
+    stats["by_status"] = by_status
+    stats["by_schema_version"] = by_version
+    # Compaction baseline: what the idx sidecar froze, vs what grew since.
+    compacted_bytes: Optional[int] = None
+    idx_json = Path(str(path) + ".idx.json")
+    try:
+        data = json.loads(idx_json.read_text(encoding="utf-8"))
+        if data.get("version") == _INDEX_VERSION and isinstance(data.get("data_bytes"), int):
+            compacted_bytes = data["data_bytes"]
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        pass
+    if compacted_bytes is not None:
+        stats["compacted_bytes"] = compacted_bytes
+        stats["appended_bytes_since_compact"] = max(0, stats["bytes"] - compacted_bytes)
+        if idx is not None:
+            try:
+                stats["appended_records_since_compact"] = idx.records_beyond(compacted_bytes)
+            except sqlindex.SIDECAR_ERRORS:
+                pass
+    # Cache economics of the most recent campaign against this store, from
+    # the metrics sidecar (cache_hits / executed counters).
+    try:
+        doc = json.loads(metrics_sidecar_path(path).read_text(encoding="utf-8"))
+        counters = doc.get("counters", {}) if isinstance(doc, dict) else {}
+        hits = int(counters.get("campaign.cache_hits", 0))
+        executed = int(counters.get("campaign.executed", 0))
+        if hits + executed > 0:
+            stats["cache_hits"] = hits
+            stats["executed"] = executed
+            stats["cache_hit_ratio"] = round(hits / (hits + executed), 4)
+    except (OSError, json.JSONDecodeError, ValueError, TypeError):
+        pass
     return stats

@@ -1,0 +1,226 @@
+"""Tests for the campaign service (repro.serve): config, submission parsing,
+and the HTTP service end to end on an ephemeral port."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.sweep.runner as runner_module
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServiceThread,
+    parse_submission,
+)
+from repro.sweep import build_boundary_preset, build_preset
+
+from test_sweep_adaptive import fake_executor  # noqa: F401 — shared helper
+
+
+def smoke_spec():
+    return build_preset("dist-smoke", duration_s=2.0)
+
+
+class TestServeConfig:
+    def test_base_url_is_normalised(self):
+        config = ServeConfig(base_url="http://localhost:9000/")
+        assert config.base_url == "http://localhost:9000"
+        assert config.url("/healthz") == "http://localhost:9000/healthz"
+        assert config.url("healthz") == "http://localhost:9000/healthz"
+
+    def test_for_host(self):
+        config = ServeConfig.for_host("10.0.0.5", 8080)
+        assert config.base_url == "http://10.0.0.5:8080"
+
+    def test_headers_carry_token_and_extras(self):
+        config = ServeConfig(
+            base_url="http://x",
+            api_token="sesame",
+            extra_headers={"X-Lab": "pv"},
+        )
+        headers = config.build_headers("application/json")
+        assert headers["Authorization"] == "Bearer sesame"
+        assert headers["Content-Type"] == "application/json"
+        assert headers["X-Lab"] == "pv"
+
+    def test_rejects_bad_timeouts(self):
+        with pytest.raises(ValueError):
+            ServeConfig(base_url="http://x", timeout_s=0)
+        with pytest.raises(ValueError):
+            ServeConfig(base_url="http://x", poll_interval_s=-1)
+
+
+class TestParseSubmission:
+    def test_preset_by_name(self):
+        kind, snapshot, campaign_id, ids = parse_submission({"preset": "dist-smoke"})
+        assert kind == "sweep"
+        assert campaign_id == build_preset("dist-smoke").campaign_hash()
+        assert len(ids) == 4
+
+    def test_explicit_sweep_spec(self):
+        spec = smoke_spec()
+        kind, snapshot, campaign_id, ids = parse_submission(
+            {"kind": "sweep", "spec": spec.to_dict()}
+        )
+        assert kind == "sweep"
+        assert campaign_id == spec.campaign_hash()
+        assert snapshot == spec.to_dict()
+
+    def test_bare_sweep_snapshot(self):
+        spec = smoke_spec()
+        kind, _snapshot, campaign_id, _ids = parse_submission(spec.to_dict())
+        assert kind == "sweep" and campaign_id == spec.campaign_hash()
+
+    def test_bare_boundary_snapshot_is_inferred(self):
+        query = build_boundary_preset("min-capacitance")
+        kind, _snapshot, campaign_id, ids = parse_submission(query.to_dict())
+        assert kind == "boundary"
+        assert campaign_id == query.query_hash()
+        assert ids == ()  # probes are discovered during the search
+
+    def test_junk_is_rejected(self):
+        with pytest.raises(ValueError):
+            parse_submission({"hello": "world"})
+        with pytest.raises(ValueError):
+            parse_submission({"preset": "no-such-preset"})
+        with pytest.raises(ValueError):
+            parse_submission([1, 2, 3])
+
+
+class TestServiceEndToEnd:
+    def test_sweep_campaign_lifecycle(self, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        spec = smoke_spec()
+        with ServiceThread(store_path=store_path, port=0, workers=1) as service:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            health = client.health()
+            assert health["status"] == "ok" and health["campaigns"] == 0
+
+            submitted = client.submit(spec)
+            assert submitted["created"] is True
+            campaign_id = submitted["id"]
+            assert campaign_id == spec.campaign_hash()
+
+            done = client.wait(campaign_id, timeout_s=180)
+            assert done["state"] == "done"
+            assert done["result"]["executed"] == 4
+            assert done["result"]["succeeded"] is True
+
+            # Identical resubmission: same campaign, nothing scheduled.
+            again = client.submit(spec)
+            assert again["id"] == campaign_id
+            assert again["created"] is False and again["cached"] is True
+            assert again["executed"] == 0
+            assert again["campaign"]["submissions"] == 2
+
+            # Records come back filtered, series stripped, sidecar-served.
+            records = client.records(campaign_id, status="ok")
+            assert len(records) == 4
+            assert all("series" not in r for r in records)
+            survivors = client.records(campaign_id, status="ok", survived=True)
+            assert 0 < len(survivors) <= 4
+
+            aggregate = client.aggregate(campaign_id)
+            assert aggregate["records"] == 4
+            assert aggregate["overview"]["scenarios"] == 4
+            assert len(aggregate["rows"]) == 4
+            assert set(aggregate["axes"]) == {"governor", "supply.weather"}
+            assert len(aggregate["axes"]["governor"]) == 2
+
+            # The SSE stream replays the campaign's phases then ends.
+            events = list(client.events(campaign_id, timeout_s=60))
+            names = [e["event"] for e in events]
+            phases = [
+                e["data"].get("attrs", {}).get("phase")
+                for e in events
+                if e["event"] == "campaign.phase"
+            ]
+            assert names[-1] == "end"
+            assert phases == ["expand", "cache-scan", "execute"]
+
+            # The store's idx counters are visible through /metrics and the
+            # filtered reads above were all sidecar hits.
+            counters = client.metrics()["counters"]
+            assert counters.get("store.idx_hit", 0) >= 3
+            assert "store.idx_miss" not in counters
+
+    def test_warm_resubmission_on_fresh_service_executes_nothing(self, tmp_path):
+        """A brand-new service over an existing store re-serves the campaign
+        from cache: the content-addressed records make the re-run free."""
+        store_path = tmp_path / "store.jsonl"
+        spec = smoke_spec()
+        with ServiceThread(store_path=store_path, port=0, workers=1) as service:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            done = client.submit_and_wait(spec, timeout_s=180)
+            assert done["result"]["executed"] == 4
+
+        with ServiceThread(store_path=store_path, port=0, workers=1) as service:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            submitted = client.submit(spec)
+            assert submitted["created"] is True  # new process, same content hash
+            assert submitted["id"] == spec.campaign_hash()
+            done = client.wait(submitted["id"], timeout_s=180)
+            assert done["state"] == "done"
+            assert done["result"]["executed"] == 0
+            assert done["result"]["cached"] == 4
+
+    def test_boundary_campaign_round_trip(self, tmp_path, monkeypatch):
+        def survived(config):
+            return config.capacitance_f >= 0.02
+
+        monkeypatch.setattr(runner_module, "_execute_payload", fake_executor(survived))
+        query = build_boundary_preset("min-capacitance")
+        with ServiceThread(store_path=tmp_path / "store.jsonl", port=0, workers=1) as service:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            submitted = client.submit(query)
+            assert submitted["id"] == query.query_hash()
+            done = client.wait(submitted["id"], timeout_s=180)
+            assert done["state"] == "done"
+            assert done["kind"] == "boundary"
+            assert done["result"]["succeeded"] is True
+            assert done["scenarios"] > 0  # probes registered as they ran
+            records = client.records(submitted["id"], status="ok")
+            assert 0 < len(records) == done["scenarios"]
+
+    def test_errors_and_auth(self, tmp_path):
+        with ServiceThread(
+            store_path=tmp_path / "store.jsonl", port=0, workers=1, token="sesame"
+        ) as service:
+            anonymous = ServeClient(ServeConfig(base_url=service.base_url))
+            assert anonymous.health()["status"] == "ok"  # healthz is exempt
+            with pytest.raises(ServeError) as err:
+                anonymous.campaigns()
+            assert err.value.status == 401
+
+            client = ServeClient(
+                ServeConfig(base_url=service.base_url, api_token="sesame")
+            )
+            assert client.campaigns() == []
+            with pytest.raises(ServeError) as err:
+                client.campaign("no-such-id")
+            assert err.value.status == 404
+            with pytest.raises(ServeError) as err:
+                client.submit({"nonsense": True})
+            assert err.value.status == 400
+
+            done = client.submit_and_wait(smoke_spec(), timeout_s=180)
+            with pytest.raises(ServeError) as err:
+                client.records(done["id"], bogus_filter="x")
+            assert err.value.status == 400
+
+    def test_plain_http_surface(self, tmp_path):
+        """The endpoints answer plain urllib GETs (the curl surface)."""
+        with ServiceThread(store_path=tmp_path / "store.jsonl", port=0, workers=1) as service:
+            with urllib.request.urlopen(f"{service.base_url}/healthz", timeout=30) as resp:
+                assert resp.status == 200
+                assert json.loads(resp.read())["status"] == "ok"
+            request = urllib.request.Request(f"{service.base_url}/no-such", method="GET")
+            try:
+                urllib.request.urlopen(request, timeout=30)
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+            else:
+                raise AssertionError("expected a 404")

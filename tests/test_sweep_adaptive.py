@@ -65,6 +65,44 @@ def capacitance_query(**overrides) -> BoundaryQuery:
     return BoundaryQuery(**defaults)
 
 
+class TestQuerySerialisation:
+    def test_to_dict_from_dict_round_trip(self):
+        query = capacitance_query()
+        snapshot = query.to_dict()
+        import json
+
+        rebuilt = BoundaryQuery.from_dict(json.loads(json.dumps(snapshot)))
+        assert rebuilt.to_dict() == snapshot
+        assert rebuilt.path == query.path
+        assert rebuilt.lo == query.lo and rebuilt.hi == query.hi
+        assert [a.name for a in rebuilt.outer_axes] == [
+            a.name for a in query.outer_axes
+        ]
+        assert rebuilt.predicate_name == query.predicate_name
+        assert rebuilt.scale == query.scale
+
+    def test_query_hash_is_stable_and_content_addressed(self):
+        a = capacitance_query()
+        b = capacitance_query()
+        assert a.query_hash() == b.query_hash()
+        assert len(a.query_hash()) == 16
+        c = capacitance_query(hi=90e-3)
+        assert c.query_hash() != a.query_hash()
+        # The hash survives a JSON round trip of the snapshot.
+        rebuilt = BoundaryQuery.from_dict(a.to_dict())
+        assert rebuilt.query_hash() == a.query_hash()
+
+    def test_preset_queries_serialise(self):
+        query = build_boundary_preset("min-capacitance")
+        rebuilt = BoundaryQuery.from_dict(query.to_dict())
+        assert rebuilt.query_hash() == query.query_hash()
+
+    def test_unregistered_callable_predicate_refuses_to_serialise(self):
+        query = capacitance_query(predicate=lambda record: True)
+        with pytest.raises(ValueError, match="predicate"):
+            query.to_dict()
+
+
 class TestQueryValidation:
     def test_rejects_inverted_bracket(self):
         with pytest.raises(ValueError, match="lo < hi"):

@@ -771,6 +771,130 @@ class TestExactEngine:
         assert "executed  : 0" in capsys.readouterr().out
 
 
+class TestStoreStats:
+    def _tiny_sweep_argv(self, store) -> list:
+        return [
+            "sweep",
+            "--governors",
+            "power-neutral",
+            "--weather",
+            "full_sun",
+            "--capacitance-mf",
+            "47",
+            "--duration",
+            "4",
+            "--workers",
+            "1",
+            "--quiet",
+            "--store",
+            str(store),
+        ]
+
+    def test_store_stats_parses(self):
+        args = build_parser().parse_args(["store", "stats", str(Path("x.jsonl"))])
+        assert args.action == "stats" and args.paths == ["x.jsonl"]
+
+    def test_store_stats_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "campaign.jsonl"
+        assert main(self._tiny_sweep_argv(store)) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "status_ok : 1" in out
+        # After a compact + append, the stats expose the compaction baseline.
+        assert main(["store", "compact", "--store", str(store)]) == 0
+        argv = self._tiny_sweep_argv(store)
+        argv[argv.index("--duration") + 1] = "5"  # a new cell
+        # --trace makes the run write the <store>.metrics.json sidecar the
+        # stats read their cache economics from.
+        assert main(argv + ["--trace", str(tmp_path / "trace")]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "appended_records_since_compact : 1" in out
+        assert "cache_hit_ratio" in out  # from the campaign metrics sidecar
+        assert "executed                       : 1" in out
+
+    def test_store_stats_missing_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="no store"):
+            main(["store", "stats", str(tmp_path / "absent.jsonl")])
+
+    def test_store_stats_rejects_multiple_paths(self, tmp_path):
+        with pytest.raises(SystemExit, match="at most one"):
+            main(["store", "stats", "a.jsonl", "b.jsonl"])
+
+
+class TestServeSubmitCli:
+    def test_serve_options_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--store", "x.jsonl", "--workers", "3", "--token", "t"]
+        )
+        assert args.port == 0
+        assert args.store == "x.jsonl"
+        assert args.workers == 3
+        assert args.token == "t"
+
+    def test_submit_options_parse(self):
+        args = build_parser().parse_args(
+            ["submit", "--preset", "dist-smoke", "--url", "http://h:1", "--watch"]
+        )
+        assert args.preset == "dist-smoke"
+        assert args.url == "http://h:1"
+        assert args.watch
+
+    def test_submit_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["submit", "--url", "http://127.0.0.1:1"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                [
+                    "submit",
+                    "--preset",
+                    "dist-smoke",
+                    "--spec",
+                    str(tmp_path / "x.json"),
+                    "--url",
+                    "http://127.0.0.1:1",
+                ]
+            )
+
+    def test_submit_against_live_service_caches_on_resubmit(self, tmp_path, capsys):
+        from repro.serve import ServiceThread
+
+        store = tmp_path / "serve.jsonl"
+        with ServiceThread(store_path=store, port=0, workers=1) as service:
+            argv = [
+                "submit",
+                "--url",
+                service.base_url,
+                "--preset",
+                "dist-smoke",
+                "--duration",
+                "2",
+                "--timeout",
+                "180",
+            ]
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "accepted" in out
+            assert "executed  : 4" in out
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            assert "cache hit" in out and "0 new simulations" in out
+
+    def test_submit_unreachable_service_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot reach campaign service"):
+            main(
+                [
+                    "submit",
+                    "--url",
+                    "http://127.0.0.1:9",  # discard port: nothing listens
+                    "--preset",
+                    "dist-smoke",
+                ]
+            )
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro_shows_usage(self):
         src = Path(__file__).resolve().parent.parent / "src"

@@ -91,6 +91,28 @@ class TestPersistence:
         again = ResultStore(path)
         assert again.is_complete(c)
 
+    def test_torn_multibyte_utf8_tail_is_tolerated(self, tmp_path):
+        """A reader racing an in-flight append can see a line cut mid-way
+        through a multi-byte UTF-8 sequence; the store must open (skipping
+        the torn line), not die in the decoder."""
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        store.append(make_record(a))
+        torn = '{"scenario_id": "deadbeef", "error": "café'.encode("utf-8")
+        with path.open("ab") as fh:
+            fh.write(torn[:-1])  # cut inside the 2-byte é sequence
+
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.skipped_lines == 1
+        assert reloaded.is_complete(a)
+        # The writer finishing its line later must not corrupt the file for
+        # subsequent appends/readers.
+        b = ScenarioConfig(governor="power-neutral", seed=2)
+        reloaded.append(make_record(b))
+        assert ResultStore(path).is_complete(b)
+
     def test_record_without_id_rejected(self, tmp_path):
         store = ResultStore(tmp_path / "store.jsonl")
         try:
