@@ -81,12 +81,15 @@ from .analysis.reporting import format_kv, format_series, format_table
 from .obs import (
     DISABLED,
     ProgressRenderer,
+    ResourceSampler,
     Telemetry,
     build_report,
     follow_trace,
     format_event,
     format_report,
     load_events,
+    metrics_sidecar_path,
+    run_top,
 )
 from .core.governor import PowerNeutralGovernor
 from .core.parameters import PAPER_TUNED_PARAMETERS
@@ -502,6 +505,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--quiet", action="store_true", help="suppress the startup banner"
     )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write the service's own trace (request spans, resource gauges) "
+            "to per-process files in DIR; watch live with 'obs top DIR'"
+        ),
+    )
+    serve.add_argument(
+        "--resource-interval",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help=(
+            "seconds between process-resource samples (RSS, CPU, fds, "
+            "threads) and metrics flushes (default: %(default)s)"
+        ),
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -577,7 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs = sub.add_parser(
         "obs",
-        help="inspect campaign telemetry traces (live tail, aggregated report)",
+        help="inspect campaign telemetry traces (live tail, report, top view)",
         description=(
             "Read the JSONL trace events a campaign wrote under --trace DIR. "
             "'tail' replays the merged event stream as one line per event "
@@ -585,10 +607,16 @@ def build_parser() -> argparse.ArgumentParser:
             "mid-campaign — e.g. shard workers starting up). 'report' "
             "aggregates the stream: per-phase wall-time breakdown with "
             "coverage, cache-hit ratio, slowest scenarios, per-worker "
-            "utilisation and queue-wait statistics, counter totals."
+            "utilisation and queue-wait statistics, counter totals, HTTP "
+            "route latencies and resource usage when present. 'top' is the "
+            "live view: a refreshing terminal frame of throughput, request "
+            "p50/p95 per route, in-flight requests and RSS/CPU, fed by the "
+            "same polling the SSE endpoint uses."
         ),
     )
-    obs.add_argument("action", choices=("tail", "report"), help="what to do with the trace")
+    obs.add_argument(
+        "action", choices=("tail", "report", "top"), help="what to do with the trace"
+    )
     obs.add_argument(
         "trace",
         metavar="TRACE",
@@ -604,7 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.5,
         metavar="S",
-        help="tail --follow poll interval in seconds (default: %(default)s)",
+        help="tail --follow / top refresh interval in seconds (default: %(default)s)",
     )
     obs.add_argument(
         "--slowest",
@@ -615,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument(
         "--json", action="store_true", help="report: emit the report document as JSON"
+    )
+    obs.add_argument(
+        "--once",
+        action="store_true",
+        help="top: print a single frame and exit (no screen clearing)",
     )
 
     return parser
@@ -1071,7 +1104,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
         mode += ", exact engine"
     title = f"preset {args.preset!r}" if args.preset else "sweep"
     print(f"{title}: {len(spec)} scenarios over {mode} -> {store_path}")
-    report = _maybe_profile(args, lambda: runner.run(spec))
+    # The sampler no-ops without --trace; with it, RSS/CPU gauges land in the
+    # trace and the metrics sidecar is re-flushed (atomically) every few
+    # seconds, so a killed run still leaves a readable snapshot behind.
+    with ResourceSampler(telemetry, flush_path=metrics_sidecar_path(store_path)):
+        report = _maybe_profile(args, lambda: runner.run(spec))
     _finish_telemetry(telemetry, store)
 
     print()
@@ -1231,7 +1268,8 @@ def _command_boundary(args: argparse.Namespace) -> int:
     search = sweep_module.BoundarySearch(
         query, runner, progress=renderer.round, telemetry=telemetry
     )
-    report = _maybe_profile(args, search.run)
+    with ResourceSampler(telemetry, flush_path=metrics_sidecar_path(store.path)):
+        report = _maybe_profile(args, search.run)
     _finish_telemetry(telemetry, store)
 
     print()
@@ -1385,7 +1423,8 @@ def _command_shard(args: argparse.Namespace) -> int:
         fast=plan.engine == "fast",
         telemetry=telemetry,
     )
-    report = _maybe_profile(args, lambda: runner.run(configs))
+    with ResourceSampler(telemetry, flush_path=metrics_sidecar_path(store.path)):
+        report = _maybe_profile(args, lambda: runner.run(configs))
     _finish_telemetry(telemetry, store)
     print()
     print(
@@ -1457,6 +1496,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         fast=not args.exact,
         token=args.token,
         quiet=args.quiet,
+        trace_dir=args.trace,
+        resource_interval_s=args.resource_interval,
     )
 
 
@@ -1547,6 +1588,12 @@ def _command_submit(args: argparse.Namespace) -> int:
 
 
 def _command_obs(args: argparse.Namespace) -> int:
+    if args.action == "top":
+        if args.interval <= 0:
+            raise SystemExit("--interval must be positive")
+        if not Path(args.trace).exists():
+            raise SystemExit(f"no trace at {args.trace}")
+        return run_top(args.trace, interval_s=args.interval, once=args.once)
     if args.action == "report":
         try:
             events = load_events(args.trace)

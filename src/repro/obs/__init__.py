@@ -41,8 +41,16 @@ Quick start::
 then ``python -m repro obs report trace/``.
 """
 
-from .metrics import NULL_METRICS, MetricsRegistry, NullMetrics, metrics_sidecar_path
+from .metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+    metrics_sidecar_path,
+    series_key,
+    split_series_key,
+)
 from .progress import ProgressRenderer, format_scenario_line
+from .promexport import PROMETHEUS_CONTENT_TYPE, render_prometheus, sanitise_metric_name
 from .report import (
     TracePoller,
     build_report,
@@ -52,7 +60,16 @@ from .report import (
     load_events,
     trace_files,
 )
+from .resource import ResourceSampler, read_resource_sample
 from .telemetry import DISABLED, Telemetry
+from .timeseries import (
+    DEFAULT_LATENCY_BOUNDARIES,
+    Histogram,
+    RollingWindow,
+    exact_quantile,
+    log_bucket_boundaries,
+)
+from .top import TopView, run_top
 from .tracer import NULL_TRACER, NullTracer, Tracer, trace_file_name
 
 __all__ = [
@@ -64,6 +81,18 @@ __all__ = [
     "NullMetrics",
     "NULL_METRICS",
     "metrics_sidecar_path",
+    "series_key",
+    "split_series_key",
+    "Histogram",
+    "RollingWindow",
+    "log_bucket_boundaries",
+    "exact_quantile",
+    "DEFAULT_LATENCY_BOUNDARIES",
+    "render_prometheus",
+    "sanitise_metric_name",
+    "PROMETHEUS_CONTENT_TYPE",
+    "ResourceSampler",
+    "read_resource_sample",
     "Telemetry",
     "DISABLED",
     "ProgressRenderer",
@@ -75,4 +104,6 @@ __all__ = [
     "format_event",
     "follow_trace",
     "TracePoller",
+    "TopView",
+    "run_top",
 ]

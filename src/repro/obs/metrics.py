@@ -21,13 +21,53 @@ import os
 import time
 from collections import Counter
 from pathlib import Path
+from typing import Iterable, Optional
 
-__all__ = ["MetricsRegistry", "NullMetrics", "NULL_METRICS", "metrics_sidecar_path"]
+from .timeseries import NULL_HISTOGRAM, Histogram, NullHistogram
+
+__all__ = [
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "metrics_sidecar_path",
+    "series_key",
+    "split_series_key",
+]
 
 
 def metrics_sidecar_path(store_path: "str | os.PathLike") -> Path:
     """Where the metrics roll-up lives, relative to a result store."""
     return Path(str(store_path) + ".metrics.json")
+
+
+def series_key(name: str, labels: Optional[dict] = None) -> str:
+    """The registry key of a (possibly labelled) series.
+
+    Label-less series key on their bare name; labelled series append a
+    Prometheus-shaped, **sorted** label set — ``name{a="1",b="x"}`` — so the
+    same labels in any spelling order collapse to one series, and the
+    Prometheus exposition writer can emit the key almost verbatim.
+    """
+    if not labels:
+        return name
+    rendered = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return f"{name}{{{rendered}}}"
+
+
+def split_series_key(key: str) -> "tuple[str, dict]":
+    """Invert :func:`series_key`: ``name{a="1"}`` -> ``("name", {"a": "1"})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, body = key[:-1].partition("{")
+    labels: dict = {}
+    for part in body.split('",'):
+        if not part:
+            continue
+        label, _, value = part.partition('="')
+        labels[label] = value.rstrip('"')
+    return name, labels
 
 
 class _Timer:
@@ -70,13 +110,35 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         #: name -> [count, total_s, min_s, max_s]
         self._timers: dict[str, list] = {}
+        #: series key (name or name{labels}) -> Histogram
+        self._histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str, value: float = 1) -> None:
-        self._counters[name] += value
+    def counter(self, name: str, value: float = 1, labels: Optional[dict] = None) -> None:
+        self._counters[series_key(name, labels)] += value
 
     def gauge(self, name: str, value: float) -> None:
         self._gauges[name] = value
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[dict] = None,
+        boundaries: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        """The named (and optionally labelled) histogram, created on first use.
+
+        Repeated calls with the same name/labels return the same
+        :class:`~repro.obs.timeseries.Histogram`, so call sites just
+        ``registry.histogram("http_request_duration_seconds",
+        labels={...}).observe(dur)``.  ``boundaries`` only applies on
+        creation; all series of one name should share it so they merge.
+        """
+        key = series_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(boundaries=boundaries)
+        return histogram
 
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration sample into a timer series."""
@@ -106,15 +168,31 @@ class MetricsRegistry:
                 }
                 for name, series in sorted(self._timers.items())
             },
+            "histograms": {
+                key: histogram.to_dict()
+                for key, histogram in sorted(self._histograms.items())
+            },
         }
 
     def write(self, path: "str | os.PathLike") -> Path:
-        """Persist the roll-up as JSON (atomically — write beside, rename)."""
+        """Persist the roll-up as JSON, atomically.
+
+        The document is serialised to a per-process temp file first and
+        renamed into place (``os.replace``), so however the writer dies —
+        mid-``dumps``, mid-``write`` — a reader only ever sees the previous
+        complete snapshot, never a torn one.  The pid in the temp name keeps
+        concurrent writers (the run's end-of-command write racing the
+        resource sampler's periodic flush) from trampling each other's
+        half-written bytes.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
-        os.replace(tmp, path)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path
 
 
@@ -123,7 +201,7 @@ class NullMetrics:
 
     enabled = False
 
-    def counter(self, name: str, value: float = 1) -> None:
+    def counter(self, name: str, value: float = 1, labels: Optional[dict] = None) -> None:
         return None
 
     def gauge(self, name: str, value: float) -> None:
@@ -135,8 +213,16 @@ class NullMetrics:
     def timer(self, name: str) -> _NullTimer:
         return _NULL_TIMER
 
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[dict] = None,
+        boundaries: Optional[Iterable[float]] = None,
+    ) -> NullHistogram:
+        return NULL_HISTOGRAM
+
     def to_dict(self) -> dict:
-        return {"counters": {}, "gauges": {}, "timers": {}}
+        return {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
 
 
 #: The shared disabled registry.

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
 from ..analysis.reporting import format_kv, format_table
+from .timeseries import exact_quantile
 
 __all__ = [
     "trace_files",
@@ -293,7 +294,78 @@ def build_report(events: Sequence[dict], slowest: int = 10) -> dict:
     report["rounds"] = sum(
         1 for e in events if e.get("kind") == "span" and e.get("name") == "boundary.round"
     )
+
+    # --- service requests and process resources (present when traced) ---
+    http = _http_section(events)
+    if http:
+        report["http"] = http
+    resources = _resource_section(events)
+    if resources:
+        report["resource"] = resources
     return report
+
+
+def _http_section(events: Sequence[dict]) -> dict:
+    """Per-route request-latency quantiles from ``http.request`` spans."""
+    by_route: dict[str, dict] = {}
+    for event in events:
+        if event.get("kind") != "span" or event.get("name") != "http.request":
+            continue
+        attrs = event.get("attrs", {})
+        route = str(attrs.get("route", "?"))
+        entry = by_route.setdefault(route, {"durations": [], "statuses": {}})
+        entry["durations"].append(float(event.get("dur_s", 0.0)))
+        status = str(attrs.get("status", "?"))
+        entry["statuses"][status] = entry["statuses"].get(status, 0) + 1
+    section: dict = {}
+    for route, entry in sorted(by_route.items()):
+        durations = entry["durations"]
+        section[route] = {
+            "requests": len(durations),
+            "mean_s": round(sum(durations) / len(durations), 6),
+            "p50_s": round(exact_quantile(durations, 0.50), 6),
+            "p95_s": round(exact_quantile(durations, 0.95), 6),
+            "p99_s": round(exact_quantile(durations, 0.99), 6),
+            "max_s": round(max(durations), 6),
+            "statuses": {k: entry["statuses"][k] for k in sorted(entry["statuses"])},
+        }
+    return section
+
+
+#: The sampler gauges the resource section aggregates, with their units.
+_RESOURCE_GAUGES = (
+    ("process.rss_bytes", "rss_bytes"),
+    ("process.cpu_percent", "cpu_percent"),
+    ("process.open_fds", "open_fds"),
+    ("process.threads", "threads"),
+)
+
+
+def _resource_section(events: Sequence[dict]) -> dict:
+    """Peak/mean/last of each ``process.*`` gauge the resource sampler wrote."""
+    series: dict[str, list] = {}
+    for event in events:
+        if event.get("kind") != "gauge":
+            continue
+        name = str(event.get("name", ""))
+        if name.startswith("process."):
+            series.setdefault(name, []).append(float(event.get("value", 0.0)))
+    if not series:
+        return {}
+    section: dict = {}
+    for gauge, key in _RESOURCE_GAUGES:
+        values = series.get(gauge)
+        if values:
+            section[key] = {
+                "peak": round(max(values), 6),
+                "mean": round(sum(values) / len(values), 6),
+                "last": round(values[-1], 6),
+            }
+    cpu_seconds = series.get("process.cpu_seconds")
+    if cpu_seconds:
+        section["cpu_seconds"] = round(cpu_seconds[-1], 6)
+    section["samples"] = max(len(v) for v in series.values())
+    return section
 
 
 # ----------------------------------------------------------------------
@@ -357,6 +429,38 @@ def format_report(report: dict, title: str = "Campaign telemetry") -> str:
     slowest = report.get("slowest") or []
     if slowest:
         blocks.append(format_table(slowest, title=f"Slowest {len(slowest)} scenario(s)"))
+
+    http = report.get("http") or {}
+    if http:
+        rows = [
+            {
+                "route": route,
+                "requests": entry["requests"],
+                "p50_s": entry["p50_s"],
+                "p95_s": entry["p95_s"],
+                "p99_s": entry["p99_s"],
+                "max_s": entry["max_s"],
+            }
+            for route, entry in http.items()
+        ]
+        blocks.append(format_table(rows, title="HTTP requests (latency per route)"))
+
+    resources = report.get("resource") or {}
+    if resources:
+        flat: dict = {}
+        for key, value in resources.items():
+            if isinstance(value, dict):
+                rounded = {
+                    k: round(v / 2**20, 1) if key == "rss_bytes" else v
+                    for k, v in value.items()
+                }
+                unit = "rss_mib" if key == "rss_bytes" else key
+                flat[unit] = (
+                    f"peak {rounded['peak']}  mean {rounded['mean']}  last {rounded['last']}"
+                )
+            else:
+                flat[key] = value
+        blocks.append(format_kv(flat, title="Resource usage (sampler)"))
 
     counters = report.get("counters") or {}
     if counters:

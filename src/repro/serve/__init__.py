@@ -9,10 +9,15 @@ campaign machinery in a stdlib-asyncio HTTP service so campaigns are
   dedupe to one campaign), a FIFO worker task serialising execution over
   the shared :class:`~repro.sweep.store.ResultStore`;
 * :mod:`repro.serve.handlers`  — the transport-free route table
-  (``/campaigns``, ``/records``, ``/aggregate``, ``/events``, ``/metrics``);
+  (``/campaigns``, ``/records``, ``/aggregate``, ``/events``, ``/metrics``
+  — JSON or Prometheus text — plus the ``/healthz`` / ``/readyz`` probes);
 * :mod:`repro.serve.app`       — the asyncio HTTP/SSE front end
-  (:class:`CampaignService`, the test-friendly :class:`ServiceThread`, and
-  the ``python -m repro serve`` entry point :func:`run_service`);
+  (:class:`CampaignService` with request-latency histograms, a resource
+  sampler and graceful SIGINT/SIGTERM drain; the test-friendly
+  :class:`ServiceThread`; the ``python -m repro serve`` entry point
+  :func:`run_service`);
+* :mod:`repro.serve.dashboard` — the dependency-free single-page live
+  dashboard behind ``GET /dashboard``;
 * :mod:`repro.serve.config` / :mod:`repro.serve.client` — the frozen
   :class:`ServeConfig` and the stdlib :class:`ServeClient` behind
   ``python -m repro submit`` and :mod:`examples.submit_campaign`.
@@ -32,15 +37,18 @@ Quick start::
     python -m repro submit --preset dist-smoke --watch
 """
 
-from .app import CampaignService, ServiceThread, run_service
+from .app import CampaignService, ServiceThread, route_template, run_service
 from .client import ServeClient, ServeError
 from .config import DEFAULT_HOST, DEFAULT_PORT, ServeConfig
+from .dashboard import render_dashboard
 from .scheduler import Campaign, CampaignScheduler, parse_submission
 
 __all__ = [
     "CampaignService",
     "ServiceThread",
     "run_service",
+    "route_template",
+    "render_dashboard",
     "ServeClient",
     "ServeError",
     "ServeConfig",

@@ -23,20 +23,24 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
+import time
 import urllib.parse
 from pathlib import Path
 from typing import Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.report import TracePoller
+from ..obs.resource import ResourceSampler
 from ..obs.telemetry import Telemetry
-from ..obs.tracer import NULL_TRACER
+from ..obs.timeseries import DEFAULT_LATENCY_BOUNDARIES
+from ..obs.tracer import NULL_TRACER, Tracer, trace_file_name
 from ..sweep.store import ResultStore
-from .handlers import Api, EventStreamResponse, JsonResponse, Request
+from .handlers import Api, EventStreamResponse, JsonResponse, Request, TextResponse
 from .scheduler import TERMINAL_STATES, CampaignScheduler
 
-__all__ = ["CampaignService", "ServiceThread", "run_service"]
+__all__ = ["CampaignService", "ServiceThread", "run_service", "route_template"]
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 _MAX_HEADER_LINES = 100
@@ -50,7 +54,31 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: The fixed route table, for request-metric labels.
+_KNOWN_ROUTES = ("/healthz", "/readyz", "/metrics", "/dashboard", "/campaigns")
+_CAMPAIGN_SUBROUTES = ("events", "records", "aggregate")
+
+
+def route_template(path: str) -> str:
+    """Collapse a request path to its route template for metric labels.
+
+    ``/campaigns/abc123/records`` becomes ``/campaigns/{id}/records`` and
+    anything off the route table becomes ``/other``, so request histograms
+    keep a small, fixed label cardinality no matter what clients throw at
+    the socket.
+    """
+    parts = [p for p in path.split("/") if p]
+    if parts[:1] == ["campaigns"] and len(parts) >= 2:
+        if len(parts) == 2:
+            return "/campaigns/{id}"
+        if len(parts) == 3 and parts[2] in _CAMPAIGN_SUBROUTES:
+            return f"/campaigns/{{id}}/{parts[2]}"
+        return "/other"
+    normalised = "/" + "/".join(parts)
+    return normalised if normalised in _KNOWN_ROUTES else "/other"
 
 
 class CampaignService:
@@ -68,6 +96,8 @@ class CampaignService:
         fast: bool = True,
         token: Optional[str] = None,
         sse_poll_s: float = 0.25,
+        trace_dir: "str | Path | None" = None,
+        resource_interval_s: float = 5.0,
     ):
         self.store_path = Path(store_path)
         self.data_dir = Path(data_dir) if data_dir is not None else Path(str(store_path) + ".serve")
@@ -79,11 +109,17 @@ class CampaignService:
         self.fast = fast
         self.token = token
         self.sse_poll_s = float(sse_poll_s)
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.resource_interval_s = float(resource_interval_s)
         self.store: Optional[ResultStore] = None
         self.scheduler: Optional[CampaignScheduler] = None
         self.api: Optional[Api] = None
         self.metrics: Optional[MetricsRegistry] = None
+        self.telemetry: Optional[Telemetry] = None
+        self._sampler: Optional[ResourceSampler] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._shutting_down: Optional[asyncio.Event] = None
+        self._in_flight = 0
 
     @property
     def base_url(self) -> str:
@@ -96,10 +132,20 @@ class CampaignService:
         The store is opened with a metrics-only telemetry bundle so every
         sidecar-served query counts into ``store.idx_hit``/``store.idx_miss``
         — the counters ``GET /metrics`` exposes and the serve-smoke CI job
-        asserts on.
+        asserts on.  With ``trace_dir`` set the service also writes its own
+        trace file (request spans, resource gauges); either way a resource
+        sampler feeds the registry and flushes it to
+        ``<data_dir>/metrics.json`` so the service's own snapshot survives a
+        kill.
         """
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.metrics = MetricsRegistry()
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            tracer = Tracer(self.trace_dir / trace_file_name("serve"), worker="serve")
+        else:
+            tracer = NULL_TRACER
+        self.telemetry = Telemetry(tracer, self.metrics, trace_dir=self.trace_dir)
         self.store = ResultStore(self.store_path, telemetry=Telemetry(NULL_TRACER, self.metrics))
         self.scheduler = CampaignScheduler(
             self.store,
@@ -111,6 +157,12 @@ class CampaignService:
         )
         await self.scheduler.start()
         self.api = Api(self.scheduler, self.store, metrics=self.metrics, token=self.token)
+        self._shutting_down = asyncio.Event()
+        self._sampler = ResourceSampler(
+            self.telemetry,
+            interval_s=self.resource_interval_s,
+            flush_path=self.data_dir / "metrics.json",
+        ).start()
         self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
@@ -121,6 +173,8 @@ class CampaignService:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._shutting_down is not None:
+            self._shutting_down.set()  # any open SSE stream closes promptly
         if self._server is not None:
             self._server.close()
             try:
@@ -130,11 +184,35 @@ class CampaignService:
             self._server = None
         if self.scheduler is not None:
             await self.scheduler.stop()
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
+        if self.telemetry is not None:
+            self.telemetry.close()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new work, finish in-flight, close streams.
+
+        The ordered teardown behind SIGINT/SIGTERM: open SSE streams are
+        told to close (a terminal ``event: shutdown`` frame), the scheduler
+        drains — queued campaigns fail fast, the running one completes and
+        keeps its results — and only then does the listener come down.
+        Safe to call more than once.
+        """
+        if self._shutting_down is not None:
+            self._shutting_down.set()
+        if self.scheduler is not None:
+            await self.scheduler.drain()
+        await self.stop()
 
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        started = time.perf_counter()
+        method, route, status = "?", "/other", 0
+        self._in_flight += 1
+        self.metrics.gauge("http_requests_in_flight", self._in_flight)
         try:
             request = await self._read_request(reader)
             if request is None:
@@ -142,23 +220,52 @@ class CampaignService:
             if isinstance(request, JsonResponse):  # parse-level error
                 response = request
             else:
+                method = request.method
+                route = route_template(request.path)
                 try:
                     response = await self.api.dispatch(request)
                 except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the server
                     response = JsonResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
             if isinstance(response, EventStreamResponse):
+                status = 200
                 await self._write_event_stream(writer, response.campaign)
             else:
-                self._write_json(writer, response)
+                status = response.status
+                if isinstance(response, TextResponse):
+                    self._write_text(writer, response)
+                else:
+                    self._write_json(writer, response)
                 await writer.drain()
         except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-request/stream
         finally:
+            self._in_flight -= 1
+            self.metrics.gauge("http_requests_in_flight", self._in_flight)
+            self._record_request(method, route, status, time.perf_counter() - started)
             try:
                 writer.close()
                 await writer.wait_closed()
             except Exception:  # noqa: BLE001
                 pass
+
+    def _record_request(self, method: str, route: str, status: int, dur_s: float) -> None:
+        """The request-timing middleware: one histogram point per request.
+
+        Routes are *templated* (``/campaigns/{id}/records``) so label
+        cardinality stays bounded; SSE streams count under their own route,
+        where their stream-lifetime "latency" cannot skew the API routes.
+        """
+        labels = {"route": route, "method": method, "status": str(status)}
+        self.metrics.counter("http_requests_total", labels=labels)
+        self.metrics.histogram(
+            "http_request_duration_seconds",
+            labels=labels,
+            boundaries=DEFAULT_LATENCY_BOUNDARIES,
+        ).observe(dur_s)
+        if self.telemetry is not None:
+            self.telemetry.tracer.span_event(
+                "http.request", dur_s, route=route, method=method, status=status
+            )
 
     @staticmethod
     async def _read_request(reader: asyncio.StreamReader):
@@ -189,6 +296,17 @@ class CampaignService:
         return Request(
             method=method.upper(), path=split.path, query=query, headers=headers, body=body
         )
+
+    @staticmethod
+    def _write_text(writer: asyncio.StreamWriter, response: TextResponse) -> None:
+        body = response.body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {response.status} {_STATUS_TEXT.get(response.status, 'OK')}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
 
     @staticmethod
     def _write_json(writer: asyncio.StreamWriter, response: JsonResponse) -> None:
@@ -231,6 +349,14 @@ class CampaignService:
             if campaign.state in TERMINAL_STATES:
                 payload = json.dumps(campaign.to_dict(), separators=(",", ":"), default=str)
                 writer.write(f"event: end\ndata: {payload}\n\n".encode("utf-8"))
+                await writer.drain()
+                return
+            if self._shutting_down is not None and self._shutting_down.is_set():
+                # Graceful shutdown: tell the subscriber explicitly instead
+                # of hanging up mid-stream (the campaign may still be QUEUED
+                # and about to be failed by the drain).
+                payload = json.dumps(campaign.to_dict(), separators=(",", ":"), default=str)
+                writer.write(f"event: shutdown\ndata: {payload}\n\n".encode("utf-8"))
                 await writer.drain()
                 return
             await asyncio.sleep(self.sse_poll_s)
@@ -310,6 +436,17 @@ class ServiceThread:
         if self._thread is not None:
             self._thread.join(timeout_s)
 
+    def shutdown(self, timeout_s: float = 15.0) -> None:
+        """Graceful variant of :meth:`stop`: drain, then tear down."""
+        loop = self._loop
+        if loop is not None and self.service is not None and not loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(self.service.shutdown(), loop)
+            try:
+                future.result(timeout_s)
+            except Exception:  # noqa: BLE001 — fall through to the hard stop
+                pass
+        self.stop(timeout_s)
+
     def __enter__(self) -> "ServiceThread":
         return self.start()
 
@@ -328,8 +465,16 @@ def run_service(
     fast: bool = True,
     token: Optional[str] = None,
     quiet: bool = False,
+    trace_dir: "str | Path | None" = None,
+    resource_interval_s: float = 5.0,
 ) -> int:
-    """Blocking entry point behind ``python -m repro serve`` (Ctrl-C stops)."""
+    """Blocking entry point behind ``python -m repro serve``.
+
+    SIGINT/SIGTERM trigger a *graceful* shutdown: the listener stops
+    accepting, open SSE streams get their terminal frame, the running
+    campaign (if any) completes, queued ones fail fast — then the process
+    exits.  A second signal during the drain aborts immediately.
+    """
     service = CampaignService(
         store_path,
         data_dir=data_dir,
@@ -340,6 +485,8 @@ def run_service(
         series_samples=series_samples,
         fast=fast,
         token=token,
+        trace_dir=trace_dir,
+        resource_interval_s=resource_interval_s,
     )
 
     async def _main():
@@ -351,14 +498,41 @@ def run_service(
             print(f"  store    : {service.store_path} ({len(service.store)} records)")
             print(f"  data dir : {service.data_dir}")
             print(f"  submit   : POST {service.base_url}/campaigns", flush=True)
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled_signals = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_requested.set)
+                handled_signals.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / platforms without signal support
+        serve_task = asyncio.create_task(service.serve_forever())
+        stop_task = asyncio.create_task(stop_requested.wait())
         try:
-            await service.serve_forever()
+            done, _ = await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stop_task in done and not quiet:
+                print("campaign service draining (signal again to abort) ...", flush=True)
+            # Let a second signal fall through as KeyboardInterrupt mid-drain.
+            for sig in handled_signals:
+                loop.remove_signal_handler(sig)
+            serve_task.cancel()
+            try:
+                await serve_task
+            except asyncio.CancelledError:
+                pass
+            await service.shutdown()
         finally:
+            stop_task.cancel()
             await service.stop()
 
     try:
         asyncio.run(_main())
-    except KeyboardInterrupt:
         if not quiet:
             print("campaign service stopped")
+    except KeyboardInterrupt:
+        if not quiet:
+            print("campaign service stopped (aborted)")
     return 0

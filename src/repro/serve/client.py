@@ -90,14 +90,48 @@ class ServeClient:
                 f"cannot reach campaign service at {self.config.base_url}: {exc.reason}"
             ) from None
 
+    def _request_text(self, path: str, timeout_s: Optional[float] = None) -> str:
+        """GET a non-JSON endpoint (Prometheus exposition, dashboard HTML)."""
+        req = urllib.request.Request(
+            self.config.url(path), headers=self.config.build_headers(), method="GET"
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout_s or self.config.timeout_s) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServeError(
+                f"GET {path} failed: HTTP {exc.code}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach campaign service at {self.config.base_url}: {exc.reason}"
+            ) from None
+
     # ------------------------------------------------------------------
     # Plain endpoints
     # ------------------------------------------------------------------
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def ready(self) -> dict:
+        """The readiness document; a 503 still returns its checks payload."""
+        try:
+            return self._request("GET", "/readyz")
+        except ServeError as exc:
+            if exc.status == 503 and isinstance(exc.payload, dict):
+                return exc.payload
+            raise
+
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The service registry in Prometheus text exposition format."""
+        return self._request_text("/metrics?format=prometheus")
+
+    def dashboard(self) -> str:
+        """The live-dashboard HTML page (one self-contained document)."""
+        return self._request_text("/dashboard")
 
     def campaigns(self) -> list[dict]:
         return self._request("GET", "/campaigns").get("campaigns", [])
@@ -161,7 +195,8 @@ class ServeClient:
 
         Blocks on the live stream and ends after the server's final
         ``end`` event (which is also yielded, carrying the terminal
-        campaign document).
+        campaign document) — or its ``shutdown`` event when the service is
+        draining for exit.
         """
         req = urllib.request.Request(
             self.config.url(f"/campaigns/{campaign_id}/events"),
@@ -186,7 +221,7 @@ class ServeClient:
                         except json.JSONDecodeError:
                             data = "\n".join(data_lines)
                         yield {"event": name or "message", "data": data}
-                        if (name or "message") == "end":
+                        if (name or "message") in ("end", "shutdown"):
                             return
                         name, data_lines = None, []
         except urllib.error.HTTPError as exc:

@@ -10,7 +10,10 @@ without opening a port.
 Endpoints::
 
     GET  /healthz                     liveness + store/campaign counts
+    GET  /readyz                      readiness (scheduler alive, store open)
     GET  /metrics                     service metrics (incl. store.idx_* counters)
+    GET  /metrics?format=prometheus   the same registry as Prometheus text 0.0.4
+    GET  /dashboard                   self-contained live HTML dashboard
     GET  /campaigns                   all campaigns (newest last)
     POST /campaigns                   submit a SweepSpec/BoundaryQuery snapshot
     GET  /campaigns/{id}              status + result summary
@@ -25,12 +28,14 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..obs.promexport import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..sweep.aggregate import axis_summary, campaign_overview, records_table
 from ..sweep.sqlindex import FILTER_COLUMNS
 from ..sweep.store import ResultStore
+from .dashboard import render_dashboard
 from .scheduler import Campaign, CampaignScheduler
 
-__all__ = ["Request", "JsonResponse", "EventStreamResponse", "Api"]
+__all__ = ["Request", "JsonResponse", "TextResponse", "EventStreamResponse", "Api"]
 
 #: Query parameters that are *not* record filters.
 _PAGING_PARAMS = ("limit", "offset")
@@ -81,6 +86,15 @@ class JsonResponse:
 
 
 @dataclass
+class TextResponse:
+    """A non-JSON body: the Prometheus exposition, the dashboard HTML."""
+
+    status: int
+    body: str
+    content_type: str = "text/plain; charset=utf-8"
+
+
+@dataclass
 class EventStreamResponse:
     """Marker telling the app layer to pump this campaign's SSE stream."""
 
@@ -108,10 +122,12 @@ class Api:
             return True
         return request.headers.get("authorization", "") == f"Bearer {self.token}"
 
-    async def dispatch(self, request: Request) -> Union[JsonResponse, EventStreamResponse]:
+    async def dispatch(
+        self, request: Request
+    ) -> Union[JsonResponse, TextResponse, EventStreamResponse]:
         """Route one request; every error becomes a JSON error payload."""
         parts = [p for p in request.path.split("/") if p]
-        if request.path != "/healthz" and not self._authorised(request):
+        if request.path not in ("/healthz", "/readyz") and not self._authorised(request):
             return JsonResponse(401, {"error": "unauthorised (missing or wrong bearer token)"})
         if request.path == "/healthz" and request.method == "GET":
             return JsonResponse(
@@ -122,9 +138,20 @@ class Api:
                     "records": len(self.store),
                 },
             )
+        if request.path == "/readyz" and request.method == "GET":
+            return self._readyz()
         if request.path == "/metrics" and request.method == "GET":
+            if request.query.get("format") == "prometheus":
+                body = render_prometheus(self.metrics) if self.metrics is not None else ""
+                return TextResponse(200, body, content_type=PROMETHEUS_CONTENT_TYPE)
             payload = self.metrics.to_dict() if self.metrics is not None else {}
             return JsonResponse(200, payload)
+        if request.path == "/dashboard" and request.method == "GET":
+            return TextResponse(
+                200,
+                render_dashboard(self.scheduler, self.store),
+                content_type="text/html; charset=utf-8",
+            )
         if parts[:1] == ["campaigns"]:
             if len(parts) == 1:
                 if request.method == "GET":
@@ -148,6 +175,29 @@ class Api:
         return JsonResponse(404, {"error": f"no such endpoint: {request.method} {request.path}"})
 
     # ------------------------------------------------------------------
+    def _readyz(self) -> JsonResponse:
+        """Readiness: can this service *do work right now*?
+
+        Distinct from ``/healthz`` liveness — a service whose campaign
+        worker has died or that is draining for shutdown still answers
+        health checks but must be taken out of rotation.  503 carries the
+        failing check by name so an operator reads the reason straight off
+        ``curl``.
+        """
+        checks = {
+            "scheduler_alive": self.scheduler.alive,
+            "not_draining": not self.scheduler.draining,
+        }
+        try:
+            checks["store_open"] = len(self.store) >= 0
+        except Exception:  # noqa: BLE001 — an unreadable store is the finding
+            checks["store_open"] = False
+        ready = all(checks.values())
+        return JsonResponse(
+            200 if ready else 503,
+            {"status": "ready" if ready else "unavailable", "checks": checks},
+        )
+
     def _list_campaigns(self) -> JsonResponse:
         campaigns = [c.to_dict() for c in self.scheduler.list()]
         return JsonResponse(200, {"count": len(campaigns), "campaigns": campaigns})
@@ -158,6 +208,8 @@ class Api:
             campaign, created = self.scheduler.submit(payload)
         except ValueError as exc:
             return JsonResponse(400, {"error": str(exc)})
+        except RuntimeError as exc:  # draining: shutting down, try elsewhere
+            return JsonResponse(503, {"error": str(exc)})
         doc = {
             "id": campaign.id,
             "created": created,

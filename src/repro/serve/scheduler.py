@@ -156,8 +156,14 @@ class CampaignScheduler:
         self.series_samples = int(series_samples)
         self.fast = bool(fast)
         self.campaigns: dict[str, Campaign] = {}
+        self.draining = False
         self._queue: "asyncio.Queue[Campaign]" = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
+
+    @property
+    def alive(self) -> bool:
+        """True while the worker task exists and has not died/finished."""
+        return self._task is not None and not self._task.done()
 
     # ------------------------------------------------------------------
     # Submission / lookup (event-loop side)
@@ -170,6 +176,8 @@ class CampaignScheduler:
         queueing anything.  Only a *failed* campaign is re-queued on
         resubmission (that is the retry path).
         """
+        if self.draining:
+            raise RuntimeError("service is draining; not accepting campaigns")
         kind, snapshot, campaign_id, scenario_ids = parse_submission(payload)
         existing = self.campaigns.get(campaign_id)
         if existing is not None and existing.state != FAILED:
@@ -200,6 +208,28 @@ class CampaignScheduler:
     async def start(self) -> None:
         if self._task is None:
             self._task = asyncio.create_task(self._worker(), name="campaign-worker")
+
+    async def drain(self, poll_s: float = 0.05) -> None:
+        """Graceful shutdown: refuse new work, fail the queue, finish in-flight.
+
+        Queued campaigns never started, so they fail honestly instead of
+        silently vanishing; the one RUNNING campaign (if any) is allowed to
+        complete — its records are already streaming into the shared store
+        and abandoning it would waste the work.  Safe to call twice.
+        """
+        self.draining = True
+        while True:
+            try:
+                campaign = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if campaign.state == QUEUED:
+                campaign.state = FAILED
+                campaign.error = "service shut down before campaign started"
+                campaign.finished_t = time.time()
+            self._queue.task_done()
+        while any(c.state == RUNNING for c in self.campaigns.values()):
+            await asyncio.sleep(poll_s)
 
     async def stop(self) -> None:
         if self._task is not None:

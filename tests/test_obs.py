@@ -415,3 +415,416 @@ class TestEventFormatting:
         counter = {"t": 10.0, "kind": "counter", "name": "campaign.cache_hits",
                    "worker": "main", "value": 2, "attrs": {}}
         assert "value=2" in format_event(counter, t0=10.0)
+
+
+# ----------------------------------------------------------------------
+# PR 8: histograms, rolling windows, Prometheus exposition, resource
+# sampling, atomic sidecar writes, the http/resource report sections and
+# the `obs top` live view.
+# ----------------------------------------------------------------------
+
+import math  # noqa: E402
+
+from repro.obs import (  # noqa: E402
+    DEFAULT_LATENCY_BOUNDARIES,
+    Histogram,
+    ResourceSampler,
+    RollingWindow,
+    TopView,
+    exact_quantile,
+    log_bucket_boundaries,
+    render_prometheus,
+    sanitise_metric_name,
+    series_key,
+    split_series_key,
+)
+from repro.obs.resource import read_resource_sample  # noqa: E402
+from repro.obs.timeseries import NULL_HISTOGRAM  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).parent / "data"
+
+
+class TestHistogram:
+    def test_bucket_placement_and_totals(self):
+        h = Histogram(boundaries=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.observe(value)
+        assert h.counts == [1, 2, 1, 1]  # last bucket is the overflow
+        assert h.count == 5
+        assert h.min == 0.005 and h.max == 5.0
+        assert h.sum == pytest.approx(5.605)
+        assert h.mean == pytest.approx(5.605 / 5)
+
+    def test_boundary_values_fall_in_lower_bucket(self):
+        h = Histogram(boundaries=(0.01, 0.1))
+        h.observe(0.01)  # exactly on an edge: the le=0.01 bucket (Prometheus style)
+        assert h.counts == [1, 0, 0]
+
+    def test_quantiles_are_clamped_to_observed_range(self):
+        h = Histogram(boundaries=(0.01, 0.1, 1.0, 10.0))
+        samples = [0.02, 0.03, 0.04, 0.05, 0.06, 0.5]
+        for value in samples:
+            h.observe(value)
+        for q in (0.5, 0.95, 0.99, 1.0):
+            estimate = h.quantile(q)
+            assert h.min <= estimate <= h.max
+        assert h.quantile(0.99) <= max(samples)
+        # and the estimate is in the right bucket's neighbourhood
+        assert h.quantile(0.5) == pytest.approx(exact_quantile(samples, 0.5), abs=0.1)
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        h = Histogram()
+        assert h.quantile(0.95) is None
+        assert h.quantiles() == {"p50": None, "p95": None, "p99": None}
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_adds_bucketwise(self):
+        a = Histogram(boundaries=(0.1, 1.0))
+        b = Histogram(boundaries=(0.1, 1.0))
+        for value in (0.05, 0.5):
+            a.observe(value)
+        for value in (0.5, 5.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.counts == [1, 2, 1]
+        assert a.count == 4
+        assert a.min == 0.05 and a.max == 5.0
+        assert a.sum == pytest.approx(6.05)
+
+    def test_merge_rejects_different_boundaries(self):
+        with pytest.raises(ValueError, match="boundaries"):
+            Histogram(boundaries=(0.1, 1.0)).merge(Histogram(boundaries=(0.2, 2.0)))
+
+    def test_roundtrip_through_dict(self):
+        h = Histogram(boundaries=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 2.0):
+            h.observe(value)
+        doc = h.to_dict()
+        assert doc["quantiles"]["p95"] <= doc["max"]
+        clone = Histogram.from_dict(doc)
+        assert clone.counts == h.counts
+        assert clone.count == h.count
+        assert clone.min == h.min and clone.max == h.max
+        assert clone.quantile(0.95) == h.quantile(0.95)
+        # a merged clone doubles the counts — fixed boundaries make this safe
+        clone.merge(Histogram.from_dict(doc))
+        assert clone.count == 2 * h.count
+
+    def test_cumulative_buckets_end_at_inf(self):
+        h = Histogram(boundaries=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.observe(value)
+        pairs = h.cumulative_buckets()
+        assert pairs == [(0.1, 1), (1.0, 2), (math.inf, 3)]
+        cumulative = [count for _, count in pairs]
+        assert cumulative == sorted(cumulative)  # monotone, Prometheus-style
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(boundaries=())
+        with pytest.raises(ValueError):
+            Histogram(boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            log_bucket_boundaries(0.0, 1.0)
+
+    def test_log_boundaries_cover_range(self):
+        bounds = log_bucket_boundaries(1e-4, 60.0, 3)
+        assert bounds[0] == pytest.approx(1e-4)
+        assert bounds[-1] >= 60.0
+        assert bounds == DEFAULT_LATENCY_BOUNDARIES
+        ratios = [b2 / b1 for b1, b2 in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** (1 / 3), rel=1e-3) for r in ratios)
+
+    def test_null_histogram_is_inert(self):
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_HISTOGRAM.quantile(0.95) is None
+        assert NULL_HISTOGRAM.to_dict() == {}
+
+
+class TestRollingWindow:
+    def test_evicts_by_age(self):
+        window = RollingWindow(window_s=10.0)
+        window.observe(1.0, t=100.0)
+        window.observe(2.0, t=105.0)
+        window.observe(3.0, t=112.0)  # pushes t=100 out of [102, 112]
+        assert window.values(now=112.0) == [2.0, 3.0]
+        assert len(window) == 2
+
+    def test_evicts_by_count(self):
+        window = RollingWindow(window_s=1e6, max_samples=3)
+        for i in range(5):
+            window.observe(float(i), t=float(i))
+        assert window.values(now=4.0) == [2.0, 3.0, 4.0]
+
+    def test_quantile_mean_rate(self):
+        window = RollingWindow(window_s=60.0)
+        for i in range(11):
+            window.observe(float(i), t=float(i))
+        assert window.quantile(0.5, now=10.0) == 5.0
+        assert window.mean(now=10.0) == 5.0
+        assert window.last() == 10.0
+        assert window.rate(now=10.0) == pytest.approx(11 / 10.0)
+        assert RollingWindow().rate(now=0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingWindow(window_s=0)
+        with pytest.raises(ValueError):
+            RollingWindow(max_samples=0)
+
+
+class TestSeriesKeys:
+    def test_roundtrip(self):
+        key = series_key("http_requests_total", {"route": "/campaigns", "status": "200"})
+        assert key == 'http_requests_total{route="/campaigns",status="200"}'
+        name, labels = split_series_key(key)
+        assert name == "http_requests_total"
+        assert labels == {"route": "/campaigns", "status": "200"}
+
+    def test_unlabelled_passthrough(self):
+        assert series_key("plain") == "plain"
+        assert split_series_key("plain") == ("plain", {})
+
+    def test_labels_are_sorted(self):
+        assert series_key("m", {"b": 2, "a": 1}) == 'm{a="1",b="2"}'
+
+
+def build_reference_registry() -> MetricsRegistry:
+    """A deterministic registry covering every series type (golden input)."""
+    registry = MetricsRegistry()
+    registry.counter("store.idx_hit", 7)
+    registry.counter("http_requests_total", 3, labels={"route": "/healthz", "status": "200"})
+    registry.gauge("process_resident_memory_bytes", 64 * 2**20)
+    registry.observe("campaign.run_s", 1.25)
+    registry.observe("campaign.run_s", 0.75)
+    histogram = registry.histogram(
+        "http_request_duration_seconds",
+        labels={"route": "/healthz"},
+        boundaries=(0.001, 0.01, 0.1, 1.0),
+    )
+    for value in (0.0005, 0.005, 0.005, 0.05, 2.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusExport:
+    def test_matches_golden_file(self):
+        rendered = render_prometheus(build_reference_registry())
+        golden = (GOLDEN_DIR / "metrics_prometheus.golden.txt").read_text(encoding="utf-8")
+        assert rendered == golden
+
+    def test_renders_from_sidecar_document(self, tmp_path):
+        """A metrics.json read back from disk renders identically."""
+        registry = build_reference_registry()
+        path = registry.write(tmp_path / "m.json")
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert render_prometheus(doc) == render_prometheus(registry)
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus(build_reference_registry())
+        buckets = [
+            line for line in text.splitlines()
+            if line.startswith("http_request_duration_seconds_bucket")
+        ]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in buckets[-1]
+        assert counts[-1] == 5.0
+        assert "http_request_duration_seconds_sum" in text
+        assert 'http_request_duration_seconds_count{route="/healthz"} 5' in text
+
+    def test_name_sanitisation(self):
+        assert sanitise_metric_name("store.idx_hit") == "store_idx_hit"
+        assert sanitise_metric_name("9lives") == "_9lives"
+        assert sanitise_metric_name("a-b c") == "a_b_c"
+        text = render_prometheus(build_reference_registry())
+        assert "store_idx_hit 7" in text
+        assert "store.idx_hit" not in text
+
+    def test_timer_renders_as_summary(self):
+        text = render_prometheus(build_reference_registry())
+        assert "# TYPE campaign_run_s summary" in text
+        assert "campaign_run_s_count 2" in text
+        assert "campaign_run_s_sum 2" in text
+        assert "campaign_run_s_min 0.75" in text
+        assert "campaign_run_s_max 1.25" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestResourceSampler:
+    def test_disabled_telemetry_is_a_true_noop(self, tmp_path):
+        flush = tmp_path / "metrics.json"
+        sampler = ResourceSampler(DISABLED, interval_s=0.01, flush_path=flush)
+        sampler.start()
+        assert not sampler.running
+        assert sampler.sample_once() == {}
+        sampler.stop()
+        assert sampler.samples == 0
+        assert not flush.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_samples_land_in_tracer_and_registry(self, tmp_path):
+        telemetry = Telemetry.create(tmp_path / "trace", worker="t")
+        sampler = ResourceSampler(telemetry, interval_s=0.02)
+        with sampler:
+            time.sleep(0.1)
+        assert sampler.samples >= 2
+        assert not sampler.running
+        doc = telemetry.metrics.to_dict()
+        assert doc["gauges"]["process_resident_memory_bytes"] > 0
+        assert doc["gauges"]["process_resident_memory_peak_bytes"] >= (
+            doc["gauges"]["process_resident_memory_bytes"]
+        )
+        assert doc["gauges"]["process_resource_samples"] == sampler.samples
+        assert "process_sample_rss_bytes" in doc["histograms"]
+        telemetry.close()
+        gauges = [e for e in load_events(tmp_path / "trace") if e["kind"] == "gauge"]
+        names = {e["name"] for e in gauges}
+        assert {"process.rss_bytes", "process.cpu_seconds"} <= names
+
+    def test_periodic_flush_writes_sidecar(self, tmp_path):
+        telemetry = Telemetry.create(tmp_path / "trace", worker="t")
+        flush = tmp_path / "metrics.json"
+        sampler = ResourceSampler(telemetry, interval_s=0.02, flush_path=flush)
+        with sampler:
+            time.sleep(0.06)
+        telemetry.close()
+        doc = json.loads(flush.read_text(encoding="utf-8"))
+        assert doc["gauges"]["process_resource_samples"] >= 1
+        assert not list(tmp_path.glob("*.tmp"))  # atomic writes leave no debris
+
+    def test_read_resource_sample_shape(self):
+        sample = read_resource_sample()
+        assert sample["rss_bytes"] > 0
+        assert sample["cpu_seconds"] >= 0
+        assert sample["threads"] >= 1
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(DISABLED, interval_s=0)
+
+
+class TestAtomicSidecarWrite:
+    def test_mid_write_crash_leaves_previous_snapshot(self, tmp_path, monkeypatch):
+        """A crash between tmp-write and rename must not corrupt the sidecar."""
+        registry = MetricsRegistry()
+        registry.counter("survivors", 1)
+        path = tmp_path / "metrics.json"
+        registry.write(path)
+        before = path.read_text(encoding="utf-8")
+
+        registry.counter("survivors", 1)
+        original_write_text = Path.write_text
+
+        def torn_write(self, content, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                original_write_text(self, content[: len(content) // 2], *args, **kwargs)
+                raise OSError("simulated crash mid-write")
+            return original_write_text(self, content, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "write_text", torn_write)
+        with pytest.raises(OSError):
+            registry.write(path)
+        monkeypatch.undo()
+
+        # The previous snapshot is untouched and still valid JSON.
+        assert path.read_text(encoding="utf-8") == before
+        assert json.loads(before)["counters"]["survivors"] == 1
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_concurrent_writers_use_distinct_tmp_names(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c", 1)
+        path = tmp_path / "m.json"
+        # pid-unique tmp names mean two processes never clobber each other's
+        # staging file; here we just assert the name carries the pid.
+        tmp_name = f"{path.name}.{os.getpid()}.tmp"
+        registry.write(path)
+        assert json.loads(path.read_text(encoding="utf-8"))["counters"]["c"] == 1
+        assert not (tmp_path / tmp_name).exists()
+
+
+class TestHttpAndResourceReportSections:
+    @staticmethod
+    def _synthetic_events():
+        events = []
+        for i, dur in enumerate((0.01, 0.02, 0.03, 0.5)):
+            events.append(
+                {"t": 100.0 + i, "kind": "span", "name": "http.request",
+                 "worker": "serve", "dur_s": dur,
+                 "attrs": {"route": "/campaigns", "method": "GET", "status": 200}}
+            )
+        events.append(
+            {"t": 105.0, "kind": "span", "name": "http.request", "worker": "serve",
+             "dur_s": 0.001, "attrs": {"route": "/healthz", "method": "GET", "status": 200}}
+        )
+        for i, rss in enumerate((50e6, 60e6, 55e6)):
+            events.append(
+                {"t": 100.0 + i, "kind": "gauge", "name": "process.rss_bytes",
+                 "worker": "serve", "value": rss, "attrs": {}}
+            )
+        events.append(
+            {"t": 102.0, "kind": "gauge", "name": "process.cpu_percent",
+             "worker": "serve", "value": 12.5, "attrs": {}}
+        )
+        return events
+
+    def test_report_grows_http_and_resource_sections(self):
+        report = build_report(self._synthetic_events())
+        http = report["http"]
+        assert http["/campaigns"]["requests"] == 4
+        assert http["/campaigns"]["p95_s"] <= http["/campaigns"]["max_s"] == 0.5
+        assert http["/campaigns"]["statuses"] == {"200": 4}
+        assert http["/healthz"]["requests"] == 1
+        resource = report["resource"]
+        assert resource["rss_bytes"]["peak"] == 60e6
+        assert resource["rss_bytes"]["mean"] == pytest.approx(55e6)
+        assert resource["rss_bytes"]["last"] == 55e6
+        assert resource["cpu_percent"]["peak"] == 12.5
+        assert resource["samples"] == 3
+
+    def test_text_renderer_includes_new_blocks(self):
+        text = format_report(build_report(self._synthetic_events()))
+        assert "HTTP requests" in text
+        assert "/campaigns" in text
+        assert "Resource usage" in text
+        assert "rss_mib" in text
+
+    def test_sections_absent_without_matching_events(self):
+        report = build_report([
+            {"t": 1.0, "kind": "span", "name": "scenario", "worker": "m",
+             "dur_s": 0.1, "attrs": {}}
+        ])
+        assert "http" not in report
+        assert "resource" not in report
+
+
+class TestTopView:
+    def test_folds_events_and_renders(self, tmp_path):
+        view = TopView(tmp_path, window_s=60.0)
+        view.update(TestHttpAndResourceReportSections._synthetic_events())
+        frame = view.render(now=106.0)
+        assert "/campaigns" in frame
+        assert "rss 52.5 MiB" in frame  # last gauge value, 55e6 bytes
+        assert "cpu 12.5%" in frame
+        assert "events/s" in frame
+
+    def test_cli_once_frame(self, tmp_path, capsys):
+        trace = tmp_path / "trace"
+        telemetry = Telemetry.create(trace, worker="main")
+        telemetry.tracer.span_event("scenario", 0.25, status="ok")
+        telemetry.tracer.gauge("process.rss_bytes", 12345678)
+        telemetry.close()
+        assert main(["obs", "top", str(trace), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro obs top" in out
+        assert "scenarios/s" in out
+        assert "\x1b[2J" not in out  # --once never clears the screen
+
+    def test_cli_top_missing_trace(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "top", str(tmp_path / "nope")])

@@ -224,3 +224,181 @@ class TestServiceEndToEnd:
                 assert exc.code == 404
             else:
                 raise AssertionError("expected a 404")
+
+
+# ----------------------------------------------------------------------
+# PR 8: service-level observability — probes, Prometheus exposition, the
+# dashboard, request histograms and graceful shutdown.
+# ----------------------------------------------------------------------
+
+import asyncio  # noqa: E402
+import time  # noqa: E402
+
+from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE  # noqa: E402
+from repro.serve import CampaignScheduler, route_template  # noqa: E402
+from repro.sweep import ResultStore  # noqa: E402
+
+
+class TestRouteTemplating:
+    def test_known_routes_pass_through(self):
+        for path in ("/healthz", "/readyz", "/metrics", "/dashboard", "/campaigns"):
+            assert route_template(path) == path
+
+    def test_campaign_ids_collapse(self):
+        assert route_template("/campaigns/abc123") == "/campaigns/{id}"
+        assert route_template("/campaigns/abc123/records") == "/campaigns/{id}/records"
+        assert route_template("/campaigns/x/events") == "/campaigns/{id}/events"
+        assert route_template("/campaigns/x/aggregate") == "/campaigns/{id}/aggregate"
+
+    def test_junk_is_bounded(self):
+        # unknown paths share one label: request metrics stay bounded however
+        # creative the client
+        assert route_template("/etc/passwd") == "/other"
+        assert route_template("/campaigns/x/nonsense") == "/other"
+        assert route_template("/") == "/other"
+
+
+class TestObservabilityEndpoints:
+    def test_probes_prometheus_and_dashboard(self, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        spec = smoke_spec()
+        with ServiceThread(
+            store_path=store_path, port=0, workers=1,
+            trace_dir=tmp_path / "trace", resource_interval_s=0.2,
+        ) as service:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            ready = client.ready()
+            assert ready["status"] == "ready"
+            assert ready["checks"] == {
+                "scheduler_alive": True, "not_draining": True, "store_open": True,
+            }
+
+            done = client.submit_and_wait(spec, timeout_s=180)
+            campaign_id = done["id"]
+
+            # --- Prometheus exposition over the live registry -------------
+            with urllib.request.urlopen(
+                f"{service.base_url}/metrics?format=prometheus", timeout=30
+            ) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                text = resp.read().decode("utf-8")
+            assert "# TYPE http_request_duration_seconds histogram" in text
+            assert "http_request_duration_seconds_bucket" in text
+            assert "process_resident_memory_bytes" in text
+            assert "store_appends" in text  # dots sanitised to underscores
+
+            # cumulative buckets per series: monotone, ending at +Inf == count
+            series: dict = {}
+            for line in text.splitlines():
+                if line.startswith("http_request_duration_seconds_bucket"):
+                    labels, value = line.rsplit(" ", 1)
+                    key = labels.split('route="', 1)[1].split('"', 1)[0]
+                    series.setdefault(key, []).append(float(value))
+            assert series  # at least one route measured
+            for route, counts in series.items():
+                assert counts == sorted(counts), route
+
+            # --- request histograms: p95 can never exceed the max observed
+            metrics = client.metrics()
+            http_series = {
+                key: doc for key, doc in metrics["histograms"].items()
+                if key.startswith("http_request_duration_seconds")
+            }
+            assert http_series
+            assert any('route="/campaigns/{id}"' in key for key in http_series)
+            for key, doc in http_series.items():
+                assert doc["quantiles"]["p95"] <= doc["max"], key
+            assert metrics["gauges"]["http_requests_in_flight"] >= 0
+            assert metrics["gauges"]["process_resident_memory_bytes"] > 0
+
+            # --- the dashboard references live campaign data --------------
+            html = client.dashboard()
+            assert html.lstrip().startswith("<!DOCTYPE html>")
+            assert campaign_id in html  # server-side bootstrap carries it
+            assert str(store_path) in html
+            assert "/campaigns" in html and "EventSource" in html
+
+            # the service's own trace carries the request spans obs top reads
+            assert list((tmp_path / "trace").glob("trace-serve-*.jsonl"))
+
+    def test_service_metrics_survive_in_data_dir_snapshot(self, tmp_path):
+        """The sampler's periodic flush leaves a readable registry snapshot
+        even if the process is killed (here: just read it mid-run)."""
+        with ServiceThread(
+            store_path=tmp_path / "store.jsonl", data_dir=tmp_path / "data",
+            port=0, workers=1, resource_interval_s=0.1,
+        ) as service:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            client.health()
+            deadline = time.monotonic() + 10
+            snapshot = tmp_path / "data" / "metrics.json"
+            while not snapshot.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            doc = json.loads(snapshot.read_text(encoding="utf-8"))
+            assert doc["gauges"]["process_resource_samples"] >= 1
+
+    def test_readyz_exempt_from_auth(self, tmp_path):
+        with ServiceThread(
+            store_path=tmp_path / "store.jsonl", port=0, workers=1, token="sesame"
+        ) as service:
+            anonymous = ServeClient(ServeConfig(base_url=service.base_url))
+            assert anonymous.ready()["status"] == "ready"
+            with pytest.raises(ServeError) as err:
+                anonymous.dashboard()  # the dashboard itself is protected
+            assert err.value.status == 401
+
+
+class TestGracefulShutdown:
+    def test_drain_fails_queued_refuses_new_and_readyz_reflects_it(self, tmp_path):
+        async def scenario():
+            store = ResultStore(tmp_path / "s.jsonl")
+            scheduler = CampaignScheduler(store, tmp_path / "data")
+            assert scheduler.alive is False  # worker not started yet
+            campaign, created = scheduler.submit({"preset": "dist-smoke"})
+            assert created and campaign.state == "queued"
+            await scheduler.drain()
+            assert scheduler.draining is True
+            assert campaign.state == "failed"
+            assert "before campaign started" in campaign.error
+            with pytest.raises(RuntimeError, match="draining"):
+                scheduler.submit({"preset": "dist-smoke"})
+
+        asyncio.run(scenario())
+
+    def test_shutdown_completes_running_campaign(self, tmp_path):
+        """shutdown() lets the in-flight campaign finish: its records are in
+        the shared store, so abandoning it would waste paid-for work."""
+        spec = smoke_spec()
+        service = ServiceThread(store_path=tmp_path / "store.jsonl", port=0, workers=1)
+        service.start()
+        try:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            submitted = client.submit(spec)
+            campaign_id = submitted["id"]
+            # shut down while the campaign runs; drain must let it finish
+            service.shutdown(timeout_s=180)
+            campaign = service.service.scheduler.get(campaign_id)
+            assert campaign.state == "done"
+            assert campaign.result["executed"] == 4
+            with pytest.raises(ServeError):
+                client.health()  # the listener is gone
+        finally:
+            service.stop()
+
+    def test_submit_during_drain_is_503(self, tmp_path):
+        service = ServiceThread(store_path=tmp_path / "store.jsonl", port=0, workers=1)
+        service.start()
+        try:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+            # flip the scheduler into draining without tearing the listener
+            # down, then exercise the HTTP surface of the drain
+            service.service.scheduler.draining = True
+            with pytest.raises(ServeError) as err:
+                client.submit(smoke_spec())
+            assert err.value.status == 503
+            ready = client.ready()
+            assert ready["status"] == "unavailable"
+            assert ready["checks"]["not_draining"] is False
+        finally:
+            service.stop()
