@@ -524,6 +524,17 @@ def build_parser() -> argparse.ArgumentParser:
             "threads) and metrics flushes (default: %(default)s)"
         ),
     )
+    serve.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-campaign wall-clock budget: a campaign running longer is "
+            "failed (scheduler.watchdog_timeout) so it cannot wedge the "
+            "queue (default: no limit)"
+        ),
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -1498,6 +1509,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         quiet=args.quiet,
         trace_dir=args.trace,
         resource_interval_s=args.resource_interval,
+        watchdog_s=args.watchdog,
     )
 
 

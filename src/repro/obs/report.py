@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
 
 from ..analysis.reporting import format_kv, format_table
 from .timeseries import exact_quantile
@@ -302,7 +302,44 @@ def build_report(events: Sequence[dict], slowest: int = 10) -> dict:
     resources = _resource_section(events)
     if resources:
         report["resource"] = resources
+    fault_section = _faults_section(report["counters"], events)
+    if fault_section:
+        report["faults"] = fault_section
     return report
+
+
+#: Counter prefixes belonging to the fault-injection / self-healing stack.
+_FAULT_COUNTER_PREFIXES = ("faults.", "retry.", "dist.respawn", "dist.worker_deaths", "scheduler.")
+
+
+def _faults_section(counters: Mapping, events: Sequence[dict]) -> dict:
+    """Chaos observability: injected faults, retries, respawns, restarts.
+
+    Present only when a run actually injected/retried/respawned something —
+    a clean run's report is unchanged.  ``retry.exhausted`` is always
+    stamped (zero included) once the section exists, because "no retries
+    ran out" is the assertion chaos gates make.
+    """
+    section = {
+        name: value
+        for name, value in counters.items()
+        if str(name).startswith(_FAULT_COUNTER_PREFIXES)
+    }
+    if not section:
+        return {}
+    section.setdefault("faults.injected", 0)
+    section.setdefault("retry.attempt", 0)
+    section.setdefault("retry.exhausted", 0)
+    respawns = [
+        event
+        for event in events
+        if event.get("kind") == "event" and event.get("name") == "worker.respawn"
+    ]
+    if respawns:
+        section["respawned_scenarios"] = sum(
+            int((event.get("attrs") or {}).get("scenarios", 0)) for event in respawns
+        )
+    return {k: section[k] for k in sorted(section)}
 
 
 def _http_section(events: Sequence[dict]) -> dict:
@@ -461,6 +498,10 @@ def format_report(report: dict, title: str = "Campaign telemetry") -> str:
             else:
                 flat[key] = value
         blocks.append(format_kv(flat, title="Resource usage (sampler)"))
+
+    fault_section = report.get("faults") or {}
+    if fault_section:
+        blocks.append(format_kv(fault_section, title="Fault injection & recovery"))
 
     counters = report.get("counters") or {}
     if counters:

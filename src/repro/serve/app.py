@@ -30,6 +30,7 @@ import urllib.parse
 from pathlib import Path
 from typing import Optional
 
+from .. import faults
 from ..obs.metrics import MetricsRegistry
 from ..obs.report import TracePoller
 from ..obs.resource import ResourceSampler
@@ -98,6 +99,7 @@ class CampaignService:
         sse_poll_s: float = 0.25,
         trace_dir: "str | Path | None" = None,
         resource_interval_s: float = 5.0,
+        watchdog_s: Optional[float] = None,
     ):
         self.store_path = Path(store_path)
         self.data_dir = Path(data_dir) if data_dir is not None else Path(str(store_path) + ".serve")
@@ -111,6 +113,7 @@ class CampaignService:
         self.sse_poll_s = float(sse_poll_s)
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.resource_interval_s = float(resource_interval_s)
+        self.watchdog_s = watchdog_s
         self.store: Optional[ResultStore] = None
         self.scheduler: Optional[CampaignScheduler] = None
         self.api: Optional[Api] = None
@@ -154,6 +157,8 @@ class CampaignService:
             timeout_s=self.timeout_s,
             series_samples=self.series_samples,
             fast=self.fast,
+            metrics=self.metrics,
+            watchdog_s=self.watchdog_s,
         )
         await self.scheduler.start()
         self.api = Api(self.scheduler, self.store, metrics=self.metrics, token=self.token)
@@ -223,6 +228,17 @@ class CampaignService:
                 method = request.method
                 route = route_template(request.path)
                 try:
+                    injector = faults.active()
+                    if injector is not None:
+                        # Chaos hook: injected errors surface as the 500 path
+                        # below, delays stall this request (they block the
+                        # loop — chaos plans should keep them short).
+                        injector.fire(
+                            "serve.handle",
+                            telemetry=self.telemetry,
+                            path=request.path,
+                            method=method,
+                        )
                     response = await self.api.dispatch(request)
                 except Exception as exc:  # noqa: BLE001 — a handler bug must not kill the server
                     response = JsonResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
@@ -312,10 +328,14 @@ class CampaignService:
     def _write_json(writer: asyncio.StreamWriter, response: JsonResponse) -> None:
         body = (json.dumps(response.payload, indent=2, default=str) + "\n").encode("utf-8")
         status_text = _STATUS_TEXT.get(response.status, "OK")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (response.headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {response.status} {status_text}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1") + body)
@@ -467,6 +487,7 @@ def run_service(
     quiet: bool = False,
     trace_dir: "str | Path | None" = None,
     resource_interval_s: float = 5.0,
+    watchdog_s: Optional[float] = None,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``.
 
@@ -487,6 +508,7 @@ def run_service(
         token=token,
         trace_dir=trace_dir,
         resource_interval_s=resource_interval_s,
+        watchdog_s=watchdog_s,
     )
 
     async def _main():

@@ -29,34 +29,66 @@ import urllib.parse
 import urllib.request
 from typing import Callable, Iterator, Mapping, Optional, Union
 
+from ..faults import RetryPolicy
 from ..sweep.adaptive import BoundaryQuery
 from ..sweep.spec import SweepSpec
 from .config import ServeConfig
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "SUBMIT_RETRY_POLICY"]
 
 #: Campaign states the service reports as finished.
 _TERMINAL = ("done", "failed")
+
+#: Default backoff for retried submissions (connection failures and drain
+#: 503s): a client racing a restart rides it out in a couple of seconds.
+SUBMIT_RETRY_POLICY = RetryPolicy(max_attempts=4, base_delay_s=0.25, max_delay_s=5.0)
 
 
 class ServeError(RuntimeError):
     """A failed service call: HTTP error payloads and transport failures."""
 
-    def __init__(self, message: str, status: Optional[int] = None, payload=None):
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        payload=None,
+        retry_after_s: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.payload = payload
+        #: Parsed ``Retry-After`` response header, when the server sent one.
+        self.retry_after_s = retry_after_s
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying the same call may succeed: transport failures
+        (no status) and 503s (draining / overloaded) — never 4xx/5xx bugs."""
+        return self.status is None or self.status == 503
 
 
 class ServeClient:
-    """Blocking client over one :class:`ServeConfig`."""
+    """Blocking client over one :class:`ServeConfig`.
 
-    def __init__(self, config: Optional[ServeConfig] = None, **overrides):
+    ``retry`` governs :meth:`submit` only — submission is content-hash
+    idempotent on the server (the same spec maps to the same campaign), so
+    retrying a transport failure or a drain 503 can never double-schedule
+    work.  Reads are left to the caller; set ``retry=RetryPolicy(1)`` (one
+    attempt) to disable.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        retry: Optional[RetryPolicy] = None,
+        **overrides,
+    ):
         if config is None:
             config = ServeConfig(**overrides)
         elif overrides:
             config = dataclasses.replace(config, **overrides)
         self.config = config
+        self.retry = retry if retry is not None else SUBMIT_RETRY_POLICY
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str, payload=None, timeout_s: Optional[float] = None):
@@ -80,10 +112,15 @@ class ServeClient:
             except Exception:  # noqa: BLE001 — non-JSON error bodies
                 detail = None
             message = detail.get("error") if isinstance(detail, dict) else None
+            try:
+                retry_after = float(exc.headers.get("Retry-After", ""))
+            except (TypeError, ValueError, AttributeError):
+                retry_after = None
             raise ServeError(
                 message or f"{method} {path} failed: HTTP {exc.code}",
                 status=exc.code,
                 payload=detail,
+                retry_after_s=retry_after,
             ) from None
         except urllib.error.URLError as exc:
             raise ServeError(
@@ -146,6 +183,11 @@ class ServeClient:
         name, or a raw snapshot/submission dict.  The response carries
         ``id``, ``created`` (False on a content-hash dedupe hit) and the
         campaign document.
+
+        Connection failures and 503s (a draining/restarting service) are
+        retried with the client's :class:`~repro.faults.RetryPolicy`,
+        honouring any ``Retry-After`` the server sent; safe because
+        submission is idempotent by content hash.
         """
         if isinstance(spec, SweepSpec):
             payload: dict = {"kind": "sweep", "spec": spec.to_dict()}
@@ -159,7 +201,18 @@ class ServeClient:
             raise TypeError(
                 "submit() takes a SweepSpec, BoundaryQuery, preset name or snapshot dict"
             )
-        return self._request("POST", "/campaigns", payload)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request("POST", "/campaigns", payload)
+            except ServeError as exc:
+                if not exc.retryable or attempt >= self.retry.max_attempts:
+                    raise
+                delay = self.retry.delay_s(attempt, key="submit")
+                if exc.retry_after_s is not None:
+                    delay = max(delay, exc.retry_after_s)
+                time.sleep(delay)
 
     def records(
         self,

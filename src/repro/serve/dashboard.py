@@ -145,6 +145,7 @@ _PAGE = """<!DOCTYPE html>
          aria-label="request rate, recent trend"><polyline class="spark-line" points=""/></svg>
   </div>
   <div class="tile"><div class="label">resident memory</div><div class="value" id="kpi-rss">&ndash;</div></div>
+  <div class="tile"><div class="label">faults / retries</div><div class="value" id="kpi-faults">&ndash;</div></div>
 </div>
 
 <section>
@@ -252,6 +253,13 @@ function renderMetrics(metrics) {
   renderRoutes(metrics);
   const rss = (metrics.gauges || {})["process_resident_memory_bytes"];
   $("kpi-rss").textContent = fmtBytes(rss);
+  // Recovery activity: injected faults, in-campaign retries, worker
+  // respawns and scheduler restarts, summed across label variants.
+  let recovery = 0;
+  for (const [key, value] of Object.entries(metrics.counters || {}))
+    if (/^(faults\\.injected|retry\\.|dist\\.respawn|scheduler\\.)/.test(key))
+      recovery += value;
+  $("kpi-faults").textContent = String(recovery);
 }
 
 // --- live event feed over SSE, following the most interesting campaign ---

@@ -35,7 +35,18 @@ from ..sweep.store import ResultStore
 from .dashboard import render_dashboard
 from .scheduler import Campaign, CampaignScheduler
 
-__all__ = ["Request", "JsonResponse", "TextResponse", "EventStreamResponse", "Api"]
+__all__ = [
+    "Request",
+    "JsonResponse",
+    "TextResponse",
+    "EventStreamResponse",
+    "Api",
+    "DRAIN_RETRY_AFTER_S",
+]
+
+#: The Retry-After horizon stamped on drain 503s: drains complete quickly
+#: (one in-flight campaign at most), so clients should re-poll soon.
+DRAIN_RETRY_AFTER_S = 1
 
 #: Query parameters that are *not* record filters.
 _PAGING_PARAMS = ("limit", "offset")
@@ -83,6 +94,8 @@ class Request:
 class JsonResponse:
     status: int
     payload: object
+    #: Extra response headers (e.g. ``Retry-After`` on drain 503s).
+    headers: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -136,6 +149,7 @@ class Api:
                     "status": "ok",
                     "campaigns": len(self.scheduler.campaigns),
                     "records": len(self.store),
+                    "scheduler_restarts": self.scheduler.restarts,
                 },
             )
         if request.path == "/readyz" and request.method == "GET":
@@ -193,10 +207,13 @@ class Api:
         except Exception:  # noqa: BLE001 — an unreadable store is the finding
             checks["store_open"] = False
         ready = all(checks.values())
-        return JsonResponse(
-            200 if ready else 503,
-            {"status": "ready" if ready else "unavailable", "checks": checks},
-        )
+        payload: dict = {"status": "ready" if ready else "unavailable", "checks": checks}
+        headers = {}
+        if self.scheduler.draining:
+            # Load balancers should re-poll shortly: drain completes fast.
+            payload["draining"] = True
+            headers["Retry-After"] = str(DRAIN_RETRY_AFTER_S)
+        return JsonResponse(200 if ready else 503, payload, headers=headers)
 
     def _list_campaigns(self) -> JsonResponse:
         campaigns = [c.to_dict() for c in self.scheduler.list()]
@@ -209,7 +226,13 @@ class Api:
         except ValueError as exc:
             return JsonResponse(400, {"error": str(exc)})
         except RuntimeError as exc:  # draining: shutting down, try elsewhere
-            return JsonResponse(503, {"error": str(exc)})
+            # Submission is content-hash idempotent, so a client may safely
+            # retry against a replacement instance after Retry-After seconds.
+            return JsonResponse(
+                503,
+                {"error": str(exc), "draining": True},
+                headers={"Retry-After": str(DRAIN_RETRY_AFTER_S)},
+            )
         doc = {
             "id": campaign.id,
             "created": created,

@@ -28,7 +28,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
-from ..obs.telemetry import Telemetry
+from .. import faults
+from ..obs.telemetry import DISABLED, Telemetry
 from ..sweep.adaptive import BoundaryQuery, BoundarySearch
 from ..sweep.presets import build_preset
 from ..sweep.runner import SweepRunner
@@ -148,17 +149,31 @@ class CampaignScheduler:
         timeout_s: Optional[float] = None,
         series_samples: int = 0,
         fast: bool = True,
+        metrics=None,
+        watchdog_s: Optional[float] = None,
     ):
+        if watchdog_s is not None and watchdog_s <= 0:
+            raise ValueError("watchdog_s must be positive")
         self.store = store
         self.data_dir = Path(data_dir)
         self.workers = max(1, int(workers))
         self.timeout_s = timeout_s
         self.series_samples = int(series_samples)
         self.fast = bool(fast)
+        #: Service-level registry (the one ``/metrics`` serves); defaults to
+        #: the disabled bundle's no-op registry.
+        self.metrics = metrics if metrics is not None else DISABLED.metrics
+        #: Per-campaign wall-clock budget: a campaign running longer is
+        #: failed honestly (``scheduler.watchdog_timeout``) instead of
+        #: wedging the FIFO queue forever.
+        self.watchdog_s = watchdog_s
+        #: How many times the supervisor restarted a dead worker task.
+        self.restarts = 0
         self.campaigns: dict[str, Campaign] = {}
         self.draining = False
         self._queue: "asyncio.Queue[Campaign]" = asyncio.Queue()
         self._task: Optional[asyncio.Task] = None
+        self._stopping = False
 
     @property
     def alive(self) -> bool:
@@ -207,7 +222,30 @@ class CampaignScheduler:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         if self._task is None:
-            self._task = asyncio.create_task(self._worker(), name="campaign-worker")
+            self._stopping = False
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        self._task = asyncio.create_task(self._worker(), name="campaign-worker")
+        self._task.add_done_callback(self._supervise)
+
+    def _supervise(self, task: "asyncio.Task") -> None:
+        """Restart the worker task if it dies unexpectedly.
+
+        The worker loop catches campaign failures itself, so the task only
+        ends via cancellation (shutdown) or a scheduler-level bug / injected
+        fault — precisely the deaths that used to stop all campaign
+        execution silently.  A queued campaign survives: the restarted
+        worker picks it up from the same queue.
+        """
+        if self._stopping or task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        self.restarts += 1
+        self.metrics.counter("scheduler.restart")
+        self._spawn_worker()
 
     async def drain(self, poll_s: float = 0.05) -> None:
         """Graceful shutdown: refuse new work, fail the queue, finish in-flight.
@@ -232,6 +270,7 @@ class CampaignScheduler:
             await asyncio.sleep(poll_s)
 
     async def stop(self) -> None:
+        self._stopping = True
         if self._task is not None:
             self._task.cancel()
             try:
@@ -242,17 +281,36 @@ class CampaignScheduler:
 
     async def _worker(self) -> None:
         while True:
+            injector = faults.active()
+            if injector is not None:
+                # Fired while idle (before the dequeue), so an injected death
+                # leaves the campaign queued for the supervisor's restarted
+                # worker instead of stranding it RUNNING.
+                injector.fire("serve.scheduler", metrics=self.metrics)
             campaign = await self._queue.get()
             campaign.state = RUNNING
             campaign.started_t = time.time()
             try:
-                campaign.result = await asyncio.to_thread(self._execute, campaign)
+                work = asyncio.to_thread(self._execute, campaign)
+                if self.watchdog_s is not None:
+                    campaign.result = await asyncio.wait_for(work, timeout=self.watchdog_s)
+                else:
+                    campaign.result = await work
                 campaign.state = DONE
             except asyncio.CancelledError:
                 campaign.state = FAILED
                 campaign.error = "service shut down mid-run"
                 campaign.finished_t = time.time()
                 raise
+            except TimeoutError:
+                # The execution thread cannot be killed and keeps running to
+                # waste-free completion (records land in the shared store);
+                # the *campaign* fails honestly and the queue moves on.
+                campaign.state = FAILED
+                campaign.error = (
+                    f"campaign exceeded the {self.watchdog_s:g} s watchdog budget"
+                )
+                self.metrics.counter("scheduler.watchdog_timeout")
             except Exception as exc:  # noqa: BLE001 — a bad campaign must not kill the worker
                 campaign.state = FAILED
                 campaign.error = f"{type(exc).__name__}: {exc}"
@@ -310,6 +368,11 @@ class CampaignScheduler:
                 }
             telemetry.write_metrics(self.store.path)
             telemetry.metrics.write(campaign.trace_dir / "metrics.json")
+            retried = int(result.get("retried") or 0)
+            if retried:
+                # Mirror campaign-level retries into the service registry so
+                # /metrics and the dashboard see them without reading traces.
+                self.metrics.counter("retry.attempt", retried)
             return result
         finally:
             telemetry.close()

@@ -22,6 +22,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence, Union
 
+from .. import faults
+from ..faults import DEFAULT_RETRY_POLICY, RetryPolicy, classify_error
 from ..obs.telemetry import DISABLED, Telemetry
 from .scenario import run_scenario
 from .spec import ScenarioConfig, SweepSpec, expand_unique
@@ -57,6 +59,7 @@ class SweepReport:
     cached: int = 0
     failed: int = 0
     timed_out: int = 0
+    retried: int = 0
     elapsed_s: float = 0.0
     records: list[dict] = field(default_factory=list)
 
@@ -74,33 +77,70 @@ class SweepReport:
             "cached": self.cached,
             "failed": self.failed,
             "timed_out": self.timed_out,
+            "retried": self.retried,
             "elapsed_s": self.elapsed_s,
         }
 
 
-def _execute_payload(payload: "tuple[dict, int, bool] | tuple[dict, int, bool, float]") -> dict:
+def _execute_payload(payload: "tuple[dict, int, bool] | tuple") -> dict:
     """Top-level worker entry point (picklable for multiprocessing).
 
     The optional fourth element is the coordinator's wall-clock submission
     time; the gap to the worker actually starting is the scenario's
     **queue-wait** phase (same machine, same clock), folded into the
-    record's ``timings``.
+    record's ``timings``.  The optional fifth element is a serialised
+    :class:`~repro.faults.RetryPolicy` governing in-worker retries.
+
+    Transient failures (I/O, injected chaos — see
+    :func:`~repro.faults.classify_error`) are retried here, inside the
+    worker, with the policy's backoff; deterministic failures and exhausted
+    retries return an ``error`` record stamped with ``error_kind`` and the
+    attempt count.  Every record carries ``attempts`` (volatile, excluded
+    from identity) so the coordinator can count ``retry.*`` without a
+    second channel.
     """
     config_dict, series_samples, fast = payload[:3]
-    queue_wait_s = max(0.0, time.time() - payload[3]) if len(payload) > 3 else 0.0
+    queue_wait_s = (
+        max(0.0, time.time() - payload[3])
+        if len(payload) > 3 and payload[3] is not None
+        else 0.0
+    )
+    retry = RetryPolicy.from_dict(payload[4]) if len(payload) > 4 else DEFAULT_RETRY_POLICY
     config = ScenarioConfig.from_dict(config_dict)
-    try:
-        record = run_scenario(config, series_samples=series_samples, fast=fast)
-        record.setdefault("timings", {})["queue_wait_s"] = round(queue_wait_s, 6)
+    injector = faults.active()
+    attempt = 0
+    injected = 0
+    while True:
+        attempt += 1
+        try:
+            if injector is not None:
+                rule = injector.fire(
+                    "worker.simulate", scenario_id=config.scenario_id, attempt=attempt
+                )
+                if rule is not None:
+                    injected += 1
+            record = run_scenario(config, series_samples=series_samples, fast=fast)
+        except Exception as exc:  # noqa: BLE001 — workers must not crash the pool
+            if getattr(exc, "site", None) is not None:
+                injected += 1
+            kind = classify_error(exc)
+            if kind == "transient" and attempt < retry.max_attempts:
+                time.sleep(retry.delay_s(attempt, key=config.scenario_id))
+                continue
+            record = {
+                "scenario_id": config.scenario_id,
+                "config": config.to_dict(),
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": kind,
+                "traceback": traceback.format_exc(),
+            }
+        else:
+            record.setdefault("timings", {})["queue_wait_s"] = round(queue_wait_s, 6)
+        record["attempts"] = attempt
+        if injected:
+            record["faults_injected"] = injected
         return record
-    except Exception as exc:  # noqa: BLE001 — workers must not crash the pool
-        return {
-            "scenario_id": config.scenario_id,
-            "config": config.to_dict(),
-            "status": "error",
-            "error": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc(),
-        }
 
 
 class SweepRunner:
@@ -136,6 +176,14 @@ class SweepRunner:
         simulate / record-write phase timings), and cache-hit / timeout /
         failure counters.  Defaults to the disabled bundle, whose methods
         are no-ops and which never touches the filesystem.
+    retry:
+        A :class:`~repro.faults.RetryPolicy` for *transient* in-worker
+        failures (I/O errors, injected chaos): the failing scenario is
+        re-attempted inside its worker with backoff before an ``error``
+        record is ever written, counted as ``retry.attempt`` /
+        ``retry.exhausted``.  Deterministic failures (bad configs) and
+        timeouts are never retried in-campaign.  Defaults to
+        :data:`~repro.faults.DEFAULT_RETRY_POLICY` (3 attempts).
     """
 
     def __init__(
@@ -147,6 +195,7 @@ class SweepRunner:
         progress: Optional[ProgressCallback] = None,
         fast: bool = True,
         telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
@@ -157,6 +206,7 @@ class SweepRunner:
         self.progress = progress
         self.fast = bool(fast)
         self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
 
     # ------------------------------------------------------------------
     def run(self, campaign: Union[SweepSpec, Sequence[ScenarioConfig]]) -> SweepReport:
@@ -213,9 +263,31 @@ class SweepRunner:
                 if status == "error":
                     report.failed += 1
                     metrics.counter("campaign.failed")
+                    if record.get("error_kind") == "transient":
+                        # In-worker retries ran out: the failure is persisted,
+                        # but a resume (or a respawned worker) may still clear it.
+                        metrics.counter("retry.exhausted")
+                        tracer.counter(
+                            "retry.exhausted", scenario_id=record.get("scenario_id")
+                        )
                 elif status == "timeout":
                     report.timed_out += 1
                     metrics.counter("campaign.timeouts")
+                attempts = int(record.get("attempts") or 1)
+                if attempts > 1:
+                    report.retried += attempts - 1
+                    metrics.counter("retry.attempt", attempts - 1)
+                    tracer.counter(
+                        "retry.attempt",
+                        attempts - 1,
+                        scenario_id=record.get("scenario_id"),
+                    )
+                injected = int(record.get("faults_injected") or 0)
+                if injected:
+                    # Worker-side injections, re-counted into the coordinator's
+                    # registry (pool children have no telemetry of their own).
+                    metrics.counter("faults.injected", injected)
+                    tracer.counter("faults.injected", injected, site="worker.simulate")
                 metrics.counter("campaign.executed")
                 metrics.observe("campaign.scenario_s", record.get("elapsed_s", 0.0))
                 timings = record.get("timings") or {}
@@ -251,9 +323,10 @@ class SweepRunner:
         # Queue-wait is measured from when the batch was enqueued: a
         # scenario's wait is the time it spent behind earlier work.
         enqueued_wall = time.time()
+        retry = self.retry.to_dict()
         for config in pending:
             yield _execute_payload(
-                (config.to_dict(), self.series_samples, self.fast, enqueued_wall)
+                (config.to_dict(), self.series_samples, self.fast, enqueued_wall, retry)
             )
 
     def _run_pool(self, pending: list[ScenarioConfig]):
@@ -284,7 +357,15 @@ class SweepRunner:
                     config = queue.popleft()
                     handle = pool.apply_async(
                         _execute_payload,
-                        ((config.to_dict(), self.series_samples, self.fast, enqueued_wall),),
+                        (
+                            (
+                                config.to_dict(),
+                                self.series_samples,
+                                self.fast,
+                                enqueued_wall,
+                                self.retry.to_dict(),
+                            ),
+                        ),
                     )
                     deadline = (
                         time.monotonic() + self.timeout_s if self.timeout_s is not None else None

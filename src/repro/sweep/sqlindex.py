@@ -40,6 +40,7 @@ try:  # pragma: no cover - sqlite3 ships with CPython; guarded for exotic builds
 except ImportError:  # pragma: no cover
     sqlite3 = None  # type: ignore[assignment]
 
+from .. import faults
 from ..obs.telemetry import DISABLED, Telemetry
 
 __all__ = [
@@ -241,6 +242,14 @@ class SqliteIndex:
         sidecar was missing or from another layout version) or ``"empty"``
         (no store file).
         """
+        injector = faults.active()
+        if injector is not None:
+            # An "io"-typed rule here raises an OSError, which is in
+            # SIDECAR_ERRORS: queries degrade to the linear scan fallback —
+            # the self-healing path this site exists to exercise.
+            injector.fire(
+                "sqlindex.refresh", telemetry=self.telemetry, store=str(self.store_path)
+            )
         with self._lock:
             conn = self._connect()
             if not self.store_path.exists():

@@ -61,6 +61,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Iterator, Mapping, Optional, Sequence, Union
 
+from .. import faults
 from ..obs.metrics import metrics_sidecar_path
 from ..obs.telemetry import DISABLED, Telemetry
 from ..sim.result import SimulationResult
@@ -79,9 +80,12 @@ __all__ = [
 _INDEX_VERSION = 1
 
 #: Record fields that legitimately differ between two executions of the same
-#: scenario (timing, worker identity): strip them before comparing stores
-#: record-for-record (tests, the dist bench, CI's shard-merge identity gate).
-VOLATILE_RECORD_FIELDS = frozenset({"elapsed_s", "wall_time_s", "worker", "timings"})
+#: scenario (timing, worker identity, retry/chaos accounting): strip them
+#: before comparing stores record-for-record (tests, the dist bench, CI's
+#: shard-merge and chaos identity gates).
+VOLATILE_RECORD_FIELDS = frozenset(
+    {"elapsed_s", "wall_time_s", "worker", "timings", "attempts", "faults_injected"}
+)
 
 
 def strip_volatile(record: Mapping) -> dict:
@@ -144,7 +148,9 @@ class ResultStore:
         self._skipped_lines = 0
         self._version_counts: Counter = Counter()
         self._sqlite: "Optional[sqlindex.SqliteIndex]" = None
+        self._quarantined_bytes = 0
         if self.path.exists():
+            self._repair_torn_tail()
             load_t0 = time.perf_counter()
             via_index = self._load()
             load_s = time.perf_counter() - load_t0
@@ -169,6 +175,80 @@ class ResultStore:
     def index_path(self) -> Path:
         """The sidecar written by :meth:`compact` (``<store>.idx.json``)."""
         return Path(str(self.path) + ".idx.json")
+
+    @property
+    def quarantine_path(self) -> Path:
+        """Where torn final lines are salvaged to (``<store>.quarantine``)."""
+        return Path(str(self.path) + ".quarantine")
+
+    @property
+    def quarantined_bytes(self) -> int:
+        """Bytes moved to the quarantine file by this open (0 for a clean store)."""
+        return self._quarantined_bytes
+
+    def _repair_torn_tail(self) -> int:
+        """Write-side repair of a torn final line (the read side only tolerates it).
+
+        A writer killed mid-append — the process-level analogue of the power
+        loss the paper studies — can leave the file ending in a partial line.
+        If that tail is a *complete* record that merely lost its newline, the
+        newline is restored in place.  Otherwise the torn bytes are salvaged
+        into ``<store>.quarantine`` (appended, newline-terminated, for
+        post-mortems) and the data file is truncated to the last clean line
+        boundary, so the next :meth:`append` starts a fresh line and later
+        readers never see the damage.  Returns the bytes quarantined.
+        """
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return 0
+        if size == 0:
+            return 0
+        with self.path.open("rb+") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return 0
+            # Walk back in chunks to the last newline (0 if there is none:
+            # the whole file is one torn line).
+            boundary, pos = 0, size
+            while pos > 0:
+                start = max(0, pos - 65536)
+                fh.seek(start)
+                chunk = fh.read(pos - start)
+                newline = chunk.rfind(b"\n")
+                if newline != -1:
+                    boundary = start + newline + 1
+                    break
+                pos = start
+            fh.seek(boundary)
+            torn = fh.read(size - boundary)
+            try:
+                record = json.loads(torn.decode("utf-8"))
+                intact = isinstance(record, dict) and record.get("scenario_id")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                intact = False
+            if intact:
+                # A complete record that merely lost its newline: finish it.
+                fh.seek(0, os.SEEK_END)
+                fh.write(b"\n")
+                os.fsync(fh.fileno())
+                self.telemetry.metrics.counter("store.tail_healed")
+                return 0
+            with self.quarantine_path.open("ab") as quarantine:
+                quarantine.write(torn + b"\n")
+                quarantine.flush()
+                os.fsync(quarantine.fileno())
+            fh.truncate(boundary)
+            os.fsync(fh.fileno())
+        self._quarantined_bytes += len(torn)
+        self.telemetry.metrics.counter("store.torn_tail_quarantined")
+        self.telemetry.tracer.event(
+            "store.repair",
+            store=str(self.path),
+            quarantined_bytes=len(torn),
+            quarantine=str(self.quarantine_path),
+        )
+        return len(torn)
 
     @property
     def sqlite_path(self) -> Path:
@@ -366,6 +446,12 @@ class ResultStore:
         if not scenario_id:
             raise ValueError("record must carry a scenario_id")
         record.setdefault("schema_version", SCHEMA_VERSION)
+        injector = faults.active()
+        torn_rule = None
+        if injector is not None:
+            torn_rule = injector.fire(
+                "store.append", telemetry=self.telemetry, scenario_id=scenario_id
+            )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         # A previous torn write may have left the file without a trailing
@@ -378,6 +464,14 @@ class ResultStore:
         with self.path.open("a", encoding="utf-8") as fh:
             if needs_newline:
                 fh.write("\n")
+            if torn_rule is not None and torn_rule.kind == "torn-write":
+                # Simulated power loss mid-append: flush half the line to
+                # disk, then die without cleanup.  The next open quarantines
+                # the tail; the scenario re-runs (its record never landed).
+                fh.write(line[: max(1, len(line) // 2)])
+                fh.flush()
+                os.fsync(fh.fileno())
+                os._exit(torn_rule.exit_code)
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())

@@ -236,6 +236,7 @@ import time  # noqa: E402
 
 from repro.obs.promexport import PROMETHEUS_CONTENT_TYPE  # noqa: E402
 from repro.serve import CampaignScheduler, route_template  # noqa: E402
+from repro.serve.scheduler import TERMINAL_STATES  # noqa: E402
 from repro.sweep import ResultStore  # noqa: E402
 
 
@@ -387,18 +388,211 @@ class TestGracefulShutdown:
             service.stop()
 
     def test_submit_during_drain_is_503(self, tmp_path):
+        from repro.faults import RetryPolicy
+        from repro.serve.handlers import DRAIN_RETRY_AFTER_S
+
         service = ServiceThread(store_path=tmp_path / "store.jsonl", port=0, workers=1)
         service.start()
         try:
-            client = ServeClient(ServeConfig(base_url=service.base_url))
+            # One attempt: this test inspects the 503 itself, not the retry.
+            client = ServeClient(
+                ServeConfig(base_url=service.base_url),
+                retry=RetryPolicy(max_attempts=1),
+            )
             # flip the scheduler into draining without tearing the listener
             # down, then exercise the HTTP surface of the drain
             service.service.scheduler.draining = True
             with pytest.raises(ServeError) as err:
                 client.submit(smoke_spec())
             assert err.value.status == 503
+            assert err.value.retryable
+            assert err.value.retry_after_s == float(DRAIN_RETRY_AFTER_S)
+            assert err.value.payload["draining"] is True
             ready = client.ready()
             assert ready["status"] == "unavailable"
             assert ready["checks"]["not_draining"] is False
+            assert ready["draining"] is True
+            # The Retry-After header is on the wire for /readyz too.
+            try:
+                urllib.request.urlopen(service.base_url + "/readyz")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                assert exc.headers["Retry-After"] == str(DRAIN_RETRY_AFTER_S)
+            else:
+                raise AssertionError("expected a 503 from /readyz while draining")
         finally:
             service.stop()
+
+
+class TestSchedulerSupervision:
+    """The worker task is supervised: an injected death restarts it, queued
+    campaigns survive, and a wedged campaign is failed by the watchdog."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_injector(self):
+        from repro import faults
+
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_injected_worker_death_is_restarted_and_campaign_completes(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import faults
+        from repro.faults import FaultPlan, FaultRule
+        from repro.obs import MetricsRegistry
+
+        faults.install(
+            FaultPlan(
+                rules=(
+                    FaultRule(site="serve.scheduler", message="injected scheduler death"),
+                )
+            )
+        )
+        monkeypatch.setattr(
+            CampaignScheduler,
+            "_execute",
+            lambda self, campaign: {"kind": "sweep", "succeeded": True},
+        )
+
+        async def scenario():
+            registry = MetricsRegistry()
+            scheduler = CampaignScheduler(
+                ResultStore(tmp_path / "s.jsonl"), tmp_path / "data", metrics=registry
+            )
+            await scheduler.start()
+            campaign, created = scheduler.submit({"preset": "dist-smoke"})
+            assert created
+            deadline = time.monotonic() + 30
+            while campaign.state not in TERMINAL_STATES:
+                assert time.monotonic() < deadline, "campaign never finished"
+                await asyncio.sleep(0.01)
+            assert campaign.state == "done"
+            # The first worker incarnation died to the injected fault before
+            # it could dequeue; the supervisor's replacement ran the campaign.
+            assert scheduler.restarts >= 1
+            assert scheduler.alive
+            counters = registry.to_dict()["counters"]
+            assert counters["scheduler.restart"] >= 1
+            assert counters["faults.injected"] >= 1
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_watchdog_fails_wedged_campaign_and_queue_moves_on(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs import MetricsRegistry
+
+        executions = []
+
+        def fake_execute(self, campaign):
+            executions.append(campaign.id)
+            if len(executions) == 1:
+                time.sleep(0.6)  # wedged far past the watchdog budget
+            return {"kind": "sweep", "succeeded": True}
+
+        monkeypatch.setattr(CampaignScheduler, "_execute", fake_execute)
+
+        async def scenario():
+            registry = MetricsRegistry()
+            scheduler = CampaignScheduler(
+                ResultStore(tmp_path / "s.jsonl"),
+                tmp_path / "data",
+                metrics=registry,
+                watchdog_s=0.1,
+            )
+            await scheduler.start()
+            stuck, _ = scheduler.submit({"preset": "dist-smoke"})
+            healthy, _ = scheduler.submit(
+                {"kind": "sweep", "spec": smoke_spec().to_dict()}
+            )
+            deadline = time.monotonic() + 30
+            while healthy.state not in TERMINAL_STATES:
+                assert time.monotonic() < deadline, "queue never moved on"
+                await asyncio.sleep(0.01)
+            assert stuck.state == "failed"
+            assert "watchdog" in stuck.error
+            assert healthy.state == "done"
+            assert registry.to_dict()["counters"]["scheduler.watchdog_timeout"] == 1
+            await scheduler.stop()
+
+        asyncio.run(scenario())
+
+    def test_watchdog_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="watchdog_s"):
+            CampaignScheduler(
+                ResultStore(tmp_path / "s.jsonl"), tmp_path / "data", watchdog_s=0
+            )
+
+
+class TestClientRetry:
+    """ServeClient.submit rides out transport failures and drain 503s."""
+
+    def _client(self, **retry_kwargs):
+        from repro.faults import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=retry_kwargs.pop("max_attempts", 3),
+            base_delay_s=0.001,
+            max_delay_s=0.002,
+            **retry_kwargs,
+        )
+        return ServeClient(ServeConfig(base_url="http://127.0.0.1:1"), retry=policy)
+
+    def test_submit_retries_transport_failures_then_succeeds(self, monkeypatch):
+        client = self._client()
+        calls = []
+
+        def flaky(method, path, payload=None, timeout_s=None):
+            calls.append(method)
+            if len(calls) < 3:
+                raise ServeError("cannot reach campaign service")
+            return {"id": "abc", "created": True}
+
+        monkeypatch.setattr(client, "_request", flaky)
+        assert client.submit({"preset": "dist-smoke"})["id"] == "abc"
+        assert len(calls) == 3
+
+    def test_submit_honours_retry_after_from_503(self, monkeypatch):
+        client = self._client(max_attempts=2)
+        calls, slept = [], []
+
+        def draining_once(method, path, payload=None, timeout_s=None):
+            calls.append(method)
+            if len(calls) == 1:
+                raise ServeError("draining", status=503, retry_after_s=0.005)
+            return {"id": "abc"}
+
+        monkeypatch.setattr(client, "_request", draining_once)
+        monkeypatch.setattr(time, "sleep", slept.append)
+        assert client.submit({"preset": "dist-smoke"})["id"] == "abc"
+        # The server's Retry-After floor beats the policy's tiny backoff.
+        assert slept == [0.005]
+
+    def test_submit_does_not_retry_client_errors(self, monkeypatch):
+        client = self._client()
+        calls = []
+
+        def bad_request(method, path, payload=None, timeout_s=None):
+            calls.append(method)
+            raise ServeError("malformed spec", status=400)
+
+        monkeypatch.setattr(client, "_request", bad_request)
+        with pytest.raises(ServeError):
+            client.submit({"preset": "dist-smoke"})
+        assert len(calls) == 1
+
+    def test_submit_exhausts_attempts_and_raises(self, monkeypatch):
+        client = self._client(max_attempts=2)
+        calls = []
+
+        def always_down(method, path, payload=None, timeout_s=None):
+            calls.append(method)
+            raise ServeError("cannot reach campaign service")
+
+        monkeypatch.setattr(client, "_request", always_down)
+        with pytest.raises(ServeError):
+            client.submit({"preset": "dist-smoke"})
+        assert len(calls) == 2

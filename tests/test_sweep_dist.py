@@ -10,6 +10,9 @@ import json
 
 import pytest
 
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.obs import Telemetry
 from repro.sweep import (
     Axis,
     BoundaryQuery,
@@ -279,6 +282,138 @@ class TestDistRunner:
             {**c.to_dict(), "cached": dist.cells[i].cached}
             for i, c in enumerate(serial.cells)
         ]
+
+
+class TestChaosRecovery:
+    """Injected process loss: the coordinator must finish the campaign on its
+    own — no manual resume — and produce a store record-identical (modulo
+    volatile fields) to a fault-free run."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_injector(self):
+        faults.reset()
+        yield
+        faults.reset()
+
+    @staticmethod
+    def _busiest_shard(spec, n_shards: int) -> int:
+        sizes = [0] * n_shards
+        for scenario_id in spec.scenario_ids():
+            sizes[shard_index_of(scenario_id, n_shards)] += 1
+        return max(range(n_shards), key=sizes.__getitem__)
+
+    def test_killed_worker_is_respawned_and_campaign_completes(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec(seeds=(1, 2, 3))  # 12 cells across 2 shards
+        clean = ResultStore(tmp_path / "clean.jsonl")
+        SweepRunner(clean, workers=1).run(spec)
+
+        # Hard-kill the busiest shard's worker after it has reported two
+        # scenarios; `once` + state_dir keeps the respawn from re-crashing.
+        target = self._busiest_shard(spec, 2)
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="dist.worker_loop",
+                    kind="crash",
+                    after=2,
+                    once=True,
+                    match={"shard": target},
+                ),
+            ),
+            state_dir=str(tmp_path / "fault-state"),
+        )
+        plan_path = tmp_path / "faults.json"
+        plan_path.write_text(plan.to_json(), encoding="utf-8")
+        monkeypatch.setenv(faults.FAULTS_ENV, str(plan_path))
+        faults.reset()
+
+        telemetry = Telemetry.create(tmp_path / "obs")
+        store_path = tmp_path / "chaos.jsonl"
+        runner = DistRunner(
+            ResultStore(store_path),
+            n_shards=2,
+            shard_dir=tmp_path / "shards",
+            respawn_budget=2,
+            telemetry=telemetry,
+        )
+        report = runner.run(spec)
+        telemetry.close()
+
+        assert report.succeeded
+        assert report.failed == 0
+        assert records_without_timing(ResultStore(store_path)) == (
+            records_without_timing(clean)
+        )
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["dist.worker_deaths"] >= 1
+        assert counters["dist.respawn"] >= 1
+        # The recovery unit ran against its own private store file.
+        recovery_stores = list((tmp_path / "shards").glob(f"shard-{target}-r*.jsonl"))
+        assert recovery_stores
+        assert (tmp_path / "fault-state" / "fault-rule-0.fired").exists()
+
+    def test_transient_simulate_faults_heal_inside_workers(
+        self, tmp_path, monkeypatch
+    ):
+        spec = small_spec()
+        clean = ResultStore(tmp_path / "clean.jsonl")
+        SweepRunner(clean, workers=1).run(spec)
+
+        plan = FaultPlan(
+            rules=(FaultRule(site="worker.simulate", times=1, message="injected chaos"),)
+        )
+        monkeypatch.setenv(faults.FAULTS_ENV, plan.to_json())
+        faults.reset()
+
+        telemetry = Telemetry.create(tmp_path / "obs")
+        store_path = tmp_path / "chaos.jsonl"
+        report = DistRunner(
+            ResultStore(store_path),
+            n_shards=2,
+            shard_dir=tmp_path / "shards",
+            telemetry=telemetry,
+        ).run(spec)
+        telemetry.close()
+
+        assert report.succeeded
+        assert report.retried >= 1
+        assert records_without_timing(ResultStore(store_path)) == (
+            records_without_timing(clean)
+        )
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["retry.attempt"] >= 1
+        assert counters.get("retry.exhausted", 0) == 0
+
+    def test_respawn_budget_exhaustion_fails_honestly(self, tmp_path, monkeypatch):
+        spec = small_spec(seeds=(1, 2))
+        target = self._busiest_shard(spec, 2)
+        # No `once`, no state_dir: every (re)spawned worker on the target
+        # shard crashes on its first report, forever.
+        plan = FaultPlan(
+            rules=(
+                FaultRule(
+                    site="dist.worker_loop",
+                    kind="crash",
+                    times=0,
+                    match={"shard": target},
+                ),
+            )
+        )
+        monkeypatch.setenv(faults.FAULTS_ENV, plan.to_json())
+        faults.reset()
+
+        report = DistRunner(
+            ResultStore(tmp_path / "chaos.jsonl"),
+            n_shards=2,
+            shard_dir=tmp_path / "shards",
+            respawn_budget=1,
+        ).run(spec)
+        assert not report.succeeded
+        assert report.failed >= 1
+        # The other shard's cells still completed.
+        assert report.executed + report.cached + report.failed == len(spec)
 
 
 class TestEngineThreading:

@@ -83,7 +83,10 @@ class TestPersistence:
 
         reloaded = ResultStore(path)
         assert len(reloaded) == 2
-        assert reloaded.skipped_lines == 1
+        # The torn tail is repaired on open: salvaged to the quarantine
+        # sidecar and truncated away, so nothing is left to skip.
+        assert reloaded.skipped_lines == 0
+        assert reloaded.quarantined_bytes > 0
         assert reloaded.is_complete(a) and reloaded.is_complete(b)
         # Appending after a torn line must still yield parseable lines.
         c = ScenarioConfig(governor="power-neutral", seed=3)
@@ -105,7 +108,9 @@ class TestPersistence:
 
         reloaded = ResultStore(path)
         assert len(reloaded) == 1
-        assert reloaded.skipped_lines == 1
+        # Repaired on open: the undecodable tail is quarantined, not parsed.
+        assert reloaded.skipped_lines == 0
+        assert reloaded.quarantined_bytes > 0
         assert reloaded.is_complete(a)
         # The writer finishing its line later must not corrupt the file for
         # subsequent appends/readers.
@@ -121,6 +126,78 @@ class TestPersistence:
             pass
         else:
             raise AssertionError("expected ValueError for record without scenario_id")
+
+
+class TestTornTailRepair:
+    def test_torn_tail_is_quarantined_and_truncated(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        store.append(make_record(a))
+        clean_size = path.stat().st_size
+        torn = '{"scenario_id": "deadbeef", "status": "o'
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(torn)
+
+        reloaded = ResultStore(path)
+        assert reloaded.quarantined_bytes == len(torn)
+        # The data file is back at the last clean line boundary, and the torn
+        # bytes are preserved for post-mortems in the quarantine sidecar.
+        assert path.stat().st_size == clean_size
+        assert reloaded.quarantine_path.read_text(encoding="utf-8") == torn + "\n"
+        assert len(reloaded) == 1 and reloaded.is_complete(a)
+
+    def test_repair_is_idempotent(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        ResultStore(path).append(make_record(a))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        ResultStore(path)
+        # A second open finds a clean file: nothing further is quarantined.
+        again = ResultStore(path)
+        assert again.quarantined_bytes == 0
+        assert again.quarantine_path.read_text(encoding="utf-8").count("\n") == 1
+
+    def test_complete_unterminated_record_is_healed_in_place(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        b = ScenarioConfig(governor="power-neutral", seed=2)
+        ResultStore(path).append(make_record(a))
+        # A full record that lost only its trailing newline (killed between
+        # write and the newline hitting disk) is finished, not quarantined.
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(make_record(b)))
+
+        reloaded = ResultStore(path)
+        assert reloaded.quarantined_bytes == 0
+        assert not reloaded.quarantine_path.exists()
+        assert len(reloaded) == 2 and reloaded.is_complete(b)
+        assert path.read_text(encoding="utf-8").endswith("\n")
+
+    def test_quarantine_accumulates_across_crashes(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        store = ResultStore(path)
+        store.append(make_record(a))
+        for fragment in ('{"first', '{"second'):
+            with path.open("a", encoding="utf-8") as fh:
+                fh.write(fragment)
+            ResultStore(path)
+        salvaged = (tmp_path / "store.jsonl.quarantine").read_text(encoding="utf-8")
+        assert salvaged == '{"first\n{"second\n'
+
+    def test_whole_file_torn_truncates_to_empty(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"no newline and no closing brace', encoding="utf-8")
+        store = ResultStore(path)
+        assert len(store) == 0
+        assert store.quarantined_bytes > 0
+        assert path.stat().st_size == 0
+        # The store is fully usable after the repair.
+        a = ScenarioConfig(governor="power-neutral", seed=1)
+        store.append(make_record(a))
+        assert ResultStore(path).is_complete(a)
 
 
 class TestSchemaVersions:
