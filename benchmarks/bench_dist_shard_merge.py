@@ -39,9 +39,16 @@ import tempfile
 import time
 from pathlib import Path
 
-from _bench_utils import emit, print_header
+from _bench_utils import emit, print_header, provenance
 
-from repro.obs import Telemetry, build_report, load_events
+from repro.obs import (
+    RunLedger,
+    Telemetry,
+    build_report,
+    ledger_path,
+    load_events,
+    summarize_run,
+)
 from repro.sweep import (
     DistRunner,
     ResultStore,
@@ -236,6 +243,21 @@ def main(argv=None) -> int:
             f"merge: {merge['records']} records from {merge['n_shards']} shard stores "
             f"in {merge['merge_s']:.3f} s ({merge['records_per_s']} records/s)"
         )
+
+        # The trace dirs die with the temp workdir, so distil the fan-out
+        # run into a ledger entry while they still exist: benchmarks join
+        # the same cross-run performance history as campaigns.
+        run_summary = summarize_run(
+            workdir / "trace-dist",
+            kind="bench.dist",
+            campaign="bench_dist_shard_merge",
+            engine="fast",
+            meta={
+                "quick": bool(args.quick),
+                "fan_out_speedup": fan_out["speedup"],
+                "merge_records_per_s": merge["records_per_s"],
+            },
+        )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -244,6 +266,7 @@ def main(argv=None) -> int:
         "python": platform_mod.python_version(),
         "machine": platform_mod.machine(),
         "cpus": os.cpu_count() or 1,
+        "provenance": provenance(),
         "quick": bool(args.quick),
         "fan_out": fan_out,
         "fan_out_multi_worker": fan_out_multi,
@@ -251,6 +274,9 @@ def main(argv=None) -> int:
     }
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     emit(f"wrote {args.out}")
+    ledger = ledger_path(args.out)
+    RunLedger(ledger).append(run_summary)
+    emit(f"appended run summary to {ledger}")
     if not (fan_out["stores_identical"] and fan_out_multi["stores_identical"]):
         emit("FAIL: merged shard stores differ from the single-process run")
         return 1

@@ -26,7 +26,7 @@ import sys
 import time
 from pathlib import Path
 
-from _bench_utils import emit, print_header
+from _bench_utils import append_ledger, emit, print_header, provenance
 
 from repro.sweep.build import build_system
 from repro.sweep.spec import ScenarioConfig
@@ -143,6 +143,7 @@ def run_bench(duration_s: float, repeats: int, max_drift: float) -> dict:
         "max_drift": max_drift,
         "python": sys.version.split()[0],
         "machine": platform_mod.machine(),
+        "provenance": provenance(),
         "scenarios": rows,
         "parity_failures": failures,
     }
@@ -185,6 +186,26 @@ def main(argv=None) -> int:
 
     pv = next(r for r in record["scenarios"] if r["scenario"] == "pv-interrupt")
     emit(f"pv-interrupt speedup: {pv['speedup']:.2f}x (acceptance target >= 5x)")
+
+    ledger = append_ledger(
+        args.out,
+        "bench.perf_sim",
+        campaign="bench_perf_sim",
+        engine="fast+exact",
+        scenarios=len(record["scenarios"]),
+        executed=len(record["scenarios"]),
+        phases={
+            f"{row['scenario']}.{engine}_warm_run": row[engine]["warm_run_s"]
+            for row in record["scenarios"]
+            for engine in ("fast", "exact")
+        },
+        meta={
+            "pv_interrupt_speedup": round(pv["speedup"], 3),
+            "duration_s": duration,
+            "repeats": repeats,
+        },
+    )
+    emit(f"appended run summary to {ledger}")
 
     if record["parity_failures"]:
         for failure in record["parity_failures"]:

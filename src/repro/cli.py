@@ -80,16 +80,22 @@ from typing import Callable
 from .analysis.reporting import format_kv, format_series, format_table
 from .obs import (
     DISABLED,
+    DiffThresholds,
     ProgressRenderer,
     ResourceSampler,
+    RunLedger,
     Telemetry,
     build_report,
+    diff_summaries,
     follow_trace,
+    format_diff,
     format_event,
     format_report,
+    ledger_path,
     load_events,
     metrics_sidecar_path,
     run_top,
+    summarize_run,
 )
 from .core.governor import PowerNeutralGovernor
 from .core.parameters import PAPER_TUNED_PARAMETERS
@@ -535,6 +541,27 @@ def build_parser() -> argparse.ArgumentParser:
             "queue (default: no limit)"
         ),
     )
+    serve.add_argument(
+        "--alerts",
+        default=None,
+        metavar="FILE",
+        help=(
+            "SLO alert rules: a JSON file (or inline JSON) of AlertRule "
+            "objects, evaluated live and served on GET /alerts, the "
+            "dashboard and Prometheus exposition"
+        ),
+    )
+    serve.add_argument(
+        "--latency-budget",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "per-scenario latency budget: fires the built-in "
+            "scenario-latency-budget alert when the rolling p95 of executed "
+            "scenario durations exceeds S seconds"
+        ),
+    )
 
     submit = sub.add_parser(
         "submit",
@@ -622,16 +649,58 @@ def build_parser() -> argparse.ArgumentParser:
             "route latencies and resource usage when present. 'top' is the "
             "live view: a refreshing terminal frame of throughput, request "
             "p50/p95 per route, in-flight requests and RSS/CPU, fed by the "
-            "same polling the SSE endpoint uses."
+            "same polling the SSE endpoint uses. 'diff' compares two runs "
+            "(two trace directories, or one against the run ledger) and "
+            "exits 1 when a regression threshold is breached — wire it into "
+            "CI to catch performance regressions."
         ),
     )
     obs.add_argument(
-        "action", choices=("tail", "report", "top"), help="what to do with the trace"
+        "action",
+        choices=("tail", "report", "top", "diff"),
+        help="what to do with the trace",
     )
     obs.add_argument(
         "trace",
         metavar="TRACE",
         help="trace directory (files merged in timestamp order) or one trace-*.jsonl file",
+    )
+    obs.add_argument(
+        "trace_b",
+        nargs="?",
+        default=None,
+        metavar="TRACE_B",
+        help="diff: the candidate trace directory (TRACE is the baseline)",
+    )
+    obs.add_argument(
+        "--against-ledger",
+        default=None,
+        metavar="LEDGER",
+        help=(
+            "diff: compare TRACE against the most recent other entry in this "
+            "run-history ledger instead of a second trace directory"
+        ),
+    )
+    obs.add_argument(
+        "--p95-threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="diff: flag a scenario-latency p95 increase above PCT%% (default: %(default)s)",
+    )
+    obs.add_argument(
+        "--throughput-threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="diff: flag a throughput drop above PCT%% (default: %(default)s)",
+    )
+    obs.add_argument(
+        "--phase-threshold",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="diff: flag a phase wall-time increase above PCT%% (default: %(default)s)",
     )
     obs.add_argument(
         "--follow",
@@ -683,6 +752,16 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help=(
             "run the campaign under cProfile: print the hottest functions and "
             "dump the full profile next to the trace (or the store)"
+        ),
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append a run summary to this performance-history ledger after a "
+            "traced run (default: <store>.ledger.jsonl; pass 'none' to "
+            "disable); compare runs with 'obs diff'"
         ),
     )
 
@@ -1019,9 +1098,19 @@ def _telemetry_for(
 
 
 def _finish_telemetry(
-    telemetry: Telemetry, store: "sweep_module.ResultStore"
+    telemetry: Telemetry,
+    store: "sweep_module.ResultStore",
+    args: "argparse.Namespace | None" = None,
+    kind: str = "sweep",
+    campaign: "str | None" = None,
+    engine: "str | None" = None,
 ) -> None:
-    """End-of-command roll-up: metrics sidecar next to the store, tracer closed."""
+    """End-of-command roll-up: metrics sidecar next to the store, tracer closed.
+
+    Traced runs also append a :class:`RunSummary` to the performance-history
+    ledger (``--ledger``, default ``<store>.ledger.jsonl``) so ``obs diff``
+    can compare this run against earlier ones.
+    """
     sidecar = telemetry.write_metrics(store.path)
     telemetry.close()
     if sidecar is not None:
@@ -1029,6 +1118,21 @@ def _finish_telemetry(
             f"telemetry: trace in {telemetry.trace_dir}/ (obs report "
             f"{telemetry.trace_dir}), metrics in {sidecar}"
         )
+    if telemetry.trace_dir is None:
+        return
+    chosen = getattr(args, "ledger", None) if args is not None else None
+    if chosen == "none":
+        return
+    ledger_file = Path(chosen) if chosen else ledger_path(store.path)
+    try:
+        summary = summarize_run(
+            telemetry.trace_dir, kind=kind, campaign=campaign, engine=engine
+        )
+        RunLedger(ledger_file).append(summary)
+    except (OSError, FileNotFoundError, ValueError) as exc:
+        print(f"ledger: skipped ({exc})", file=sys.stderr)
+        return
+    print(f"ledger: appended run summary to {ledger_file} (compare with 'obs diff')")
 
 
 def _maybe_profile(args: argparse.Namespace, run: Callable[[], object]):
@@ -1120,7 +1224,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
     # seconds, so a killed run still leaves a readable snapshot behind.
     with ResourceSampler(telemetry, flush_path=metrics_sidecar_path(store_path)):
         report = _maybe_profile(args, lambda: runner.run(spec))
-    _finish_telemetry(telemetry, store)
+    _finish_telemetry(
+        telemetry,
+        store,
+        args=args,
+        kind="sweep",
+        campaign=spec.campaign_hash(),
+        engine="exact" if args.exact else "fast",
+    )
 
     print()
     print(format_kv(report.summary(), title="Campaign"))
@@ -1281,7 +1392,14 @@ def _command_boundary(args: argparse.Namespace) -> int:
     )
     with ResourceSampler(telemetry, flush_path=metrics_sidecar_path(store.path)):
         report = _maybe_profile(args, search.run)
-    _finish_telemetry(telemetry, store)
+    _finish_telemetry(
+        telemetry,
+        store,
+        args=args,
+        kind="boundary",
+        campaign=query.query_hash(),
+        engine="exact" if args.exact else "fast",
+    )
 
     print()
     print(format_kv(report.summary(), title="Boundary search"))
@@ -1436,7 +1554,14 @@ def _command_shard(args: argparse.Namespace) -> int:
     )
     with ResourceSampler(telemetry, flush_path=metrics_sidecar_path(store.path)):
         report = _maybe_profile(args, lambda: runner.run(configs))
-    _finish_telemetry(telemetry, store)
+    _finish_telemetry(
+        telemetry,
+        store,
+        args=args,
+        kind="shard",
+        campaign=plan.campaign_hash,
+        engine=plan.engine,
+    )
     print()
     print(
         format_kv(
@@ -1510,6 +1635,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         trace_dir=args.trace,
         resource_interval_s=args.resource_interval,
         watchdog_s=args.watchdog,
+        alert_rules=args.alerts,
+        latency_budget_s=args.latency_budget,
     )
 
 
@@ -1599,7 +1726,50 @@ def _command_submit(args: argparse.Namespace) -> int:
     return 0 if succeeded else 1
 
 
+def _obs_diff(args: argparse.Namespace) -> int:
+    """``obs diff``: regression-check one run against another (or the ledger)."""
+    if args.trace_b and args.against_ledger:
+        print("obs diff takes TRACE_B or --against-ledger, not both", file=sys.stderr)
+        return 2
+    if not args.trace_b and not args.against_ledger:
+        print(
+            "obs diff needs a second run: TRACE_B or --against-ledger LEDGER",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.against_ledger:
+            candidate = summarize_run(args.trace, kind="run")
+            entries = RunLedger(args.against_ledger).entries()
+            others = [
+                e for e in entries if e.trace_dir != candidate.trace_dir
+            ] or entries
+            if not others:
+                print(f"no runs recorded in {args.against_ledger}", file=sys.stderr)
+                return 2
+            baseline = others[-1]
+        else:
+            baseline = summarize_run(args.trace, kind="run")
+            candidate = summarize_run(args.trace_b, kind="run")
+    except FileNotFoundError as exc:
+        print(f"obs diff: {exc}", file=sys.stderr)
+        return 2
+    thresholds = DiffThresholds(
+        p95_pct=args.p95_threshold,
+        throughput_pct=args.throughput_threshold,
+        phase_pct=args.phase_threshold,
+    )
+    doc = diff_summaries(baseline, candidate, thresholds=thresholds)
+    if args.json:
+        print(json.dumps(doc, indent=2, default=str))
+    else:
+        print(format_diff(doc))
+    return 0 if doc["ok"] else 1
+
+
 def _command_obs(args: argparse.Namespace) -> int:
+    if args.action == "diff":
+        return _obs_diff(args)
     if args.action == "top":
         if args.interval <= 0:
             raise SystemExit("--interval must be positive")
@@ -1610,8 +1780,9 @@ def _command_obs(args: argparse.Namespace) -> int:
         try:
             events = load_events(args.trace)
         except FileNotFoundError as exc:
-            raise SystemExit(str(exc)) from None
-        report = build_report(events, slowest=args.slowest)
+            print(f"obs report: {exc}", file=sys.stderr)
+            return 2
+        report = build_report(events, slowest=args.slowest, source=args.trace)
         if args.json:
             print(json.dumps(report, indent=2, default=str))
         else:

@@ -49,6 +49,16 @@ from .metrics import (
     series_key,
     split_series_key,
 )
+from .alerts import AlertManager, AlertRule, load_alert_rules
+from .diff import DiffThresholds, diff_summaries, format_diff
+from .history import (
+    RunLedger,
+    RunSummary,
+    git_revision,
+    ledger_path,
+    run_provenance,
+    summarize_run,
+)
 from .progress import ProgressRenderer, format_scenario_line
 from .promexport import PROMETHEUS_CONTENT_TYPE, render_prometheus, sanitise_metric_name
 from .report import (
@@ -58,10 +68,12 @@ from .report import (
     format_event,
     format_report,
     load_events,
+    merged_sidecar_histograms,
+    metric_sidecar_files,
     trace_files,
 )
 from .resource import ResourceSampler, read_resource_sample
-from .telemetry import DISABLED, Telemetry
+from .telemetry import DISABLED, Telemetry, metrics_file_name
 from .timeseries import (
     DEFAULT_LATENCY_BOUNDARIES,
     Histogram,
@@ -104,6 +116,21 @@ __all__ = [
     "format_event",
     "follow_trace",
     "TracePoller",
+    "metric_sidecar_files",
+    "merged_sidecar_histograms",
+    "metrics_file_name",
     "TopView",
     "run_top",
+    "RunSummary",
+    "RunLedger",
+    "ledger_path",
+    "summarize_run",
+    "run_provenance",
+    "git_revision",
+    "DiffThresholds",
+    "diff_summaries",
+    "format_diff",
+    "AlertRule",
+    "AlertManager",
+    "load_alert_rules",
 ]

@@ -1,0 +1,395 @@
+"""Declarative SLO alerting over the live metrics registry.
+
+An :class:`AlertRule` names a metric series, a statistic over it, a
+predicate, and an optional *for*-duration; an :class:`AlertManager` holds a
+set of rules plus the rolling windows the hot paths feed, and each
+:meth:`AlertManager.evaluate` tick walks every rule through the
+ok → pending → firing state machine:
+
+* a breach starts the ``pending`` clock; the alert only **fires** once the
+  breach has held for ``for_s`` seconds (0 = fire immediately), so a single
+  slow scenario cannot page anyone;
+* a reading back inside the threshold resolves the alert (or cancels a
+  pending one) instantly.
+
+Transitions are observable everywhere the stack already looks: an
+``alert.fired`` / ``alert.resolved`` trace event (visible in ``obs tail`` /
+``obs top``), a ``repro_alert_firing{alert="..."}`` gauge in the metrics
+registry (and therefore the Prometheus exposition), and the ``GET /alerts``
+endpoint + dashboard tile served from :meth:`AlertManager.status`.
+
+Rules come from JSON — a file or inline — via :func:`load_alert_rules`::
+
+    [{"name": "scenario-p95", "metric": "scenario_duration_seconds",
+      "stat": "p95", "op": ">", "threshold": 2.5, "for_s": 5.0}]
+
+Values are resolved in two layers: a rolling window registered under the
+metric name wins (exact quantiles over the recent past — what a latency SLO
+means); otherwise the rule falls back to the registry snapshot (counters
+summed across matching series, gauges, timers, histogram quantiles since
+process start).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from .metrics import series_key, split_series_key
+from .timeseries import Histogram, RollingWindow
+
+__all__ = [
+    "AlertRule",
+    "AlertManager",
+    "load_alert_rules",
+    "ALERT_STATS",
+    "ALERT_OPS",
+]
+
+#: The statistics a rule may ask for.  p50/p95/p99/mean/max/last work on
+#: rolling windows and histograms; value/rate on counters and gauges;
+#: count everywhere.
+ALERT_STATS = ("p50", "p95", "p99", "mean", "max", "last", "value", "rate", "count")
+
+ALERT_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+_QUANTILE_STATS = {"p50": 0.50, "p95": 0.95, "p99": 0.99}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO: *stat(metric) op threshold, sustained for_s*."""
+
+    name: str
+    metric: str
+    threshold: float
+    stat: str = "p95"
+    op: str = ">"
+    labels: Mapping = field(default_factory=dict)
+    for_s: float = 0.0
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("an alert rule needs a name")
+        if not self.metric:
+            raise ValueError(f"alert rule {self.name!r} needs a metric")
+        if self.stat not in ALERT_STATS:
+            raise ValueError(
+                f"alert rule {self.name!r}: unknown stat {self.stat!r} "
+                f"(choose from {', '.join(ALERT_STATS)})"
+            )
+        if self.op not in ALERT_OPS:
+            raise ValueError(
+                f"alert rule {self.name!r}: unknown op {self.op!r} "
+                f"(choose from {', '.join(ALERT_OPS)})"
+            )
+        if self.for_s < 0:
+            raise ValueError(f"alert rule {self.name!r}: for_s must be >= 0")
+
+    def to_dict(self) -> dict:
+        doc = {
+            "name": self.name,
+            "metric": self.metric,
+            "stat": self.stat,
+            "op": self.op,
+            "threshold": self.threshold,
+            "for_s": self.for_s,
+        }
+        if self.labels:
+            doc["labels"] = dict(self.labels)
+        if self.description:
+            doc["description"] = self.description
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AlertRule":
+        return cls(
+            name=str(data["name"]),
+            metric=str(data["metric"]),
+            threshold=float(data["threshold"]),
+            stat=str(data.get("stat", "p95")),
+            op=str(data.get("op", ">")),
+            labels=dict(data.get("labels") or {}),
+            for_s=float(data.get("for_s", 0.0)),
+            description=str(data.get("description", "")),
+        )
+
+    def condition(self) -> str:
+        """``p95(scenario_duration_seconds) > 2.5 for 5s`` — human rendering."""
+        target = self.metric
+        if self.labels:
+            target = series_key(self.metric, dict(self.labels))
+        clause = f"{self.stat}({target}) {self.op} {self.threshold:g}"
+        if self.for_s > 0:
+            clause += f" for {self.for_s:g}s"
+        return clause
+
+
+def load_alert_rules(source: "str | Path") -> list:
+    """Alert rules from a JSON file path or an inline JSON string.
+
+    Accepts either a bare list of rule objects or ``{"rules": [...]}``.
+    Raises :class:`ValueError` with a one-line message on anything
+    malformed — the CLI surfaces it verbatim.
+    """
+    text = str(source)
+    path = Path(text)
+    origin = text
+    if not text.lstrip().startswith(("[", "{")):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"cannot read alert rules from {origin}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid alert-rule JSON in {origin}: {exc}") from exc
+    if isinstance(data, Mapping):
+        data = data.get("rules", [])
+    if not isinstance(data, list):
+        raise ValueError(f"alert rules in {origin} must be a list (or {{'rules': [...]}})")
+    rules = []
+    for i, entry in enumerate(data):
+        try:
+            rules.append(AlertRule.from_dict(entry))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"alert rule #{i + 1} in {origin}: {exc}") from exc
+    return rules
+
+
+class AlertManager:
+    """Evaluates :class:`AlertRule` sets against live metrics.
+
+    Hot paths feed recent samples via :meth:`observe` (backed by per-metric
+    :class:`RollingWindow`\\ s); the service's evaluation loop calls
+    :meth:`evaluate` every couple of seconds.  The manager is intentionally
+    tolerant: a rule whose metric has no data yet simply stays ``ok``.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule] = (),
+        metrics=None,
+        tracer=None,
+        window_s: float = 60.0,
+    ):
+        self.rules = list(rules)
+        self.metrics = metrics
+        self.tracer = tracer
+        self.window_s = float(window_s)
+        self._windows: dict[str, RollingWindow] = {}
+        self._states: dict[str, dict] = {
+            rule.name: {"state": "ok", "pending_since": None, "fired_t": None, "value": None}
+            for rule in self.rules
+        }
+        #: rule name -> (t, counter_total) marks for rate computation
+        self._counter_marks: dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def window(self, metric: str) -> RollingWindow:
+        """The rolling window for a metric name, created on first use."""
+        window = self._windows.get(metric)
+        if window is None:
+            window = self._windows[metric] = RollingWindow(window_s=self.window_s)
+        return window
+
+    def observe(self, metric: str, value: float, t: Optional[float] = None) -> None:
+        """Feed one recent sample (e.g. a scenario duration) into a window."""
+        self.window(metric).observe(value, t)
+
+    # ------------------------------------------------------------------
+    def _window_value(self, rule: AlertRule, now: float) -> Optional[float]:
+        window = self._windows.get(rule.metric)
+        if window is None:
+            return None
+        if rule.stat in _QUANTILE_STATS:
+            return window.quantile(_QUANTILE_STATS[rule.stat], now=now)
+        if rule.stat == "mean":
+            return window.mean(now=now)
+        if rule.stat == "max":
+            values = window.values(now=now)
+            return max(values) if values else None
+        if rule.stat in ("last", "value"):
+            return window.last()
+        if rule.stat == "rate":
+            return window.rate(now=now)
+        if rule.stat == "count":
+            return float(len(window))
+        return None
+
+    def _matching(self, section: Mapping, rule: AlertRule) -> list:
+        """Values of registry series whose name+labels match the rule."""
+        wanted = dict(rule.labels)
+        matches = []
+        for key, value in section.items():
+            name, labels = split_series_key(str(key))
+            if name != rule.metric:
+                continue
+            if wanted and any(labels.get(k) != str(v) for k, v in wanted.items()):
+                continue
+            matches.append(value)
+        return matches
+
+    def _registry_value(self, rule: AlertRule, now: float) -> Optional[float]:
+        if self.metrics is None:
+            return None
+        doc = self.metrics.to_dict()
+
+        counters = self._matching(doc.get("counters") or {}, rule)
+        if counters:
+            total = float(sum(counters))
+            if rule.stat == "rate":
+                mark = self._counter_marks.get(rule.name)
+                self._counter_marks[rule.name] = (now, total)
+                if mark is None or now <= mark[0]:
+                    return None  # first sighting: no interval to rate over
+                return max(0.0, total - mark[1]) / (now - mark[0])
+            return total  # value/count/max/... — a counter has one number
+
+        gauges = self._matching(doc.get("gauges") or {}, rule)
+        if gauges:
+            values = [float(v) for v in gauges]
+            return max(values) if rule.stat == "max" else values[-1]
+
+        histograms = self._matching(doc.get("histograms") or {}, rule)
+        if histograms:
+            combined: Optional[Histogram] = None
+            for data in histograms:
+                try:
+                    histogram = Histogram.from_dict(data)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if combined is None:
+                    combined = histogram
+                else:
+                    try:
+                        combined.merge(histogram)
+                    except ValueError:
+                        continue
+            if combined is None or not combined.count:
+                return None
+            if rule.stat in _QUANTILE_STATS:
+                return combined.quantile(_QUANTILE_STATS[rule.stat])
+            if rule.stat == "mean":
+                return combined.mean
+            if rule.stat == "max":
+                return combined.max
+            if rule.stat == "count":
+                return float(combined.count)
+            return None
+
+        timers = self._matching(doc.get("timers") or {}, rule)
+        if timers:
+            entry = timers[-1]
+            if rule.stat == "max":
+                return entry.get("max_s")
+            if rule.stat == "count":
+                return float(entry.get("count", 0))
+            if rule.stat == "mean":
+                count = entry.get("count") or 0
+                return entry.get("total_s", 0.0) / count if count else None
+        return None
+
+    def value_for(self, rule: AlertRule, now: Optional[float] = None) -> Optional[float]:
+        """The rule's current reading: rolling window first, registry second."""
+        now = time.time() if now is None else float(now)
+        value = self._window_value(rule, now)
+        if value is None:
+            value = self._registry_value(rule, now)
+        return value
+
+    # ------------------------------------------------------------------
+    def _transition(self, rule: AlertRule, state: dict, firing: bool, now: float) -> None:
+        if firing and state["state"] != "firing":
+            state["state"] = "firing"
+            state["fired_t"] = now
+            if self.tracer is not None:
+                self.tracer.event(
+                    "alert.fired",
+                    alert=rule.name,
+                    condition=rule.condition(),
+                    value=state["value"],
+                    threshold=rule.threshold,
+                )
+        elif not firing and state["state"] == "firing":
+            state["state"] = "ok"
+            state["fired_t"] = None
+            if self.tracer is not None:
+                self.tracer.event(
+                    "alert.resolved",
+                    alert=rule.name,
+                    condition=rule.condition(),
+                    value=state["value"],
+                )
+        if self.metrics is not None:
+            self.metrics.gauge(
+                series_key("repro_alert_firing", {"alert": rule.name}),
+                1.0 if state["state"] == "firing" else 0.0,
+            )
+
+    def evaluate(self, now: Optional[float] = None) -> list:
+        """One tick of every rule's state machine; returns :meth:`status`."""
+        now = time.time() if now is None else float(now)
+        for rule in self.rules:
+            state = self._states.setdefault(
+                rule.name,
+                {"state": "ok", "pending_since": None, "fired_t": None, "value": None},
+            )
+            value = self.value_for(rule, now)
+            state["value"] = value
+            breached = value is not None and ALERT_OPS[rule.op](value, rule.threshold)
+            if not breached:
+                state["pending_since"] = None
+                self._transition(rule, state, firing=False, now=now)
+                continue
+            if state["pending_since"] is None:
+                state["pending_since"] = now
+            held = now - state["pending_since"]
+            if held >= rule.for_s:
+                self._transition(rule, state, firing=True, now=now)
+            elif state["state"] != "firing":
+                state["state"] = "pending"
+        return self.status(now=now)
+
+    # ------------------------------------------------------------------
+    def status(self, now: Optional[float] = None) -> list:
+        """Every rule's current state, JSON-shaped for ``GET /alerts``."""
+        now = time.time() if now is None else float(now)
+        out = []
+        for rule in self.rules:
+            state = self._states.get(rule.name) or {
+                "state": "ok", "pending_since": None, "fired_t": None, "value": None,
+            }
+            value = state.get("value")
+            entry = {
+                "name": rule.name,
+                "state": state["state"],
+                "condition": rule.condition(),
+                "metric": rule.metric,
+                "stat": rule.stat,
+                "op": rule.op,
+                "threshold": rule.threshold,
+                "for_s": rule.for_s,
+                "value": None if value is None else round(float(value), 6),
+                "since_s": (
+                    round(now - state["fired_t"], 3)
+                    if state.get("fired_t") is not None
+                    else None
+                ),
+            }
+            if rule.description:
+                entry["description"] = rule.description
+            out.append(entry)
+        return out
+
+    def firing(self) -> list:
+        return [entry for entry in self.status() if entry["state"] == "firing"]

@@ -185,11 +185,23 @@ class MetricsRegistry:
         resource sampler's periodic flush) from trampling each other's
         half-written bytes.
         """
+        # Lazy import: history sits above report, which imports this module.
+        from .history import run_provenance
+
+        doc = self.to_dict()
+        # Provenance makes sidecars attributable across runs and machines;
+        # the Prometheus writer iterates only the known series sections, so
+        # the extra key is invisible to exposition.
+        doc["meta"] = {
+            **run_provenance(),
+            "pid": os.getpid(),
+            "written_t": round(time.time(), 3),
+        }
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
-            tmp.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+            tmp.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)

@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Iterator, Mapping, Optional, Sequence
 
 from ..analysis.reporting import format_kv, format_table
-from .timeseries import exact_quantile
+from .timeseries import Histogram, exact_quantile
 
 __all__ = [
     "trace_files",
@@ -34,6 +34,8 @@ __all__ = [
     "format_event",
     "follow_trace",
     "TracePoller",
+    "metric_sidecar_files",
+    "merged_sidecar_histograms",
 ]
 
 #: The per-scenario phases a scenario span carries (worker + runner timings).
@@ -150,13 +152,111 @@ def follow_trace(
 
 
 # ----------------------------------------------------------------------
+# Metrics sidecars (one per process, mirrored into the trace directory)
+# ----------------------------------------------------------------------
+def metric_sidecar_files(source: "str | Path") -> list[Path]:
+    """The per-process ``metrics-<worker>-<pid>.json`` mirrors of a trace dir."""
+    path = Path(source)
+    if not path.is_dir():
+        return []
+    return sorted(path.glob("metrics-*.json"))
+
+
+def _sidecar_worker_label(path: Path) -> str:
+    """``metrics-shard-0-12345.json`` → ``shard-0`` (strip prefix and pid)."""
+    parts = path.stem.split("-")[1:]
+    if parts and parts[-1].isdigit():
+        parts = parts[:-1]
+    return "-".join(parts) or "?"
+
+
+def merged_sidecar_histograms(
+    source: "str | Path",
+) -> "tuple[dict[str, Histogram], list[str], int]":
+    """Every worker's histogram series, merged bucket-wise per series key.
+
+    Returns ``(merged, workers, files)``: the union of histogram series
+    across all metrics sidecars in the trace directory (same series from
+    different workers folded via :meth:`Histogram.merge`), the sorted labels
+    of the workers whose sidecars contributed at least one histogram, and
+    the number of sidecar files read.  This is what makes ``obs report``
+    quantiles cover a sharded campaign instead of one process.
+    """
+    merged: dict[str, Histogram] = {}
+    workers: set[str] = set()
+    files = 0
+    for file in metric_sidecar_files(source):
+        try:
+            doc = json.loads(file.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue  # torn or vanished sidecar: skip, never fail the report
+        histograms = doc.get("histograms") if isinstance(doc, dict) else None
+        if not isinstance(histograms, dict):
+            continue
+        files += 1
+        contributed = False
+        for key, data in histograms.items():
+            try:
+                histogram = Histogram.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                continue
+            contributed = True
+            if key in merged:
+                try:
+                    merged[key].merge(histogram)
+                except ValueError:
+                    pass  # boundary drift across versions: keep the first
+            else:
+                merged[key] = histogram
+        if contributed:
+            workers.add(_sidecar_worker_label(file))
+    return merged, sorted(workers), files
+
+
+def _latency_section(source: "str | Path") -> dict:
+    """Merged-worker scenario-latency quantiles for ``obs report``.
+
+    Folds every sidecar's ``scenario_duration_seconds`` series (any labels)
+    into one histogram and reports its quantiles, plus which workers
+    contributed — the cross-worker view a per-process registry cannot give.
+    """
+    from .metrics import split_series_key
+
+    merged, workers, files = merged_sidecar_histograms(source)
+    combined: Optional[Histogram] = None
+    for key, histogram in merged.items():
+        name, _labels = split_series_key(key)
+        if name != "scenario_duration_seconds":
+            continue
+        if combined is None:
+            combined = Histogram(boundaries=histogram.boundaries)
+        try:
+            combined.merge(histogram)
+        except ValueError:
+            continue
+    if combined is None or not combined.count:
+        return {}
+    doc = combined.to_dict()
+    scenario = {
+        "count": doc["count"],
+        "mean_s": doc["mean"],
+        "max_s": doc["max"],
+    }
+    for q, value in (doc.get("quantiles") or {}).items():
+        scenario[f"{q}_s"] = value
+    return {"scenario": scenario, "workers": workers, "sidecars": files}
+
+
+# ----------------------------------------------------------------------
 # Aggregation
 # ----------------------------------------------------------------------
 def _scenario_spans(events: Sequence[dict]) -> list[dict]:
     return [e for e in events if e.get("kind") == "span" and e.get("name") == "scenario"]
 
 
-def build_report(events: Sequence[dict], slowest: int = 10) -> dict:
+def build_report(
+    events: Sequence[dict], slowest: int = 10, source: "str | Path | None" = None
+) -> dict:
     """Aggregate a merged event stream into the ``obs report`` document.
 
     Keys: ``events``, ``span`` (trace wall span), ``runs``, ``phases`` (the
@@ -166,8 +266,18 @@ def build_report(events: Sequence[dict], slowest: int = 10) -> dict:
     ``cache_hit_ratio``, ``queue_wait``, ``slowest``, ``workers`` (per
     worker label: events, busy seconds, wall seconds, utilisation),
     ``counters`` and ``rounds`` (boundary searches).
+
+    When ``source`` names the trace *directory*, the per-process metrics
+    sidecars mirrored there are folded in as a ``latency`` section: the
+    ``scenario_duration_seconds`` histograms of **every** worker merged
+    bucket-wise into one quantile view, labelled with the contributing
+    workers.
     """
     report: dict = {"events": len(events)}
+    if source is not None:
+        latency = _latency_section(source)
+        if latency:
+            report["latency"] = latency
     if not events:
         report.update(
             {
@@ -498,6 +608,16 @@ def format_report(report: dict, title: str = "Campaign telemetry") -> str:
             else:
                 flat[key] = value
         blocks.append(format_kv(flat, title="Resource usage (sampler)"))
+
+    latency = report.get("latency") or {}
+    if latency:
+        flat = dict(latency.get("scenario") or {})
+        workers = latency.get("workers") or []
+        flat["workers"] = ", ".join(workers) if workers else "?"
+        flat["sidecars"] = latency.get("sidecars")
+        blocks.append(
+            format_kv(flat, title="Scenario latency (merged worker histograms)")
+        )
 
     fault_section = report.get("faults") or {}
     if fault_section:

@@ -25,6 +25,7 @@ from typing import Callable, Optional, Protocol, Sequence, Union
 from .. import faults
 from ..faults import DEFAULT_RETRY_POLICY, RetryPolicy, classify_error
 from ..obs.telemetry import DISABLED, Telemetry
+from ..obs.timeseries import DEFAULT_LATENCY_BOUNDARIES
 from .scenario import run_scenario
 from .spec import ScenarioConfig, SweepSpec, expand_unique
 from .store import ResultStore
@@ -290,6 +291,12 @@ class SweepRunner:
                     tracer.counter("faults.injected", injected, site="worker.simulate")
                 metrics.counter("campaign.executed")
                 metrics.observe("campaign.scenario_s", record.get("elapsed_s", 0.0))
+                # The mergeable shape of the same signal: every worker's
+                # registry carries this series, so a sharded campaign's
+                # sidecars fold into one cross-worker latency distribution.
+                metrics.histogram(
+                    "scenario_duration_seconds", boundaries=DEFAULT_LATENCY_BOUNDARIES
+                ).observe(record.get("elapsed_s", 0.0))
                 timings = record.get("timings") or {}
                 tracer.span_event(
                     "scenario",

@@ -352,9 +352,17 @@ class TestObsCli:
         assert "campaign.run" in out and "[main]" in out
         assert out.count("scenario") >= 4
 
-    def test_obs_report_on_missing_trace_fails_cleanly(self, tmp_path):
-        with pytest.raises(SystemExit, match="no trace"):
-            main(["obs", "report", str(tmp_path / "nowhere")])
+    def test_obs_report_on_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        # One-line diagnostic + exit code 2, not a traceback: CI-friendly.
+        assert main(["obs", "report", str(tmp_path / "nowhere")]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1 and "no trace" in err
+
+    def test_obs_report_on_empty_trace_dir_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["obs", "report", str(empty)]) == 2
+        assert "no trace-*.jsonl files" in capsys.readouterr().err
 
     def test_profile_writes_prof_next_to_trace(self, tmp_path, capsys):
         store = tmp_path / "campaign.jsonl"

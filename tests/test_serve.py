@@ -596,3 +596,100 @@ class TestClientRetry:
         with pytest.raises(ServeError):
             client.submit({"preset": "dist-smoke"})
         assert len(calls) == 2
+
+
+# ----------------------------------------------------------------------
+# PR 10: live SLO alerting — GET /alerts, the dashboard's alert surface,
+# the repro_alert_firing gauge and the scheduler's run ledger.
+# ----------------------------------------------------------------------
+
+from repro.obs import RunLedger  # noqa: E402
+
+
+class TestServiceAlerting:
+    def test_latency_budget_alert_fires_end_to_end(self, tmp_path):
+        """A budget every scenario breaches: the alert fires during the
+        campaign and is visible on /alerts, /metrics and the dashboard."""
+        with ServiceThread(
+            store_path=tmp_path / "store.jsonl", data_dir=tmp_path / "data",
+            port=0, workers=1, latency_budget_s=1e-4, alert_interval_s=0.1,
+        ) as service:
+            client = ServeClient(ServeConfig(base_url=service.base_url))
+
+            # rule registered (implicit from the budget), nothing firing yet
+            with urllib.request.urlopen(f"{service.base_url}/alerts", timeout=30) as resp:
+                doc = json.loads(resp.read())
+            assert doc["count"] == 1 and doc["firing"] == 0
+            assert doc["alerts"][0]["name"] == "scenario-latency-budget"
+            assert doc["alerts"][0]["state"] == "ok"
+
+            done = client.submit_and_wait(smoke_spec(), timeout_s=180)
+            assert done["result"]["executed"] == 4
+
+            # executed scenarios fed the rolling window; every duration beats
+            # the 0.1 ms budget, so the eval loop must flip the rule to firing
+            deadline = time.monotonic() + 20
+            doc = {}
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(
+                    f"{service.base_url}/alerts", timeout=30
+                ) as resp:
+                    doc = json.loads(resp.read())
+                if doc["firing"]:
+                    break
+                time.sleep(0.1)
+            assert doc["firing"] == 1
+            entry = doc["alerts"][0]
+            assert entry["state"] == "firing"
+            assert entry["value"] > 1e-4
+            assert "p95(scenario_duration_seconds) >" in entry["condition"]
+
+            # the gauge is on the Prometheus exposition with the alert label
+            with urllib.request.urlopen(
+                f"{service.base_url}/metrics?format=prometheus", timeout=30
+            ) as resp:
+                text = resp.read().decode("utf-8")
+            assert 'repro_alert_firing{alert="scenario-latency-budget"} 1' in text
+
+            # the dashboard carries the alert surface and the budget column
+            html = client.dashboard()
+            assert "alert-rows" in html and "kpi-alerts" in html
+            assert "p95 / budget" in html
+            assert "scenario-latency-budget" in html  # bootstrap JSON
+
+            # the campaign document exposes its rolling latency vs budget
+            campaign = client.campaign(done["id"])
+            assert campaign["latency"]["count"] == 4
+            assert campaign["latency"]["over_budget"] is True
+
+            # and the finished campaign landed in the service's run ledger
+            entries = RunLedger(tmp_path / "data" / "ledger.jsonl").entries()
+            assert [e.kind for e in entries] == ["serve.sweep"]
+            assert entries[0].executed == 4
+            assert entries[0].scenario_latency.get("count") == 4
+
+    def test_alert_rules_from_json_file(self, tmp_path):
+        rules = [{
+            "name": "no-exhausted-retries", "metric": "retry.exhausted",
+            "stat": "value", "op": ">=", "threshold": 1.0,
+            "description": "a scenario failed permanently",
+        }]
+        rules_path = tmp_path / "rules.json"
+        rules_path.write_text(json.dumps(rules))
+        with ServiceThread(
+            store_path=tmp_path / "store.jsonl", port=0, workers=1,
+            alert_rules=str(rules_path), alert_interval_s=0.1,
+        ) as service:
+            with urllib.request.urlopen(f"{service.base_url}/alerts", timeout=30) as resp:
+                doc = json.loads(resp.read())
+            assert doc["count"] == 1 and doc["firing"] == 0
+            assert doc["alerts"][0]["name"] == "no-exhausted-retries"
+            assert doc["alerts"][0]["description"] == "a scenario failed permanently"
+
+    def test_service_without_rules_serves_empty_alerts(self, tmp_path):
+        with ServiceThread(store_path=tmp_path / "store.jsonl", port=0, workers=1) as service:
+            with urllib.request.urlopen(f"{service.base_url}/alerts", timeout=30) as resp:
+                doc = json.loads(resp.read())
+            assert doc == {"count": 0, "firing": 0, "alerts": []}
+            # no rules -> no evaluation task was started
+            assert service.service._alert_task is None
